@@ -1,0 +1,46 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	@test -z "$$(gofmt -l .)" || (gofmt -l . && exit 1)
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/batch/ ./internal/partition/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test ./internal/config/ -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/topology/ -fuzz FuzzParseCSV -fuzztime 30s
+
+# Regenerate every figure's data into results/.
+figures:
+	$(GO) run ./cmd/scalestudy fig4 -sizes 4,8,16,32,64,128 -o results/fig4.csv
+	$(GO) run ./cmd/scalestudy fig9a -o results/fig9a.csv
+	$(GO) run ./cmd/scalestudy fig9bc -o results/fig9bc.csv
+	$(GO) run ./cmd/scalestudy fig10a -o results/fig10a.csv
+	$(GO) run ./cmd/scalestudy fig10b -o results/fig10b.csv
+	$(GO) run ./cmd/scalestudy fig11 -macs 16384 -parts 1,4,16,64 -o results/fig11_2e14.csv
+	$(GO) run ./cmd/scalestudy fig12 -layer CB2a_3 -macs 1024,4096,16384,65536 -parts 1,4,16,64 -o results/fig12_cb2a3.csv
+	$(GO) run ./cmd/scalestudy fig13 -o results/fig13.csv
+	$(GO) run ./cmd/scalestudy fig14 -o results/fig14.csv
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/offload
+	$(GO) run ./examples/provisioning
+	$(GO) run ./examples/inception
+
+clean:
+	rm -f test_output.txt bench_output.txt

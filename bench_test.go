@@ -1,0 +1,377 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating its data via internal/experiments and reporting
+// headline numbers as benchmark metrics), plus micro-benchmarks of the
+// simulator's building blocks. Run with:
+//
+//	go test -bench=. -benchmem
+package scalesim_test
+
+import (
+	"testing"
+
+	"scalesim"
+	"scalesim/internal/analytical"
+	"scalesim/internal/config"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/dram"
+	"scalesim/internal/experiments"
+	"scalesim/internal/memory"
+	"scalesim/internal/rtlref"
+	"scalesim/internal/systolic"
+	"scalesim/internal/topology"
+	"scalesim/internal/trace"
+)
+
+// --- Tables ---------------------------------------------------------------
+
+// BenchmarkTableIII exercises the spatio-temporal mapping of Table III:
+// every built-in layer under every dataflow.
+func BenchmarkTableIII(b *testing.B) {
+	layers := topology.ResNet50().Layers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total int64
+		for _, l := range layers {
+			for _, df := range config.Dataflows {
+				m := dataflow.Map(l, df)
+				total += m.MACs()
+			}
+		}
+		if total <= 0 {
+			b.Fatal("empty mapping")
+		}
+	}
+}
+
+// BenchmarkTableIV maps the language-model workloads (Table IV) and checks
+// the embedded dimensions.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		topo := topology.LanguageModels()
+		if len(topo.Layers) != 10 {
+			b.Fatal("Table IV layer count")
+		}
+		for _, l := range topo.Layers {
+			if m := dataflow.Map(l, config.OutputStationary); m.MACs() != l.MACOps() {
+				b.Fatal("mapping mismatch")
+			}
+		}
+	}
+}
+
+// --- Figures ----------------------------------------------------------------
+
+// BenchmarkFig4 regenerates the validation figure: RTL reference vs
+// trace-based simulator over array sizes 4..64.
+func BenchmarkFig4(b *testing.B) {
+	sizes := []int{4, 8, 16, 32, 64}
+	var rows []experiments.Fig4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig4(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.RTLCycles != r.SimCycles {
+				b.Fatalf("size %d: RTL %d != sim %d", r.ArraySize, r.RTLCycles, r.SimCycles)
+			}
+		}
+	}
+	b.ReportMetric(float64(rows[len(rows)-1].SimCycles), "cycles@64x64")
+}
+
+// BenchmarkFig9a regenerates the scale-up/scale-out search space for TF0
+// over the paper's five MAC budgets.
+func BenchmarkFig9a(b *testing.B) {
+	budgets := []int64{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	var points []experiments.Fig9aPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = experiments.Fig9a(budgets, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(points)), "configs")
+}
+
+// BenchmarkFig9bc regenerates the aspect-ratio sweeps at 2^14 and 2^16 MACs
+// and reports the runtime spread.
+func BenchmarkFig9bc(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		for _, macs := range []int64{1 << 14, 1 << 16} {
+			rows, err := experiments.Fig9bc(macs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lo, hi := rows[0].Cycles, rows[0].Cycles
+			for _, r := range rows {
+				if r.Cycles < lo {
+					lo = r.Cycles
+				}
+				if r.Cycles > hi {
+					hi = r.Cycles
+				}
+			}
+			spread = float64(hi) / float64(lo)
+		}
+	}
+	b.ReportMetric(spread, "spread@2^16")
+}
+
+// BenchmarkFig10a regenerates the ResNet50 scale-up vs scale-out ratios.
+func BenchmarkFig10a(b *testing.B) {
+	budgets := []int64{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(experiments.Fig10aLayers(), budgets, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.Ratio > worst {
+				worst = r.Ratio
+			}
+		}
+	}
+	b.ReportMetric(worst, "max-slowdown")
+}
+
+// BenchmarkFig10b regenerates the language-model ratios; the paper reports
+// up to ~50x at 65536 MACs.
+func BenchmarkFig10b(b *testing.B) {
+	budgets := []int64{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(experiments.Fig10bLayers(), budgets, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.Ratio > worst {
+				worst = r.Ratio
+			}
+		}
+	}
+	b.ReportMetric(worst, "max-slowdown")
+}
+
+// BenchmarkFig11 regenerates the cycle-accurate runtime/bandwidth sweep for
+// CB2a_3 and TF0 at 2^14 MACs (the figure's middle budget).
+func BenchmarkFig11(b *testing.B) {
+	var bwRise float64
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig11(1<<14, []int64{1, 4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tf0 := series["TF0"]
+		bwRise = tf0[len(tf0)-1].AvgBW / tf0[0].AvgBW
+	}
+	b.ReportMetric(bwRise, "tf0-bw-rise")
+}
+
+// BenchmarkFig12 regenerates the energy-vs-partitions curves for CB2a_3
+// across three MAC budgets.
+func BenchmarkFig12(b *testing.B) {
+	var minEnergyParts float64
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig12(experiments.CB2a3(),
+			[]int64{1 << 10, 1 << 14, 1 << 16}, []int64{1, 4, 16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := series[1<<16]
+		best := rows[0]
+		for _, r := range rows[1:] {
+			if r.Energy.Total() < best.Energy.Total() {
+				best = r
+			}
+		}
+		minEnergyParts = float64(best.Partitions)
+	}
+	b.ReportMetric(minEnergyParts, "minE-parts@2^16")
+}
+
+// BenchmarkFig13 regenerates the scale-up pareto study across MAC budgets.
+func BenchmarkFig13(b *testing.B) {
+	budgets := []int64{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	var worstLoss float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13(budgets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstLoss = 0
+		for _, r := range rows {
+			if l := r.Loss[len(r.Loss)-1]; l > worstLoss {
+				worstLoss = l
+			}
+		}
+	}
+	b.ReportMetric(worstLoss, "worst-loss")
+}
+
+// BenchmarkFig14 regenerates the scale-out pareto study.
+func BenchmarkFig14(b *testing.B) {
+	budgets := []int64{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	var worstLoss float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14(budgets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstLoss = 0
+		for _, r := range rows {
+			if l := r.Loss[len(r.Loss)-1]; l > worstLoss {
+				worstLoss = l
+			}
+		}
+	}
+	b.ReportMetric(worstLoss, "worst-loss")
+}
+
+// --- Micro-benchmarks -------------------------------------------------------
+
+func benchLayer() topology.Layer {
+	return topology.Layer{Name: "bench", IfmapH: 28, IfmapW: 28, FilterH: 3,
+		FilterW: 3, Channels: 64, NumFilters: 128, Stride: 1}
+}
+
+// BenchmarkSystolicTrace measures raw trace generation throughput per
+// dataflow (no memory system attached).
+func BenchmarkSystolicTrace(b *testing.B) {
+	for _, df := range config.Dataflows {
+		b.Run(df.String(), func(b *testing.B) {
+			cfg := config.New().WithArray(32, 32).WithDataflow(df)
+			var accesses int64
+			for i := 0; i < b.N; i++ {
+				res, err := systolic.Run(benchLayer(), cfg, systolic.Sinks{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses = res.IfmapReads + res.FilterReads + res.OfmapWrites
+			}
+			b.ReportMetric(float64(accesses), "accesses/op")
+		})
+	}
+}
+
+// BenchmarkAnalyticalEstimate measures the closed-form fast path.
+func BenchmarkAnalyticalEstimate(b *testing.B) {
+	cfg := config.New().WithArray(32, 32)
+	l := benchLayer()
+	for i := 0; i < b.N; i++ {
+		if _, err := systolic.Estimate(l, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemorySystem streams a full layer through the SRAM/DRAM model.
+func BenchmarkMemorySystem(b *testing.B) {
+	cfg := config.New().WithArray(32, 32).WithSRAM(64, 64, 32)
+	l := benchLayer()
+	for i := 0; i < b.N; i++ {
+		sys, err := memory.NewSystem(cfg, memory.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.SetRegions(cfg.IfmapOffset, l.IfmapWords(),
+			cfg.FilterOffset, l.FilterWords(), cfg.OfmapOffset, l.OfmapWords())
+		res, err := systolic.Run(l, cfg, systolic.Sinks{
+			IfmapRead: sys.Ifmap, FilterRead: sys.Filter, OfmapWrite: sys.Ofmap,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Ofmap.Flush(res.Cycles)
+	}
+}
+
+// BenchmarkDRAMModel replays a sequential read stream through the timing
+// substrate.
+func BenchmarkDRAMModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := dram.New(dram.DDR3())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for a := int64(0); a < 100_000; a++ {
+			m.Request(a, a)
+		}
+		if m.Stats().RowHitRate() < 0.99 {
+			b.Fatal("unexpected hit rate")
+		}
+	}
+}
+
+// BenchmarkRTLReference measures the PE-level golden model at 32x32.
+func BenchmarkRTLReference(b *testing.B) {
+	a := make([][]float64, 32)
+	c := make([][]float64, 32)
+	for i := range a {
+		a[i] = make([]float64, 32)
+		c[i] = make([]float64, 32)
+		for j := range a[i] {
+			a[i][j] = float64(i + j)
+			c[i][j] = float64(i - j)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := rtlref.RunOS(a, c, 32, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBestScaleOut measures one full design-space search.
+func BenchmarkBestScaleOut(b *testing.B) {
+	m := dataflow.Map(experiments.TF0(), config.OutputStationary)
+	for i := 0; i < b.N; i++ {
+		if _, ok := analytical.BestScaleOut(m, 1<<16, 8, 0); !ok {
+			b.Fatal("no config")
+		}
+	}
+}
+
+// BenchmarkSimulateTinyNet measures the full stack end to end via the
+// public API.
+func BenchmarkSimulateTinyNet(b *testing.B) {
+	cfg := scalesim.NewConfig().WithArray(16, 16).WithSRAM(8, 8, 4)
+	topo, _ := scalesim.BuiltInTopology("TinyNet")
+	sim, err := scalesim.NewSimulator(cfg, scalesim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSVTraceWrite measures trace serialization throughput.
+func BenchmarkCSVTraceWrite(b *testing.B) {
+	addrs := make([]int64, 32)
+	for i := range addrs {
+		addrs[i] = int64(i * 7)
+	}
+	for i := 0; i < b.N; i++ {
+		w := trace.NewCSVWriter(discard{})
+		for c := int64(0); c < 1000; c++ {
+			w.Consume(c, addrs)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

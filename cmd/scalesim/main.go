@@ -1,0 +1,205 @@
+// Command scalesim runs the cycle-accurate simulator over a network
+// topology, mirroring the original tool's interface: a hardware config file
+// plus a topology CSV in, traces and aggregate reports out.
+//
+// Usage:
+//
+//	scalesim -config scale.cfg [-topology net.csv] [-outdir out] [-traces] [-dram]
+//	scalesim -net Resnet50 -array 128x128 -dataflow ws
+//
+// Either -config or the individual flags describe the hardware; -topology
+// overrides the config's topology path and -net selects a built-in network.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scalesim"
+	"scalesim/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scalesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scalesim", flag.ContinueOnError)
+	var (
+		cfgPath  = fs.String("config", "", "hardware configuration file (Table I format)")
+		topoPath = fs.String("topology", "", "topology CSV (overrides the config's Topology entry)")
+		netName  = fs.String("net", "", "built-in topology: "+strings.Join(scalesim.BuiltInTopologyNames(), ", "))
+		array    = fs.String("array", "", "array dimensions as RxC (e.g. 32x32)")
+		df       = fs.String("dataflow", "", "dataflow: os, ws or is")
+		sram     = fs.String("sram", "", "SRAM sizes in KiB as ifmap,filter,ofmap (e.g. 512,512,256)")
+		outDir   = fs.String("outdir", "", "directory for report CSVs (default: stdout only)")
+		traces   = fs.Bool("traces", false, "write per-layer SRAM/DRAM trace CSVs to outdir")
+		useDRAM  = fs.Bool("dram", false, "replay DRAM traces through the DDR3 timing model")
+		asJSON   = fs.Bool("json", false, "emit the full result as JSON instead of the summary")
+		partsArg = fs.String("parts", "", "run scale-out: partition grid as PrxPc (e.g. 2x4); -array sets the per-partition shape")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := scalesim.NewConfig()
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = scalesim.LoadConfig(*cfgPath); err != nil {
+			return err
+		}
+	}
+	if *array != "" {
+		r, c, err := parseArray(*array)
+		if err != nil {
+			return err
+		}
+		cfg = cfg.WithArray(r, c)
+	}
+	if *df != "" {
+		d, err := scalesim.ParseDataflow(*df)
+		if err != nil {
+			return err
+		}
+		cfg = cfg.WithDataflow(d)
+	}
+	if *sram != "" {
+		var i, f, o int
+		if _, err := fmt.Sscanf(*sram, "%d,%d,%d", &i, &f, &o); err != nil {
+			return fmt.Errorf("invalid -sram %q: %w", *sram, err)
+		}
+		cfg = cfg.WithSRAM(i, f, o)
+	}
+
+	topo, err := pickTopology(cfg, *topoPath, *netName)
+	if err != nil {
+		return err
+	}
+
+	if *partsArg != "" {
+		pr, pc, err := parseArray(*partsArg)
+		if err != nil {
+			return fmt.Errorf("invalid -parts %q (want PrxPc)", *partsArg)
+		}
+		return runScaleOut(stdout, cfg, topo, pr, pc)
+	}
+
+	opt := scalesim.Options{}
+	if *traces {
+		if *outDir == "" {
+			return fmt.Errorf("-traces requires -outdir")
+		}
+		opt.TraceDir = *outDir
+	}
+	if *useDRAM {
+		ddr := scalesim.DDR3()
+		opt.DRAM = &ddr
+	}
+
+	sim, err := scalesim.NewSimulator(cfg, opt)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Simulate(topo)
+	if err != nil {
+		return err
+	}
+
+	if *outDir != "" {
+		if err := writeReports(*outDir, cfg.RunName, res); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprintf(stdout, "run: %s | topology: %s (%d layers) | array %dx%d %s\n",
+		cfg.RunName, topo.Name, len(topo.Layers), cfg.ArrayHeight, cfg.ArrayWidth, cfg.Dataflow)
+	return report.WriteSummary(stdout, res)
+}
+
+// runScaleOut executes every layer on a Pr x Pc grid of arrays shaped like
+// the base config's array, dividing the SRAM budget among partitions, and
+// prints a per-layer scale-out report.
+func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, pr, pc int) error {
+	spec := scalesim.ScaleOutSpec{
+		Parts: scalesim.Partitioning{Pr: int64(pr), Pc: int64(pc)},
+		Shape: scalesim.Shape{R: int64(cfg.ArrayHeight), C: int64(cfg.ArrayWidth)},
+	}
+	fmt.Fprintf(stdout, "scale-out: %s, %d MACs total | topology %s\n",
+		spec, spec.MACs(), topo.Name)
+	fmt.Fprintln(stdout, "Layer,Cycles,AvgBW,PeakBW,DRAMReads,DRAMWrites,EnergyTotal")
+	var total int64
+	for _, l := range topo.Layers {
+		res, err := scalesim.RunScaleOut(l, cfg, spec, scalesim.ScaleOutOptions{})
+		if err != nil {
+			return fmt.Errorf("layer %s: %w", l.Name, err)
+		}
+		total += res.Cycles
+		fmt.Fprintf(stdout, "%s,%d,%.4f,%.4f,%d,%d,%.0f\n",
+			l.Name, res.Cycles, res.AvgDRAMBW(), res.PeakDRAMBW,
+			res.DRAMReads, res.DRAMWrites, res.Energy.Total())
+	}
+	fmt.Fprintf(stdout, "TOTAL,%d,,,,,\n", total)
+	return nil
+}
+
+func pickTopology(cfg scalesim.Config, topoPath, netName string) (scalesim.Topology, error) {
+	switch {
+	case netName != "":
+		topo, ok := scalesim.BuiltInTopology(netName)
+		if !ok {
+			return scalesim.Topology{}, fmt.Errorf("unknown built-in %q (have %s)",
+				netName, strings.Join(scalesim.BuiltInTopologyNames(), ", "))
+		}
+		return topo, nil
+	case topoPath != "":
+		return scalesim.LoadTopology(topoPath)
+	case cfg.TopologyPath != "":
+		return scalesim.LoadTopology(cfg.TopologyPath)
+	}
+	return scalesim.Topology{}, fmt.Errorf("no topology: pass -topology, -net, or a config with a Topology entry")
+}
+
+func parseArray(s string) (r, c int, err error) {
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%d", &r, &c); err != nil {
+		return 0, 0, fmt.Errorf("invalid -array %q (want RxC)", s)
+	}
+	return r, c, nil
+}
+
+func writeReports(dir, runName string, res scalesim.RunResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, write := range map[string]func(*os.File) error{
+		"cycles":    func(f *os.File) error { return report.WriteCycles(f, res) },
+		"bandwidth": func(f *os.File) error { return report.WriteBandwidth(f, res) },
+		"detail":    func(f *os.File) error { return report.WriteDetail(f, res) },
+		"summary":   func(f *os.File) error { return report.WriteSummary(f, res) },
+	} {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_%s.csv", runName, name)))
+		if err != nil {
+			return err
+		}
+		werr := write(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}

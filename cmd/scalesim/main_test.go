@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBuiltInNet(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-net", "TinyNet", "-array", "8x8", "-sram", "2,2,1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"TinyNet", "TotalCycles,", "EnergyTotal,"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunWithConfigFileAndReports(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "scale.cfg")
+	cfgText := `
+[general]
+run_name = testrun
+[architecture_presets]
+ArrayHeight: 8
+ArrayWidth: 8
+IfmapSramSz: 2
+FilterSramSz: 2
+OfmapSramSz: 1
+Dataflow: ws
+`
+	if err := os.WriteFile(cfgPath, []byte(cfgText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "out")
+	var buf bytes.Buffer
+	err := run([]string{"-config", cfgPath, "-net", "TinyNet", "-outdir", outDir, "-traces", "-dram"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cycles", "bandwidth", "detail", "summary"} {
+		path := filepath.Join(outDir, "testrun_"+name+".csv")
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("missing report %s: %v", name, err)
+		}
+	}
+	// Trace CSVs were requested too.
+	matches, _ := filepath.Glob(filepath.Join(outDir, "testrun_*_sram_read_ifmap.csv"))
+	if len(matches) != 3 {
+		t.Errorf("trace files = %d, want 3", len(matches))
+	}
+}
+
+func TestRunTopologyFromFile(t *testing.T) {
+	dir := t.TempDir()
+	topoPath := filepath.Join(dir, "net.csv")
+	csv := "conv, 8, 8, 3, 3, 2, 4, 1,\n"
+	if err := os.WriteFile(topoPath, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-topology", topoPath, "-array", "4x4", "-sram", "1,1,1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Layers,1") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{},                                   // no topology
+		{"-net", "Nope"},                     // unknown builtin
+		{"-net", "TinyNet", "-array", "bad"}, // bad array
+		{"-net", "TinyNet", "-dataflow", "xx"},
+		{"-net", "TinyNet", "-sram", "1"},
+		{"-net", "TinyNet", "-traces"}, // traces without outdir
+		{"-config", "/nonexistent/scale.cfg"},
+		{"-topology", "/nonexistent/net.csv"},
+		{"-badflag"},
+		{"-net", "TinyNet", "-array", "0x4"},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestParseArray(t *testing.T) {
+	r, c, err := parseArray("128X64")
+	if err != nil || r != 128 || c != 64 {
+		t.Errorf("parseArray = %d,%d,%v", r, c, err)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-net", "TinyNet", "-array", "8x8", "-sram", "2,2,1", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TotalCycles int64
+		Layers      []struct {
+			Compute struct{ Cycles int64 }
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded.TotalCycles <= 0 || len(decoded.Layers) != 3 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	var sum int64
+	for _, l := range decoded.Layers {
+		sum += l.Compute.Cycles
+	}
+	if sum != decoded.TotalCycles {
+		t.Errorf("layer cycles %d != total %d", sum, decoded.TotalCycles)
+	}
+}
+
+func TestScaleOutMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-net", "TinyNet", "-array", "8x8", "-sram", "4,4,2", "-parts", "1x2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "scale-out: 1x2 partitions of 8x8") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "TOTAL,") || !strings.Contains(out, "conv1,") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+	if err := run([]string{"-net", "TinyNet", "-parts", "bad"}, &buf); err == nil {
+		t.Error("bad -parts accepted")
+	}
+}

@@ -1,0 +1,426 @@
+// Command scalestudy regenerates the data behind every figure of the
+// paper's evaluation (Sec. IV), one subcommand per figure, as CSV on stdout
+// or into a file.
+//
+// Usage:
+//
+//	scalestudy fig4  [-sizes 4,8,16,32,64]
+//	scalestudy fig9a [-macs 1024,4096,16384] [-mindim 8]
+//	scalestudy fig9bc [-macs 16384]
+//	scalestudy fig10a|fig10b [-macs 1024,4096,16384,65536]
+//	scalestudy fig11 [-macs 16384] [-parts 1,4,16,64]
+//	scalestudy fig12 [-layer CB2a_3] [-macs 1024,16384,65536] [-parts 1,4,16,64]
+//	scalestudy fig13|fig14 [-macs 256,1024,4096,16384,65536]
+//
+// Extension studies beyond the paper's figures:
+//
+//	scalestudy sweetspot [-layer CB2a_3] [-macs 16384] [-bw 64]
+//	scalestudy bwcurve   [-layer CB2a_3] [-plot]
+//	scalestudy dataflow  [-net Resnet50]
+//	scalestudy cells     [-macs 4096,16384,65536,262144]
+//
+// All subcommands accept -o <file> to write the CSV somewhere other than
+// stdout; fig11 and bwcurve render ASCII charts with -plot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scalesim/internal/config"
+	"scalesim/internal/experiments"
+	"scalesim/internal/partition"
+	"scalesim/internal/pipeline"
+	"scalesim/internal/topology"
+	"scalesim/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scalestudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: scalestudy <fig4|fig9a|fig9bc|fig10a|fig10b|fig11|fig12|fig13|fig14|sweetspot|bwcurve|dataflow|cells> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		out      = fs.String("o", "", "output CSV file (default stdout)")
+		sizes    = fs.String("sizes", "4,8,16,32,64", "fig4: array sizes")
+		macs     = fs.String("macs", "", "comma-separated MAC budgets")
+		parts    = fs.String("parts", "1,4,16,64", "fig11/fig12: partition counts")
+		minDim   = fs.Int64("mindim", 8, "minimum array dimension")
+		layer    = fs.String("layer", "CB2a_3", "fig12/sweetspot: ResNet50 layer or TF0")
+		bwBudget = fs.Float64("bw", 64, "sweetspot: DRAM bandwidth budget in bytes/cycle")
+		net      = fs.String("net", "Resnet50", "dataflow: built-in topology")
+		plot     = fs.Bool("plot", false, "fig11/bwcurve: render ASCII charts instead of CSV")
+	)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch cmd {
+	case "fig4":
+		sz, err := parseInts(*sizes)
+		if err != nil {
+			return err
+		}
+		ints := make([]int, len(sz))
+		for i, v := range sz {
+			ints[i] = int(v)
+		}
+		rows, err := experiments.Fig4(ints)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "ArraySize,RTLCycles,SimCycles")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d,%d,%d\n", r.ArraySize, r.RTLCycles, r.SimCycles)
+		}
+		return nil
+
+	case "fig9a":
+		budgets, err := parseInts(defaultStr(*macs, "1024,4096,16384,65536,262144"))
+		if err != nil {
+			return err
+		}
+		points, err := experiments.Fig9a(budgets, *minDim)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "MACs,Partitions,PartGrid,ArrayShape,Cycles,Normalized")
+		for _, p := range points {
+			fmt.Fprintf(w, "%d,%d,%s,%s,%d,%.6f\n",
+				p.MACs, p.Config.Parts.Count(), p.Config.Parts, p.Config.Shape,
+				p.Cycles, p.Normalized)
+		}
+		return nil
+
+	case "fig9bc":
+		budgets, err := parseInts(defaultStr(*macs, "16384,65536"))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "MACs,ArrayShape,Cycles,MappingUtil")
+		for _, b := range budgets {
+			rows, err := experiments.Fig9bc(b)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Fprintf(w, "%d,%s,%d,%.4f\n", b, r.Shape, r.Cycles, r.MappingUtilization)
+			}
+		}
+		return nil
+
+	case "fig10a", "fig10b":
+		budgets, err := parseInts(defaultStr(*macs, "1024,4096,16384,65536"))
+		if err != nil {
+			return err
+		}
+		layers := experiments.Fig10aLayers()
+		if cmd == "fig10b" {
+			layers = experiments.Fig10bLayers()
+		}
+		rows, err := experiments.Fig10(layers, budgets, *minDim)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Layer,MACs,ScaleUpCycles,ScaleOutCycles,Ratio")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s,%d,%d,%d,%.3f\n",
+				r.Layer, r.MACs, r.ScaleUpCycles, r.ScaleOutCycles, r.Ratio)
+		}
+		return nil
+
+	case "fig11":
+		budgets, err := parseInts(defaultStr(*macs, "16384"))
+		if err != nil {
+			return err
+		}
+		pc, err := parseInts(*parts)
+		if err != nil {
+			return err
+		}
+		if *plot {
+			return plotFig11(w, budgets, pc)
+		}
+		fmt.Fprintln(w, "Layer,MACs,Partitions,Spec,Cycles,AvgBW,PeakBW,DRAMReads,DRAMWrites")
+		for _, b := range budgets {
+			series, err := experiments.Fig11(b, pc)
+			if err != nil {
+				return err
+			}
+			names := make([]string, 0, len(series))
+			for name := range series {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				for _, r := range series[name] {
+					fmt.Fprintf(w, "%s,%d,%d,%s,%d,%.4f,%.4f,%d,%d\n",
+						r.Layer, r.MACs, r.Partitions, r.Spec, r.Cycles,
+						r.AvgBW, r.PeakBW, r.DRAMReads, r.DRAMWrites)
+				}
+			}
+		}
+		return nil
+
+	case "fig12":
+		budgets, err := parseInts(defaultStr(*macs, "1024,16384,65536"))
+		if err != nil {
+			return err
+		}
+		pc, err := parseInts(*parts)
+		if err != nil {
+			return err
+		}
+		l, err := pickLayer(*layer)
+		if err != nil {
+			return err
+		}
+		series, err := experiments.Fig12(l, budgets, pc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Layer,MACs,Partitions,EnergyArray,EnergySRAM,EnergyDRAM,EnergyTotal")
+		for _, b := range budgets {
+			for _, r := range series[b] {
+				fmt.Fprintf(w, "%s,%d,%d,%.0f,%.0f,%.0f,%.0f\n",
+					r.Layer, r.MACs, r.Partitions,
+					r.Energy.Array, r.Energy.SRAM, r.Energy.DRAM, r.Energy.Total())
+			}
+		}
+		return nil
+
+	case "sweetspot":
+		budgets, err := parseInts(defaultStr(*macs, "16384"))
+		if err != nil {
+			return err
+		}
+		pc, err := parseInts(*parts)
+		if err != nil {
+			return err
+		}
+		l, err := pickLayer(*layer)
+		if err != nil {
+			return err
+		}
+		base := config.New().WithSRAM(512, 512, 256).WithDataflow(config.OutputStationary)
+		fmt.Fprintln(w, "Layer,MACs,BWBudget,Spec,Cycles,AvgBW")
+		for _, b := range budgets {
+			pick, _, err := partition.SweetSpot(l, base, b, pc, 8, *bwBudget, partition.Options{})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s,%d,%.1f,%s,%d,%.4f\n",
+				l.Name, b, *bwBudget, pick.Spec, pick.Cycles, pick.AvgDRAMBW())
+		}
+		return nil
+
+	case "bwcurve":
+		l, err := pickLayer(*layer)
+		if err != nil {
+			return err
+		}
+		cfg := config.New().WithArray(32, 32).WithSRAM(512, 512, 256)
+		bws := []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128}
+		points, err := experiments.BandwidthCurve(l, cfg, bws)
+		if err != nil {
+			return err
+		}
+		if *plot {
+			return plotBWCurve(w, l.Name, points)
+		}
+		fmt.Fprintln(w, "Layer,BandwidthWordsPerCycle,StallFreeCycles,StallCycles,Slowdown")
+		for _, p := range points {
+			fmt.Fprintf(w, "%s,%.2f,%d,%d,%.4f\n",
+				l.Name, p.BandwidthWordsPerCycle, p.StallFreeCycles, p.StallCycles, p.Slowdown)
+		}
+		return nil
+
+	case "dataflow":
+		topoName := defaultStr(*net, "Resnet50")
+		topo, ok := topology.BuiltIn(topoName)
+		if !ok {
+			return fmt.Errorf("unknown built-in topology %q", topoName)
+		}
+		res, err := experiments.DataflowStudy(topo, config.New().WithArray(32, 32))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Layer,BestDataflow,OSCycles,WSCycles,ISCycles")
+		for _, c := range res.Choices {
+			fmt.Fprintf(w, "%s,%s,%d,%d,%d\n", c.Layer, c.Best,
+				c.Cycles[config.OutputStationary],
+				c.Cycles[config.WeightStationary],
+				c.Cycles[config.InputStationary])
+		}
+		fmt.Fprintf(w, "TOTAL(best fixed %s),%s,%d,%d,%d\n",
+			res.BestFixed, "adaptive="+fmt.Sprint(res.AdaptiveCycles),
+			res.FixedCycles[config.OutputStationary],
+			res.FixedCycles[config.WeightStationary],
+			res.FixedCycles[config.InputStationary])
+		return nil
+
+	case "cells":
+		budgets, err := parseInts(defaultStr(*macs, "4096,16384,65536,262144"))
+		if err != nil {
+			return err
+		}
+		net, err := pipeline.FromTopology(topology.GoogLeNet(), topology.GoogLeNetCellBranches())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "MACs,SerialCycles,CellParallelCycles,Speedup")
+		for _, b := range budgets {
+			res, err := pipeline.Evaluate(net, b, config.OutputStationary, *minDim)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%d,%d,%d,%.3f\n", b, res.SerialCycles, res.ParallelCycles, res.Speedup())
+		}
+		return nil
+
+	case "fig13", "fig14":
+		budgets, err := parseInts(defaultStr(*macs, "256,1024,4096,16384,65536"))
+		if err != nil {
+			return err
+		}
+		f := experiments.Fig13
+		if cmd == "fig14" {
+			f = experiments.Fig14
+		}
+		rows, err := f(budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "MACs,CandidateRank,Loss,BestConfig")
+		for _, r := range rows {
+			for i, loss := range r.Loss {
+				fmt.Fprintf(w, "%d,%d,%.4f,%s\n", r.MACs, i+1, loss, r.Best)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// plotFig11 renders the runtime and bandwidth curves of the partition
+// sweep as ASCII charts.
+func plotFig11(w io.Writer, budgets, pc []int64) error {
+	for _, b := range budgets {
+		series, err := experiments.Fig11(b, pc)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(series))
+		for name := range series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rows := series[name]
+			runtime := viz.Series{Name: "cycles"}
+			bw := viz.Series{Name: "avg BW (B/cyc)"}
+			for _, r := range rows {
+				runtime.X = append(runtime.X, float64(r.Partitions))
+				runtime.Y = append(runtime.Y, float64(r.Cycles))
+				bw.X = append(bw.X, float64(r.Partitions))
+				bw.Y = append(bw.Y, r.AvgBW)
+			}
+			chart := viz.Chart{
+				Title: fmt.Sprintf("%s @ %d MACs: runtime vs partitions", name, b),
+				LogX:  true, LogY: true, XLabel: "partitions", YLabel: "cycles",
+			}
+			out, err := chart.Render(runtime)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, out)
+			chart.Title = fmt.Sprintf("%s @ %d MACs: DRAM demand vs partitions", name, b)
+			chart.YLabel = "bytes/cycle"
+			out, err = chart.Render(bw)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, out)
+		}
+	}
+	return nil
+}
+
+// plotBWCurve renders the slowdown-vs-available-bandwidth curve.
+func plotBWCurve(w io.Writer, layer string, points []experiments.BWPoint) error {
+	s := viz.Series{Name: "slowdown"}
+	for _, p := range points {
+		s.X = append(s.X, p.BandwidthWordsPerCycle)
+		s.Y = append(s.Y, p.Slowdown)
+	}
+	chart := viz.Chart{
+		Title: layer + ": slowdown vs available DRAM bandwidth",
+		LogX:  true, XLabel: "words/cycle", YLabel: "slowdown",
+	}
+	out, err := chart.Render(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, out)
+	return nil
+}
+
+func pickLayer(name string) (topology.Layer, error) {
+	if name == "TF0" {
+		return experiments.TF0(), nil
+	}
+	topo := topology.ResNet50()
+	if l, ok := topo.Layer(name); ok {
+		return l, nil
+	}
+	return topology.Layer{}, fmt.Errorf("unknown layer %q (use TF0 or a ResNet50 layer name)", name)
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func parseInts(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid number %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty number list %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func lines(s string) int {
+	return len(strings.Split(strings.TrimSpace(s), "\n"))
+}
+
+func TestFig4Command(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"fig4", "-sizes", "4,8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines(buf.String()) != 3 {
+		t.Errorf("output:\n%s", buf.String())
+	}
+	if !strings.HasPrefix(buf.String(), "ArraySize,RTLCycles,SimCycles") {
+		t.Errorf("missing header: %s", buf.String())
+	}
+}
+
+func TestFig9Commands(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"fig9a", "-macs", "1024"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines(buf.String()) < 3 {
+		t.Errorf("fig9a too small:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"fig9bc", "-macs", "4096"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MappingUtil") {
+		t.Error("fig9bc missing header")
+	}
+}
+
+func TestFig10Commands(t *testing.T) {
+	for _, cmd := range []string{"fig10a", "fig10b"} {
+		var buf bytes.Buffer
+		if err := run([]string{cmd, "-macs", "1024,4096"}, &buf); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if lines(buf.String()) < 5 {
+			t.Errorf("%s output too small", cmd)
+		}
+	}
+}
+
+func TestFig11Command(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"fig11", "-macs", "4096", "-parts", "1,4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CB2a_3") || !strings.Contains(out, "TF0") {
+		t.Errorf("fig11 missing layers:\n%s", out)
+	}
+}
+
+func TestFig12Command(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"fig12", "-macs", "1024", "-parts", "1,4", "-layer", "CB2a_3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "EnergyTotal") {
+		t.Error("fig12 missing energy header")
+	}
+	buf.Reset()
+	if err := run([]string{"fig12", "-macs", "1024", "-parts", "1", "-layer", "TF0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"fig12", "-layer", "NoSuchLayer", "-macs", "1024"}, &buf); err == nil {
+		t.Error("unknown layer accepted")
+	}
+}
+
+func TestFig13Fig14Commands(t *testing.T) {
+	for _, cmd := range []string{"fig13", "fig14"} {
+		var buf bytes.Buffer
+		if err := run([]string{cmd, "-macs", "1024"}, &buf); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+		if !strings.Contains(buf.String(), "CandidateRank") {
+			t.Errorf("%s missing header", cmd)
+		}
+	}
+}
+
+func TestOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig4.csv")
+	if err := run([]string{"fig4", "-sizes", "4", "-o", path}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ArraySize") {
+		t.Error("file missing content")
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{},
+		{"figX"},
+		{"fig4", "-sizes", "abc"},
+		{"fig4", "-sizes", ""},
+		{"fig9a", "-macs", "32"}, // infeasible under minDim 8
+		{"fig4", "-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestSweetSpotCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"sweetspot", "-macs", "4096", "-parts", "1,4", "-layer", "CB2a_3", "-bw", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "BWBudget") {
+		t.Errorf("missing header:\n%s", buf.String())
+	}
+	if err := run([]string{"sweetspot", "-macs", "4096", "-parts", "1", "-bw", "0.0001"}, &buf); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+func TestDataflowCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"dataflow", "-net", "TinyNet"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BestDataflow") || !strings.Contains(out, "TOTAL") {
+		t.Errorf("output:\n%s", out)
+	}
+	if err := run([]string{"dataflow", "-net", "Nope"}, &buf); err == nil {
+		t.Error("unknown net accepted")
+	}
+}
+
+func TestBWCurveCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"bwcurve", "-layer", "CB2a_3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Slowdown") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestPlotModes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"bwcurve", "-layer", "CB2a_3", "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "slowdown vs available DRAM bandwidth") {
+		t.Errorf("bwcurve plot:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"fig11", "-macs", "4096", "-parts", "1,4", "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "runtime vs partitions") || !strings.Contains(out, "DRAM demand vs partitions") {
+		t.Errorf("fig11 plot:\n%s", out)
+	}
+}
+
+func TestCellsCommand(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"cells", "-macs", "4096,16384"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Speedup") || lines(out) != 3 {
+		t.Errorf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,108 @@
+// Command scalesweep runs a declarative design-space sweep: the cartesian
+// product of array shapes, dataflows and SRAM provisions over a set of
+// workloads, each point a full cycle-accurate simulation, executed in
+// parallel.
+//
+// Usage:
+//
+//	scalesweep -spec sweep.cfg [-config base.cfg] [-o results.csv]
+//	scalesweep -arrays 16x16,32x32 -dataflows os,ws -nets AlexNet
+//
+// The spec file uses the same INI dialect as hardware configs:
+//
+//	[sweep]
+//	arrays    = 16x16, 32x32, 64x64
+//	dataflows = os, ws
+//	srams     = 128/128/64, 512/512/256
+//	nets      = AlexNet, TinyNet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"scalesim/internal/batch"
+	"scalesim/internal/config"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scalesweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scalesweep", flag.ContinueOnError)
+	var (
+		specPath  = fs.String("spec", "", "sweep specification file")
+		cfgPath   = fs.String("config", "", "base hardware configuration file")
+		out       = fs.String("o", "", "output CSV (default stdout)")
+		arrays    = fs.String("arrays", "", "inline axis: comma-separated RxC shapes")
+		dataflows = fs.String("dataflows", "", "inline axis: comma-separated os/ws/is")
+		srams     = fs.String("srams", "", "inline axis: comma-separated i/f/o KiB triples")
+		nets      = fs.String("nets", "", "inline axis: comma-separated built-in topologies")
+		parallel  = fs.Int("parallel", 0, "concurrent runs (default GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := config.New()
+	if *cfgPath != "" {
+		var err error
+		if base, err = config.Load(*cfgPath); err != nil {
+			return err
+		}
+	}
+
+	var spec batch.Spec
+	switch {
+	case *specPath != "":
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if spec, err = batch.ParseSpec(f, base); err != nil {
+			return err
+		}
+	default:
+		// Build an equivalent spec document from the inline flags so both
+		// paths share one parser.
+		var b strings.Builder
+		b.WriteString("[sweep]\n")
+		for key, val := range map[string]string{
+			"arrays": *arrays, "dataflows": *dataflows, "srams": *srams, "nets": *nets,
+		} {
+			if val != "" {
+				fmt.Fprintf(&b, "%s = %s\n", key, val)
+			}
+		}
+		var err error
+		if spec, err = batch.ParseSpec(strings.NewReader(b.String()), base); err != nil {
+			return err
+		}
+	}
+	if *parallel > 0 {
+		spec.Parallel = *parallel
+	}
+
+	rows, err := batch.Run(spec)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return batch.WriteCSV(w, rows)
+}

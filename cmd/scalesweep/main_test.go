@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestInlineSweep(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-arrays", "8x8,16x16",
+		"-dataflows", "os",
+		"-srams", "2/2/1",
+		"-nets", "TinyNet",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 points
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[1], "TinyNet,8x8,os") {
+		t.Errorf("row: %s", lines[1])
+	}
+}
+
+func TestSpecFileSweep(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "sweep.cfg")
+	spec := "[sweep]\narrays = 8x8\ndataflows = os, ws\nsrams = 2/2/1\nnets = TinyNet\n"
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.csv")
+	if err := run([]string{"-spec", specPath, "-o", outPath, "-parallel", "2"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(data), "\n") != 3 {
+		t.Errorf("output:\n%s", data)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{},                        // no nets anywhere
+		{"-nets", "NoSuchNet"},    // unknown net
+		{"-spec", "/nonexistent"}, // missing spec
+		{"-config", "/nonexistent", "-nets", "TinyNet"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command topogen emits a built-in network topology as a SCALE-Sim CSV
+// file, so the bundled workloads (ResNet50, the Table IV language models,
+// AlexNet) can be fed to other tools or edited by hand.
+//
+// Usage:
+//
+//	topogen -net Resnet50 [-o resnet50.csv]
+//	topogen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"scalesim"
+	"scalesim/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		net  = fs.String("net", "", "built-in topology name")
+		out  = fs.String("o", "", "output file (default stdout)")
+		list = fs.Bool("list", false, "list built-in topologies and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range scalesim.BuiltInTopologyNames() {
+			topo, _ := scalesim.BuiltInTopology(name)
+			fmt.Fprintf(stdout, "%-16s %3d layers  %12d MACs\n",
+				name, len(topo.Layers), topo.TotalMACOps())
+		}
+		return nil
+	}
+	if *net == "" {
+		return fmt.Errorf("pass -net (one of %s) or -list",
+			strings.Join(scalesim.BuiltInTopologyNames(), ", "))
+	}
+	topo, ok := scalesim.BuiltInTopology(*net)
+	if !ok {
+		return fmt.Errorf("unknown topology %q", *net)
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return topology.WriteCSV(w, topo)
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scalesim/internal/topology"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range topology.BuiltInNames() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("list output missing %s", name)
+		}
+	}
+}
+
+func TestEmitToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-net", "TinyNet"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.ParseCSV("TinyNet", &buf)
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(topo.Layers) != 3 {
+		t.Errorf("layers = %d", len(topo.Layers))
+	}
+}
+
+func TestEmitToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "alex.csv")
+	if err := run([]string{"-net", "AlexNet", "-o", path}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Layers) != 8 {
+		t.Errorf("layers = %d", len(topo.Layers))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-net", "NoSuchNet"}, &buf); err == nil {
+		t.Error("unknown net accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

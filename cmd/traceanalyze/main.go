@@ -1,0 +1,122 @@
+// Command traceanalyze inspects a trace CSV produced by the simulator
+// (cmd/scalesim -traces): aggregate statistics, demand-bandwidth profile,
+// and the LRU miss-ratio curve that tells how much SRAM the trace's reuse
+// pattern actually needs.
+//
+// Usage:
+//
+//	traceanalyze -trace out/run_Conv1_sram_read_ifmap.csv [-capacities 1024,4096,...] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"scalesim/internal/trace"
+	"scalesim/internal/tracetools"
+	"scalesim/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("traceanalyze", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "trace CSV to analyze (required)")
+		caps      = fs.String("capacities", "256,1024,4096,16384,65536,262144", "LRU capacities (words) for the miss-ratio curve")
+		window    = fs.Int64("window", 64, "bandwidth profiling window in cycles")
+		plot      = fs.Bool("plot", false, "render the miss-ratio curve as an ASCII chart")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("pass -trace <file.csv>")
+	}
+	capacities, err := parseInts(*caps)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	stats := trace.NewStats()
+	meter := trace.NewBandwidthMeter(*window, 1)
+	prof := tracetools.NewReuseProfiler()
+	if err := trace.ScanCSV(f, trace.Tee(stats, meter, prof)); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "trace: %s\n", *tracePath)
+	fmt.Fprintf(stdout, "accesses: %d over %d active cycles ([%d, %d])\n",
+		stats.Accesses, stats.Span(), stats.FirstCycle, stats.LastCycle)
+	fmt.Fprintf(stdout, "distinct addresses: %d (%.1f%% of accesses are reuse)\n",
+		prof.Distinct(), 100*(1-float64(prof.Distinct())/float64(max64(stats.Accesses, 1))))
+	fmt.Fprintf(stdout, "bandwidth: avg %.3f peak %.3f words/cycle (window %d)\n",
+		meter.AvgBytesPerCycle(), meter.PeakBytesPerCycle(), *window)
+
+	curve := prof.MissRatioCurve(capacities)
+	if *plot {
+		s := viz.Series{Name: "miss ratio"}
+		for _, p := range curve {
+			s.X = append(s.X, float64(p.CapacityWords))
+			s.Y = append(s.Y, p.Ratio)
+		}
+		out, err := (viz.Chart{
+			Title: "LRU miss-ratio curve",
+			LogX:  true, XLabel: "capacity (words)", YLabel: "miss ratio",
+		}).Render(s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, out)
+		return nil
+	}
+	fmt.Fprintln(stdout, "CapacityWords,Misses,MissRatio")
+	for _, p := range curve {
+		fmt.Fprintf(stdout, "%d,%d,%.4f\n", p.CapacityWords, p.Misses, p.Ratio)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid number %q: %w", part, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("capacity %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty capacity list %q", s)
+	}
+	return out, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/core"
+	"scalesim/internal/topology"
+)
+
+// writeTrace produces a real trace file via the simulator.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := config.New().WithArray(8, 8).WithSRAM(2, 2, 1)
+	cfg.RunName = "ta"
+	sim, err := core.New(cfg, core.Options{TraceDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.SimulateLayer(topology.TinyNet().Layers[0]); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, "ta_conv1_sram_read_ifmap.csv")
+}
+
+func TestAnalyzeTrace(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-capacities", "16,64,256"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"accesses:", "distinct addresses:", "bandwidth:", "CapacityWords,Misses,MissRatio"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+	// Three curve rows.
+	if strings.Count(out, "\n16,") != 1 || strings.Count(out, "\n256,") != 1 {
+		t.Errorf("curve rows missing:\n%s", out)
+	}
+}
+
+func TestAnalyzePlot(t *testing.T) {
+	path := writeTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LRU miss-ratio curve") {
+		t.Errorf("plot missing:\n%s", buf.String())
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing -trace accepted")
+	}
+	if err := run([]string{"-trace", "/nonexistent.csv"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTrace(t)
+	if err := run([]string{"-trace", path, "-capacities", "abc"}, &buf); err == nil {
+		t.Error("bad capacities accepted")
+	}
+	if err := run([]string{"-trace", path, "-capacities", "0"}, &buf); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(bad, []byte("not,a\ntrace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", bad}, &buf); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package scalesim_test
+
+import (
+	"fmt"
+
+	"scalesim"
+)
+
+// ExampleNewSimulator runs a tiny network end to end and prints the
+// stall-free runtime, which matches the analytical model exactly.
+func ExampleNewSimulator() {
+	cfg := scalesim.NewConfig().WithArray(16, 16).WithSRAM(32, 32, 16)
+	topo, _ := scalesim.BuiltInTopology("TinyNet")
+	sim, _ := scalesim.NewSimulator(cfg, scalesim.Options{})
+	run, _ := sim.Simulate(topo)
+
+	var analytic int64
+	for _, l := range topo.Layers {
+		m := scalesim.Map(l, cfg.Dataflow)
+		analytic += scalesim.Runtime(m, 16, 16)
+	}
+	fmt.Println(run.TotalCycles == analytic)
+	// Output: true
+}
+
+// ExampleRuntime evaluates Eq. 4 for a GEMM on two array shapes.
+func ExampleRuntime() {
+	m := scalesim.Map(scalesim.GEMMLayer("g", 64, 32, 64), scalesim.OutputStationary)
+	fmt.Println(scalesim.Runtime(m, 64, 64)) // exact fit: Eq. 1
+	fmt.Println(scalesim.Runtime(m, 32, 32)) // 2x2 folds
+	// Output:
+	// 222
+	// 504
+}
+
+// ExampleBestScaleOut compares the best monolithic and partitioned designs
+// for a fixed MAC budget.
+func ExampleBestScaleOut() {
+	m := scalesim.Map(scalesim.GEMMLayer("tf0", 31999, 84, 1024), scalesim.OutputStationary)
+	up, _ := scalesim.BestScaleUp(m, 1<<14, 8)
+	out, _ := scalesim.BestScaleOut(m, 1<<14, 8, 0)
+	fmt.Println(up.Cycles > out.Cycles)
+	// Output: true
+}
+
+// ExampleMap shows the Table III mapping of one convolution layer under
+// the three dataflows.
+func ExampleMap() {
+	l := scalesim.Layer{Name: "conv", IfmapH: 8, IfmapW: 8, FilterH: 3,
+		FilterW: 3, Channels: 4, NumFilters: 6, Stride: 1}
+	for _, df := range []scalesim.Dataflow{
+		scalesim.OutputStationary, scalesim.WeightStationary, scalesim.InputStationary,
+	} {
+		m := scalesim.Map(l, df)
+		fmt.Printf("%s: Sr=%d Sc=%d T=%d\n", df, m.Sr, m.Sc, m.T)
+	}
+	// Output:
+	// os: Sr=36 Sc=6 T=36
+	// ws: Sr=36 Sc=6 T=36
+	// is: Sr=36 Sc=36 T=6
+}

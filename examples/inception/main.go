@@ -1,0 +1,44 @@
+// Inception cells: GoogLeNet's modules run four convolution branches that
+// SCALE-Sim serializes (Sec. II-E of the paper). On a scale-out system the
+// branches can instead run concurrently on partition groups. This example
+// quantifies the cost of serialization across system scales.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalesim"
+	"scalesim/internal/pipeline"
+)
+
+func main() {
+	topo, _ := scalesim.BuiltInTopology("GoogLeNet")
+	net, err := pipeline.FromTopology(topo, scalesim.GoogLeNetCells())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GoogLeNet: %d stages (%d inception cells), %.2f GMACs\n\n",
+		len(net.Stages), 9, float64(topo.TotalMACOps())/1e9)
+
+	fmt.Printf("%12s %14s %16s %10s\n", "MACs", "serial cells", "parallel cells", "speedup")
+	for _, macs := range []int64{1 << 12, 1 << 14, 1 << 16, 1 << 18} {
+		res, err := pipeline.Evaluate(net, macs, scalesim.OutputStationary, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12d %14d %16d %9.2fx\n",
+			macs, res.SerialCycles, res.ParallelCycles, res.Speedup())
+	}
+
+	// Where the wins come from: the biggest cells at the largest scale.
+	res, _ := pipeline.Evaluate(net, 1<<18, scalesim.OutputStationary, 8)
+	fmt.Printf("\nper-stage at 2^18 MACs (cells only):\n")
+	for _, st := range res.PerStage {
+		if st.Serial == st.Parallel {
+			continue
+		}
+		fmt.Printf("  %-8s serial %8d -> parallel %8d (%.2fx)\n",
+			st.Stage, st.Serial, st.Parallel, float64(st.Serial)/float64(st.Parallel))
+	}
+}

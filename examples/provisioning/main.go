@@ -1,0 +1,61 @@
+// Provisioning: how much SRAM does a layer actually need? One simulation
+// pass feeds the reuse profiler (Mattson stack distances), whose miss-ratio
+// curve prices every possible buffer size at once; the pick is then
+// verified with a real re-simulation at the chosen size.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalesim"
+	"scalesim/internal/core"
+	"scalesim/internal/systolic"
+	"scalesim/internal/tracetools"
+)
+
+func main() {
+	topo, _ := scalesim.BuiltInTopology("Resnet50")
+	layer, _ := topo.Layer("CB2a_2") // the 3x3 conv: real window reuse
+	cfg := scalesim.NewConfig().WithArray(32, 32)
+
+	// One pass, tapping the IFMAP read stream into the profiler.
+	prof := tracetools.NewReuseProfiler()
+	if _, err := systolic.Run(layer, cfg, systolic.Sinks{IfmapRead: prof}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d IFMAP reads, %d distinct words\n\n",
+		layer.Name, prof.Total(), prof.Distinct())
+	fmt.Printf("%-16s %12s %10s\n", "IFMAP SRAM", "DRAM reads", "miss rate")
+	capacities := []int64{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	curve := prof.MissRatioCurve(capacities)
+	var pickKB int
+	for _, p := range curve {
+		fmt.Printf("%13d KiB %12d %9.2f%%\n",
+			p.CapacityWords/1024, p.Misses, 100*p.Ratio)
+		// Pick the smallest capacity within 1% of the cold-miss floor.
+		if pickKB == 0 && p.Misses <= prof.Distinct()+prof.Distinct()/100 {
+			pickKB = int(p.CapacityWords / 1024)
+		}
+	}
+	if pickKB == 0 {
+		pickKB = int(capacities[len(capacities)-1] / 1024)
+	}
+
+	// Verify the pick with a full simulation at that SRAM size. The
+	// simulator's buffer is double-buffered FIFO rather than ideal LRU, so
+	// we allow the conservative factor of two.
+	verified, err := core.New(cfg.WithSRAM(2*pickKB, 512, 256), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lr, err := verified.SimulateLayer(layer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npicked %d KiB (x2 for double buffering): simulated DRAM ifmap reads %d vs %d distinct (overhead %.1f%%)\n",
+		pickKB, lr.Memory.IfmapDRAMReads, layer.IfmapWords(),
+		100*(float64(lr.Memory.IfmapDRAMReads)/float64(layer.IfmapWords())-1))
+
+}

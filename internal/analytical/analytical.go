@@ -1,0 +1,243 @@
+// Package analytical implements the paper's first-order runtime model
+// (Sec. III): stall-free execution time of a workload mapping on a systolic
+// array (Eqs. 1-4), the partitioned scale-out extension (Eqs. 5-6), and the
+// searches built on top of it — best array shape for a MAC budget, best
+// partitioning, and the multi-workload pareto selection of Sec. IV-B.
+//
+// Unlike the cycle-accurate core, the model ignores memory capacity and
+// bandwidth; it exists to prune the design space cheaply. By construction
+// it agrees exactly with the simulator's stall-free runtime.
+package analytical
+
+import (
+	"fmt"
+	"sort"
+
+	"scalesim/internal/dataflow"
+)
+
+// MinRuntime returns Eq. 1: the fastest possible execution of a mapping,
+// with an unlimited array of Sr x Sc MACs: 2*Sr + Sc + T - 2.
+func MinRuntime(m dataflow.Mapping) int64 {
+	return 2*m.Sr + m.Sc + m.T - 2
+}
+
+// FoldRuntime returns Eq. 3: the cycles one fold occupies an R x C array.
+func FoldRuntime(r, c, t int64) int64 { return 2*r + c + t - 2 }
+
+// Runtime returns Eq. 4: stall-free runtime of a mapping on an R x C array,
+// (2R + C + T - 2) * ceil(Sr/R) * ceil(Sc/C).
+func Runtime(m dataflow.Mapping, r, c int64) int64 {
+	return FoldRuntime(r, c, m.T) * ceilDiv(m.Sr, r) * ceilDiv(m.Sc, c)
+}
+
+// PartitionWorkload returns Eq. 5: the per-partition workload of a Pr x Pc
+// scale-out system. Spatial dimensions divide with ceiling so the slowest
+// partition is modeled.
+func PartitionWorkload(m dataflow.Mapping, pr, pc int64) dataflow.Mapping {
+	return dataflow.Mapping{
+		Dataflow: m.Dataflow,
+		Sr:       ceilDiv(m.Sr, pr),
+		Sc:       ceilDiv(m.Sc, pc),
+		T:        m.T,
+	}
+}
+
+// ScaleOutRuntime returns Eq. 6: the runtime of a Pr x Pc grid of R x C
+// arrays, which is the runtime of the slowest partition.
+func ScaleOutRuntime(m dataflow.Mapping, pr, pc, r, c int64) int64 {
+	return Runtime(PartitionWorkload(m, pr, pc), r, c)
+}
+
+// Shape is one systolic array's dimensions.
+type Shape struct {
+	R, C int64
+}
+
+// MACs returns R*C.
+func (s Shape) MACs() int64 { return s.R * s.C }
+
+// AspectRatio returns R/C as a float.
+func (s Shape) AspectRatio() float64 { return float64(s.R) / float64(s.C) }
+
+func (s Shape) String() string { return fmt.Sprintf("%dx%d", s.R, s.C) }
+
+// Partitioning is the grid of partitions of a scale-out system; 1x1 is the
+// monolithic (scale-up) case.
+type Partitioning struct {
+	Pr, Pc int64
+}
+
+// Count returns the number of partitions.
+func (p Partitioning) Count() int64 { return p.Pr * p.Pc }
+
+func (p Partitioning) String() string { return fmt.Sprintf("%dx%d", p.Pr, p.Pc) }
+
+// SystemConfig is one point of the Fig. 9(a) search space: a partition grid
+// of identical arrays.
+type SystemConfig struct {
+	Parts Partitioning
+	Shape Shape
+}
+
+// MACs returns the total MAC count of the system.
+func (c SystemConfig) MACs() int64 { return c.Parts.Count() * c.Shape.MACs() }
+
+// Monolithic reports whether the configuration is a single array.
+func (c SystemConfig) Monolithic() bool { return c.Parts.Count() == 1 }
+
+func (c SystemConfig) String() string {
+	return fmt.Sprintf("parts %s of %s", c.Parts, c.Shape)
+}
+
+// Eval is an analytically evaluated configuration.
+type Eval struct {
+	Config SystemConfig
+	// Cycles is the stall-free runtime (Eq. 4 / Eq. 6).
+	Cycles int64
+	// MappingUtilization is the mapped-PE fraction of the slowest
+	// partition's array over its folds.
+	MappingUtilization float64
+	// ComputeUtilization is workload MACs / (system MACs * cycles).
+	ComputeUtilization float64
+}
+
+// Evaluate applies the analytical model to one configuration.
+func Evaluate(m dataflow.Mapping, c SystemConfig) Eval {
+	part := PartitionWorkload(m, c.Parts.Pr, c.Parts.Pc)
+	cycles := Runtime(part, c.Shape.R, c.Shape.C)
+	foldsR := ceilDiv(part.Sr, c.Shape.R)
+	foldsC := ceilDiv(part.Sc, c.Shape.C)
+	mapped := float64(part.Sr*part.Sc) /
+		float64(c.Shape.R*c.Shape.C*foldsR*foldsC)
+	return Eval{
+		Config:             c,
+		Cycles:             cycles,
+		MappingUtilization: mapped,
+		ComputeUtilization: float64(m.MACs()) / (float64(c.MACs()) * float64(cycles)),
+	}
+}
+
+// Divisors returns the positive divisors of n in ascending order.
+func Divisors(n int64) []int64 {
+	if n < 1 {
+		return nil
+	}
+	var small, large []int64
+	for d := int64(1); d*d <= n; d++ {
+		if n%d == 0 {
+			small = append(small, d)
+			if d != n/d {
+				large = append(large, n/d)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// Shapes enumerates every R x C factorization of macs with both dimensions
+// at least minDim, in ascending R.
+func Shapes(macs, minDim int64) []Shape {
+	if minDim < 1 {
+		minDim = 1
+	}
+	var out []Shape
+	for _, r := range Divisors(macs) {
+		c := macs / r
+		if r >= minDim && c >= minDim {
+			out = append(out, Shape{R: r, C: c})
+		}
+	}
+	return out
+}
+
+// EnumerateConfigs lists every (partitioning, shape) combination whose total
+// MAC count is exactly macs, with per-array dimensions at least minDim and
+// at most maxParts partitions (0 means unlimited). This is the full search
+// space of Fig. 9(a).
+func EnumerateConfigs(macs, minDim, maxParts int64) []SystemConfig {
+	var out []SystemConfig
+	for _, p := range Divisors(macs) { // p = number of partitions
+		if maxParts > 0 && p > maxParts {
+			continue
+		}
+		perPart := macs / p
+		shapes := Shapes(perPart, minDim)
+		if len(shapes) == 0 {
+			continue
+		}
+		for _, pr := range Divisors(p) {
+			parts := Partitioning{Pr: pr, Pc: p / pr}
+			for _, s := range shapes {
+				out = append(out, SystemConfig{Parts: parts, Shape: s})
+			}
+		}
+	}
+	return out
+}
+
+// better orders evaluations by runtime, breaking ties toward higher mapping
+// utilization and then fewer partitions (cheaper to build).
+func better(a, b Eval) bool {
+	if a.Cycles != b.Cycles {
+		return a.Cycles < b.Cycles
+	}
+	if a.MappingUtilization != b.MappingUtilization {
+		return a.MappingUtilization > b.MappingUtilization
+	}
+	return a.Config.Parts.Count() < b.Config.Parts.Count()
+}
+
+// BestScaleUp returns the fastest monolithic configuration for the MAC
+// budget, or false if no shape satisfies minDim.
+func BestScaleUp(m dataflow.Mapping, macs, minDim int64) (Eval, bool) {
+	var best Eval
+	found := false
+	for _, s := range Shapes(macs, minDim) {
+		e := Evaluate(m, SystemConfig{Parts: Partitioning{1, 1}, Shape: s})
+		if !found || better(e, best) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// BestScaleOut returns the fastest partitioned (P > 1) configuration for
+// the MAC budget, or false if none exists under the constraints.
+func BestScaleOut(m dataflow.Mapping, macs, minDim, maxParts int64) (Eval, bool) {
+	var best Eval
+	found := false
+	for _, c := range EnumerateConfigs(macs, minDim, maxParts) {
+		if c.Monolithic() {
+			continue
+		}
+		e := Evaluate(m, c)
+		if !found || better(e, best) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// BestOverall returns the fastest configuration, monolithic or partitioned.
+func BestOverall(m dataflow.Mapping, macs, minDim, maxParts int64) (Eval, bool) {
+	var best Eval
+	found := false
+	for _, c := range EnumerateConfigs(macs, minDim, maxParts) {
+		e := Evaluate(m, c)
+		if !found || better(e, best) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// SortEvals orders evaluations fastest first using the model's tie-break.
+func SortEvals(evals []Eval) {
+	sort.Slice(evals, func(i, j int) bool { return better(evals[i], evals[j]) })
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

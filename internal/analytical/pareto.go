@@ -1,0 +1,109 @@
+package analytical
+
+import (
+	"fmt"
+	"sort"
+
+	"scalesim/internal/dataflow"
+)
+
+// Workload is one named mapping in a multi-workload optimization. Weight
+// scales the workload's contribution to the global cost (e.g. its relative
+// invocation frequency in deployment); zero means 1.
+type Workload struct {
+	Name   string
+	M      dataflow.Mapping
+	Weight float64
+}
+
+func (w Workload) weight() float64 {
+	if w.Weight <= 0 {
+		return 1
+	}
+	return w.Weight
+}
+
+// Candidate is one configuration considered by the pareto search, with the
+// total runtime it achieves across all workloads.
+type Candidate struct {
+	// Config under evaluation; From names the workload whose local optimum
+	// proposed it.
+	Config SystemConfig
+	From   string
+	// TotalCycles is the weighted summed runtime over all workloads
+	// (runtime is additive, Sec. IV-B).
+	TotalCycles int64
+	// PerWorkload holds each workload's (unweighted) runtime under this
+	// configuration.
+	PerWorkload []int64
+}
+
+// ParetoResult is the outcome of the Sec. IV-B heuristic.
+type ParetoResult struct {
+	// Best is the globally selected configuration A = argmin_a sum_w Tr(w, a).
+	Best Candidate
+	// Candidates lists every locally optimal configuration evaluated
+	// globally, sorted fastest first.
+	Candidates []Candidate
+}
+
+// ParetoSearch implements the paper's multi-workload heuristic: compute the
+// runtime-optimal configuration a_k for each workload individually, then
+// evaluate each candidate on every workload and pick the one minimizing the
+// summed runtime. scaleOut selects whether candidates are drawn from the
+// partitioned or the monolithic space.
+func ParetoSearch(workloads []Workload, macs, minDim, maxParts int64, scaleOut bool) (ParetoResult, error) {
+	if len(workloads) == 0 {
+		return ParetoResult{}, fmt.Errorf("analytical: no workloads")
+	}
+	// Locally optimal candidates, deduplicated by configuration.
+	seen := make(map[SystemConfig]string)
+	var order []SystemConfig
+	for _, w := range workloads {
+		var e Eval
+		var ok bool
+		if scaleOut {
+			e, ok = BestScaleOut(w.M, macs, minDim, maxParts)
+		} else {
+			e, ok = BestScaleUp(w.M, macs, minDim)
+		}
+		if !ok {
+			return ParetoResult{}, fmt.Errorf("analytical: no feasible configuration for %q with %d MACs (minDim %d)", w.Name, macs, minDim)
+		}
+		if _, dup := seen[e.Config]; !dup {
+			seen[e.Config] = w.Name
+			order = append(order, e.Config)
+		}
+	}
+
+	// Global evaluation of each candidate.
+	candidates := make([]Candidate, 0, len(order))
+	for _, cfg := range order {
+		cand := Candidate{Config: cfg, From: seen[cfg], PerWorkload: make([]int64, len(workloads))}
+		for i, w := range workloads {
+			cycles := Evaluate(w.M, cfg).Cycles
+			cand.PerWorkload[i] = cycles
+			cand.TotalCycles += int64(float64(cycles) * w.weight())
+		}
+		candidates = append(candidates, cand)
+	}
+	sortCandidates(candidates)
+	return ParetoResult{Best: candidates[0], Candidates: candidates}, nil
+}
+
+func sortCandidates(cands []Candidate) {
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].TotalCycles < cands[j].TotalCycles
+	})
+}
+
+// NormalizedLoss returns each candidate's total runtime relative to the
+// best candidate (the y-axis of Figs. 13 and 14).
+func (r ParetoResult) NormalizedLoss() []float64 {
+	out := make([]float64, len(r.Candidates))
+	best := float64(r.Best.TotalCycles)
+	for i, c := range r.Candidates {
+		out[i] = float64(c.TotalCycles) / best
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package analytical
+
+import (
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/topology"
+)
+
+func lmWorkloads(t *testing.T) []Workload {
+	t.Helper()
+	topo := topology.LanguageModels()
+	out := make([]Workload, 0, len(topo.Layers))
+	for _, l := range topo.Layers {
+		out = append(out, Workload{Name: l.Name, M: dataflow.Map(l, config.OutputStationary)})
+	}
+	return out
+}
+
+func TestParetoSearchScaleUp(t *testing.T) {
+	ws := lmWorkloads(t)
+	res, err := ParetoSearch(ws, 1<<12, 1, 0, false)
+	if err != nil {
+		t.Fatalf("ParetoSearch: %v", err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Best is the minimum over candidates.
+	for _, c := range res.Candidates {
+		if c.TotalCycles < res.Best.TotalCycles {
+			t.Fatalf("candidate %v beats Best", c.Config)
+		}
+		if !c.Config.Monolithic() {
+			t.Fatalf("scale-up candidate %v is partitioned", c.Config)
+		}
+		if len(c.PerWorkload) != len(ws) {
+			t.Fatalf("candidate has %d per-workload entries", len(c.PerWorkload))
+		}
+		var sum int64
+		for _, v := range c.PerWorkload {
+			sum += v
+		}
+		if sum != c.TotalCycles {
+			t.Fatalf("per-workload sum %d != total %d", sum, c.TotalCycles)
+		}
+	}
+	// The best candidate must not beat any workload's own local optimum on
+	// that workload (local optima are optimal).
+	for i, w := range ws {
+		local, _ := BestScaleUp(w.M, 1<<12, 1)
+		if res.Best.PerWorkload[i] < local.Cycles {
+			t.Fatalf("%s: global config beats local optimum", w.Name)
+		}
+	}
+}
+
+func TestParetoSearchScaleOut(t *testing.T) {
+	ws := lmWorkloads(t)
+	res, err := ParetoSearch(ws, 1<<14, 8, 0, true)
+	if err != nil {
+		t.Fatalf("ParetoSearch: %v", err)
+	}
+	for _, c := range res.Candidates {
+		if c.Config.Monolithic() {
+			t.Fatalf("scale-out candidate %v is monolithic", c.Config)
+		}
+	}
+	loss := res.NormalizedLoss()
+	if loss[0] != 1 {
+		t.Errorf("best candidate loss = %v, want 1", loss[0])
+	}
+	for i := 1; i < len(loss); i++ {
+		if loss[i] < loss[i-1] {
+			t.Errorf("loss not sorted: %v", loss)
+			break
+		}
+	}
+}
+
+func TestParetoSearchErrors(t *testing.T) {
+	if _, err := ParetoSearch(nil, 1024, 8, 0, false); err == nil {
+		t.Error("accepted empty workload list")
+	}
+	ws := lmWorkloads(t)
+	if _, err := ParetoSearch(ws, 64, 16, 0, false); err == nil {
+		t.Error("accepted infeasible minDim")
+	}
+}
+
+func TestParetoCandidatesDeduplicated(t *testing.T) {
+	// Identical workloads propose the same candidate once.
+	w := Workload{Name: "a", M: m(128, 64, 128)}
+	w2 := w
+	w2.Name = "b"
+	res, err := ParetoSearch([]Workload{w, w2}, 1024, 1, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 1 {
+		t.Errorf("candidates = %d, want 1 (deduplicated)", len(res.Candidates))
+	}
+	if res.Best.From != "a" {
+		t.Errorf("From = %q, want first proposer", res.Best.From)
+	}
+}
+
+func TestParetoWeights(t *testing.T) {
+	// Two workloads with very different optima; weighting one heavily must
+	// pull the global pick toward its local optimum.
+	tall := Workload{Name: "tall", M: m(10000, 16, 8)}
+	wide := Workload{Name: "wide", M: m(8, 16, 10000)}
+	const macs, minDim = 1 << 10, 1
+
+	tallHeavy := tall
+	tallHeavy.Weight = 1000
+	res, err := ParetoSearch([]Workload{tallHeavy, wide}, macs, minDim, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localTall, _ := BestScaleUp(tall.M, macs, minDim)
+	if res.Best.Config != localTall.Config {
+		t.Errorf("heavy weight ignored: picked %v, want %v", res.Best.Config, localTall.Config)
+	}
+
+	wideHeavy := wide
+	wideHeavy.Weight = 1000
+	res2, err := ParetoSearch([]Workload{tall, wideHeavy}, macs, minDim, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localWide, _ := BestScaleUp(wide.M, macs, minDim)
+	if res2.Best.Config != localWide.Config {
+		t.Errorf("heavy weight ignored: picked %v, want %v", res2.Best.Config, localWide.Config)
+	}
+
+	// Zero/negative weights default to 1: identical to unweighted.
+	plain, err := ParetoSearch([]Workload{tall, wide}, macs, minDim, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := []Workload{{Name: "tall", M: tall.M, Weight: -3}, {Name: "wide", M: wide.M}}
+	defaulted, err := ParetoSearch(neg, macs, minDim, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Best.TotalCycles != defaulted.Best.TotalCycles {
+		t.Error("non-positive weight did not default to 1")
+	}
+}

@@ -1,0 +1,100 @@
+package analytical
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRuntimeAtLeastWorkBound: Eq. 4 can never beat the work bound
+// MACs / (R*C) nor the fill/drain bound Eq. 1.
+func TestRuntimeAtLeastWorkBound(t *testing.T) {
+	f := func(sr8, sc8, t8, r8, c8 uint8) bool {
+		w := m(int64(sr8)+1, int64(t8)+1, int64(sc8)+1)
+		r, c := int64(r8%32)+1, int64(c8%32)+1
+		got := Runtime(w, r, c)
+		work := (w.MACs() + r*c - 1) / (r * c)
+		return got >= work && got >= FoldRuntime(r, c, w.T)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScaleOutMonotoneInPartitions: for a fixed per-array shape, adding
+// partitions along either axis never slows the workload (Eq. 5 shrinks the
+// slice, Eq. 6 shrinks with it).
+func TestScaleOutMonotoneInPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 200; trial++ {
+		w := m(int64(1+rng.Intn(2000)), int64(1+rng.Intn(200)), int64(1+rng.Intn(2000)))
+		r, c := int64(1+rng.Intn(32)), int64(1+rng.Intn(32))
+		pr, pc := int64(1+rng.Intn(8)), int64(1+rng.Intn(8))
+		base := ScaleOutRuntime(w, pr, pc, r, c)
+		if ScaleOutRuntime(w, pr+1, pc, r, c) > base {
+			t.Fatalf("adding a row partition slowed %+v (%d,%d,%d,%d)", w, pr, pc, r, c)
+		}
+		if ScaleOutRuntime(w, pr, pc+1, r, c) > base {
+			t.Fatalf("adding a column partition slowed %+v (%d,%d,%d,%d)", w, pr, pc, r, c)
+		}
+	}
+}
+
+// TestDivisorsProperty: every returned value divides n, the list is sorted
+// and complete.
+func TestDivisorsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 100; trial++ {
+		n := int64(1 + rng.Intn(10000))
+		divs := Divisors(n)
+		seen := make(map[int64]bool)
+		for i, d := range divs {
+			if n%d != 0 {
+				t.Fatalf("Divisors(%d) contains non-divisor %d", n, d)
+			}
+			if i > 0 && divs[i-1] >= d {
+				t.Fatalf("Divisors(%d) not strictly sorted", n)
+			}
+			seen[d] = true
+		}
+		for d := int64(1); d <= n; d++ {
+			if n%d == 0 && !seen[d] {
+				t.Fatalf("Divisors(%d) missing %d", n, d)
+			}
+		}
+	}
+}
+
+// TestShapesCoverAllFactorizations: Shapes(n, 1) enumerates exactly the
+// divisor pairs.
+func TestShapesCoverAllFactorizations(t *testing.T) {
+	for _, n := range []int64{1, 12, 64, 97, 360} {
+		shapes := Shapes(n, 1)
+		if len(shapes) != len(Divisors(n)) {
+			t.Errorf("Shapes(%d) = %d entries, want %d", n, len(shapes), len(Divisors(n)))
+		}
+	}
+}
+
+// TestBestScaleUpMonotoneInBudgetDoubling: doubling a MAC budget cannot
+// slow the best monolithic configuration, because every R x C of budget B
+// has a 2R x C counterpart at 2B whose Eq. 4 runtime is no larger (fold
+// count along rows halves or stays, fill cost grows by at most the saved
+// folds for the workloads tested here).
+func TestBestOverallMonotoneInBudgetDoubling(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 40; trial++ {
+		w := m(int64(64+rng.Intn(4000)), int64(1+rng.Intn(200)), int64(64+rng.Intn(4000)))
+		for _, macs := range []int64{1 << 10, 1 << 12, 1 << 14} {
+			small, ok1 := BestOverall(w, macs, 8, 0)
+			large, ok2 := BestOverall(w, macs*2, 8, 0)
+			if !ok1 || !ok2 {
+				t.Fatal("search failed")
+			}
+			if large.Cycles > small.Cycles {
+				t.Errorf("workload %+v: doubling %d MACs slowed best config: %d -> %d",
+					w, macs, small.Cycles, large.Cycles)
+			}
+		}
+	}
+}

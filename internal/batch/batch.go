@@ -1,0 +1,157 @@
+// Package batch runs declarative grids of simulations: the cartesian
+// product of array shapes, dataflows, SRAM provisions and workloads, each
+// point a full cycle-accurate run, executed by a worker pool. This is the
+// "quickly iterate over and validate upcoming designs" workflow the paper
+// positions SCALE-Sim for, packaged as one command.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"scalesim/internal/config"
+	"scalesim/internal/core"
+	"scalesim/internal/topology"
+)
+
+// Point is one grid coordinate.
+type Point struct {
+	Array    [2]int
+	Dataflow config.Dataflow
+	SRAM     [3]int
+	Topology topology.Topology
+}
+
+// Row is one completed run.
+type Row struct {
+	// Net names the workload; the remaining identity fields mirror Point.
+	Net      string
+	Array    [2]int
+	Dataflow config.Dataflow
+	SRAM     [3]int
+	// TotalCycles, AvgBW (bytes/cycle), ComputeUtil and EnergyTotal are the
+	// headline aggregates.
+	TotalCycles int64
+	AvgBW       float64
+	ComputeUtil float64
+	EnergyTotal float64
+	// DRAMReads/DRAMWrites are interface words.
+	DRAMReads, DRAMWrites int64
+}
+
+// Spec is the declarative grid.
+type Spec struct {
+	// Base supplies offsets, word size and anything the grid axes do not
+	// override.
+	Base config.Config
+	// Arrays, Dataflows and SRAMs are the hardware axes; empty axes default
+	// to the base configuration's value.
+	Arrays    [][2]int
+	Dataflows []config.Dataflow
+	SRAMs     [][3]int
+	// Topologies is the workload axis (at least one required).
+	Topologies []topology.Topology
+	// Parallel bounds concurrent runs (default GOMAXPROCS).
+	Parallel int
+}
+
+// Points expands the grid.
+func (s Spec) Points() []Point {
+	arrays := s.Arrays
+	if len(arrays) == 0 {
+		arrays = [][2]int{{s.Base.ArrayHeight, s.Base.ArrayWidth}}
+	}
+	dfs := s.Dataflows
+	if len(dfs) == 0 {
+		dfs = []config.Dataflow{s.Base.Dataflow}
+	}
+	srams := s.SRAMs
+	if len(srams) == 0 {
+		srams = [][3]int{{s.Base.IfmapSRAMKB, s.Base.FilterSRAMKB, s.Base.OfmapSRAMKB}}
+	}
+	var out []Point
+	for _, topo := range s.Topologies {
+		for _, a := range arrays {
+			for _, df := range dfs {
+				for _, sr := range srams {
+					out = append(out, Point{Array: a, Dataflow: df, SRAM: sr, Topology: topo})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes every grid point and returns rows in grid order.
+func Run(spec Spec) ([]Row, error) {
+	if len(spec.Topologies) == 0 {
+		return nil, fmt.Errorf("batch: no topologies")
+	}
+	points := spec.Points()
+	rows := make([]Row, len(points))
+	errs := make([]error, len(points))
+
+	workers := spec.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rows[i], errs[i] = runPoint(spec.Base, points[i])
+			}
+		}()
+	}
+	for i := range points {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			p := points[i]
+			return nil, fmt.Errorf("batch: %s on %dx%d %v: %w",
+				p.Topology.Name, p.Array[0], p.Array[1], p.Dataflow, err)
+		}
+	}
+	return rows, nil
+}
+
+func runPoint(base config.Config, p Point) (Row, error) {
+	cfg := base.
+		WithArray(p.Array[0], p.Array[1]).
+		WithDataflow(p.Dataflow).
+		WithSRAM(p.SRAM[0], p.SRAM[1], p.SRAM[2])
+	sim, err := core.New(cfg, core.Options{})
+	if err != nil {
+		return Row{}, err
+	}
+	res, err := sim.Simulate(p.Topology)
+	if err != nil {
+		return Row{}, err
+	}
+	row := Row{
+		Net:         p.Topology.Name,
+		Array:       p.Array,
+		Dataflow:    p.Dataflow,
+		SRAM:        p.SRAM,
+		TotalCycles: res.TotalCycles,
+		AvgBW:       res.AvgBandwidth(),
+		EnergyTotal: res.TotalEnergy.Total(),
+		DRAMReads:   res.DRAMReads(),
+		DRAMWrites:  res.DRAMWrites(),
+	}
+	if res.TotalCycles > 0 {
+		row.ComputeUtil = float64(res.TotalMACs) / (float64(cfg.MACs()) * float64(res.TotalCycles))
+	}
+	return row, nil
+}

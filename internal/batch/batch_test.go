@@ -1,0 +1,155 @@
+package batch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/core"
+	"scalesim/internal/topology"
+)
+
+func tinySpec() Spec {
+	return Spec{
+		Base:       config.New(),
+		Arrays:     [][2]int{{8, 8}, {16, 16}},
+		Dataflows:  []config.Dataflow{config.OutputStationary, config.WeightStationary},
+		SRAMs:      [][3]int{{2, 2, 1}},
+		Topologies: []topology.Topology{topology.TinyNet()},
+	}
+}
+
+func TestPointsExpansion(t *testing.T) {
+	spec := tinySpec()
+	points := spec.Points()
+	if len(points) != 4 { // 2 arrays x 2 dataflows x 1 sram x 1 net
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	// Defaults: empty axes fall back to the base config.
+	minimal := Spec{Base: config.New(), Topologies: spec.Topologies}
+	p := minimal.Points()
+	if len(p) != 1 {
+		t.Fatalf("minimal points = %d", len(p))
+	}
+	if p[0].Array != [2]int{config.DefaultArrayHeight, config.DefaultArrayWidth} {
+		t.Errorf("default array = %v", p[0].Array)
+	}
+}
+
+func TestRunGrid(t *testing.T) {
+	rows, err := Run(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Each row matches an independent direct simulation.
+	for _, r := range rows {
+		cfg := config.New().
+			WithArray(r.Array[0], r.Array[1]).
+			WithDataflow(r.Dataflow).
+			WithSRAM(r.SRAM[0], r.SRAM[1], r.SRAM[2])
+		sim, err := core.New(cfg, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := sim.Simulate(topology.TinyNet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TotalCycles != direct.TotalCycles {
+			t.Errorf("%v %v: cycles %d != direct %d", r.Array, r.Dataflow, r.TotalCycles, direct.TotalCycles)
+		}
+		if r.EnergyTotal <= 0 || r.AvgBW <= 0 || r.ComputeUtil <= 0 {
+			t.Errorf("empty aggregates: %+v", r)
+		}
+	}
+	// Parallel execution returns identical rows.
+	spec := tinySpec()
+	spec.Parallel = 4
+	parallel, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != parallel[i] {
+			t.Errorf("row %d differs under parallelism", i)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Spec{Base: config.New()}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	bad := tinySpec()
+	bad.Arrays = [][2]int{{0, 8}}
+	if _, err := Run(bad); err == nil {
+		t.Error("invalid array accepted")
+	}
+}
+
+const sampleSpec = `
+[sweep]
+arrays    = 8x8, 16X16
+dataflows = os, ws
+srams     = 2/2/1
+nets      = TinyNet
+parallel  = 2
+`
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(sampleSpec), config.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Arrays) != 2 || spec.Arrays[1] != [2]int{16, 16} {
+		t.Errorf("arrays = %v", spec.Arrays)
+	}
+	if len(spec.Dataflows) != 2 || spec.Dataflows[1] != config.WeightStationary {
+		t.Errorf("dataflows = %v", spec.Dataflows)
+	}
+	if len(spec.SRAMs) != 1 || spec.SRAMs[0] != [3]int{2, 2, 1} {
+		t.Errorf("srams = %v", spec.SRAMs)
+	}
+	if spec.Parallel != 2 || len(spec.Topologies) != 1 {
+		t.Errorf("parallel/nets = %d/%d", spec.Parallel, len(spec.Topologies))
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"[sweep]\nnets = NoSuchNet\n",
+		"[sweep]\narrays = 8by8\nnets = TinyNet\n",
+		"[sweep]\ndataflows = zz\nnets = TinyNet\n",
+		"[sweep]\nsrams = 1-2-3\nnets = TinyNet\n",
+		"[sweep]\nparallel = many\nnets = TinyNet\n",
+		"[sweep]\narrays = 8x8\n", // no nets
+		"nets = TinyNet\n",        // key before section
+	}
+	for _, in := range cases {
+		if _, err := ParseSpec(strings.NewReader(in), config.New()); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows, err := Run(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(rows) {
+		t.Errorf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "TinyNet,8x8,os,2/2/1,") {
+		t.Errorf("row format: %s", lines[1])
+	}
+}

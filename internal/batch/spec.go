@@ -1,0 +1,106 @@
+package batch
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"scalesim/internal/config"
+	"scalesim/internal/topology"
+)
+
+// ParseSpec reads a sweep specification in the same INI dialect as the
+// hardware configs:
+//
+//	[sweep]
+//	arrays    = 16x16, 32x32, 64x64
+//	dataflows = os, ws
+//	srams     = 128/128/64, 512/512/256
+//	nets      = AlexNet, TinyNet
+//	parallel  = 4
+//
+// Unset axes fall back to the base configuration. `nets` accepts built-in
+// topology names; file-backed workloads can be added programmatically.
+func ParseSpec(r io.Reader, base config.Config) (Spec, error) {
+	ini, err := config.ParseINI(r)
+	if err != nil {
+		return Spec{}, err
+	}
+	spec := Spec{Base: base}
+	get := func(key string) (string, bool) { return ini.Get("sweep", key) }
+
+	if v, ok := get("arrays"); ok {
+		for _, part := range splitList(v) {
+			var r, c int
+			if _, err := fmt.Sscanf(strings.ToLower(part), "%dx%d", &r, &c); err != nil {
+				return Spec{}, fmt.Errorf("batch: invalid array %q", part)
+			}
+			spec.Arrays = append(spec.Arrays, [2]int{r, c})
+		}
+	}
+	if v, ok := get("dataflows"); ok {
+		for _, part := range splitList(v) {
+			df, err := config.ParseDataflow(part)
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.Dataflows = append(spec.Dataflows, df)
+		}
+	}
+	if v, ok := get("srams"); ok {
+		for _, part := range splitList(v) {
+			var i, f, o int
+			if _, err := fmt.Sscanf(part, "%d/%d/%d", &i, &f, &o); err != nil {
+				return Spec{}, fmt.Errorf("batch: invalid sram triple %q", part)
+			}
+			spec.SRAMs = append(spec.SRAMs, [3]int{i, f, o})
+		}
+	}
+	if v, ok := get("nets"); ok {
+		for _, part := range splitList(v) {
+			topo, found := topology.BuiltIn(part)
+			if !found {
+				return Spec{}, fmt.Errorf("batch: unknown topology %q (built-ins: %s)",
+					part, strings.Join(topology.BuiltInNames(), ", "))
+			}
+			spec.Topologies = append(spec.Topologies, topo)
+		}
+	}
+	if v, ok := get("parallel"); ok {
+		if _, err := fmt.Sscanf(v, "%d", &spec.Parallel); err != nil {
+			return Spec{}, fmt.Errorf("batch: invalid parallel %q", v)
+		}
+	}
+	if len(spec.Topologies) == 0 {
+		return Spec{}, fmt.Errorf("batch: spec has no nets")
+	}
+	return spec, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// WriteCSV renders rows as one CSV table.
+func WriteCSV(w io.Writer, rows []Row) error {
+	if _, err := fmt.Fprintln(w, "Net,Array,Dataflow,SRAM,TotalCycles,ComputeUtil%,AvgBW,DRAMReads,DRAMWrites,EnergyTotal"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%dx%d,%s,%d/%d/%d,%d,%.2f,%.4f,%d,%d,%.0f\n",
+			r.Net, r.Array[0], r.Array[1], r.Dataflow,
+			r.SRAM[0], r.SRAM[1], r.SRAM[2],
+			r.TotalCycles, 100*r.ComputeUtil, r.AvgBW,
+			r.DRAMReads, r.DRAMWrites, r.EnergyTotal); err != nil {
+			return err
+		}
+	}
+	return nil
+}

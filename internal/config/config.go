@@ -1,0 +1,212 @@
+// Package config defines the hardware configuration consumed by the
+// simulator and a parser for the INI-style configuration files used by the
+// original SCALE-Sim tool.
+//
+// A configuration captures Table I of the paper: the systolic array
+// dimensions, the three double-buffered SRAM sizes (IFMAP, filter, OFMAP),
+// address offsets for the three operand regions, the dataflow, and the path
+// to the topology file.
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dataflow selects the mapping strategy of the systolic array.
+type Dataflow int
+
+const (
+	// OutputStationary keeps each output pixel's accumulation pinned to one
+	// PE ("os" in config files).
+	OutputStationary Dataflow = iota
+	// WeightStationary pre-fills filter elements into the array ("ws").
+	WeightStationary
+	// InputStationary pre-fills IFMAP elements into the array ("is").
+	InputStationary
+)
+
+// ParseDataflow converts the textual config value ("os", "ws", "is") to a
+// Dataflow. Matching is case-insensitive.
+func ParseDataflow(s string) (Dataflow, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "os":
+		return OutputStationary, nil
+	case "ws":
+		return WeightStationary, nil
+	case "is":
+		return InputStationary, nil
+	}
+	return 0, fmt.Errorf("config: unknown dataflow %q (legal values: os, ws, is)", s)
+}
+
+// String returns the config-file spelling of the dataflow.
+func (d Dataflow) String() string {
+	switch d {
+	case OutputStationary:
+		return "os"
+	case WeightStationary:
+		return "ws"
+	case InputStationary:
+		return "is"
+	}
+	return fmt.Sprintf("Dataflow(%d)", int(d))
+}
+
+// Dataflows lists all supported dataflows in the order the paper introduces
+// them.
+var Dataflows = []Dataflow{OutputStationary, WeightStationary, InputStationary}
+
+// Config holds every architectural parameter of a single simulated
+// accelerator instance (Table I of the paper).
+type Config struct {
+	// RunName tags output files and reports.
+	RunName string
+
+	// ArrayHeight is the number of rows (R) of the MAC systolic array.
+	ArrayHeight int
+	// ArrayWidth is the number of columns (C) of the MAC systolic array.
+	ArrayWidth int
+
+	// IfmapSRAMKB is the size of the working-set SRAM for IFMAP in KiB.
+	IfmapSRAMKB int
+	// FilterSRAMKB is the size of the working-set SRAM for filters in KiB.
+	FilterSRAMKB int
+	// OfmapSRAMKB is the size of the working-set SRAM for OFMAP in KiB.
+	OfmapSRAMKB int
+
+	// IfmapOffset is added to every generated IFMAP address.
+	IfmapOffset int64
+	// FilterOffset is added to every generated filter address.
+	FilterOffset int64
+	// OfmapOffset is added to every generated OFMAP address.
+	OfmapOffset int64
+
+	// Dataflow selects the mapping strategy for the run.
+	Dataflow Dataflow
+
+	// TopologyPath is the path to the topology CSV file, when the run is
+	// driven from files rather than in-memory workloads.
+	TopologyPath string
+
+	// WordBytes is the size of one operand element in bytes. The original
+	// tool addresses whole words; one word per address is the default.
+	WordBytes int
+
+	// EdgeTrim, when set, charges the final partial fold only for the rows
+	// and columns it actually uses (2r + c + T - 2) instead of the full
+	// array dimensions of Eq. 3. Off by default to match the paper's
+	// analytical model exactly.
+	EdgeTrim bool
+}
+
+// Default values applied by New and by the file parser for absent keys.
+const (
+	DefaultArrayHeight  = 32
+	DefaultArrayWidth   = 32
+	DefaultIfmapSRAMKB  = 512
+	DefaultFilterSRAMKB = 512
+	DefaultOfmapSRAMKB  = 256
+	DefaultIfmapOffset  = 0
+	DefaultFilterOffset = 10_000_000
+	DefaultOfmapOffset  = 20_000_000
+	DefaultWordBytes    = 1
+)
+
+// New returns a Config populated with the defaults the paper's evaluation
+// uses (32x32 array, 512/512/256 KiB SRAM, output stationary).
+func New() Config {
+	return Config{
+		RunName:      "scale_sim",
+		ArrayHeight:  DefaultArrayHeight,
+		ArrayWidth:   DefaultArrayWidth,
+		IfmapSRAMKB:  DefaultIfmapSRAMKB,
+		FilterSRAMKB: DefaultFilterSRAMKB,
+		OfmapSRAMKB:  DefaultOfmapSRAMKB,
+		IfmapOffset:  DefaultIfmapOffset,
+		FilterOffset: DefaultFilterOffset,
+		OfmapOffset:  DefaultOfmapOffset,
+		Dataflow:     OutputStationary,
+		WordBytes:    DefaultWordBytes,
+	}
+}
+
+// WithArray returns a copy of c with the array dimensions replaced.
+func (c Config) WithArray(rows, cols int) Config {
+	c.ArrayHeight = rows
+	c.ArrayWidth = cols
+	return c
+}
+
+// WithDataflow returns a copy of c with the dataflow replaced.
+func (c Config) WithDataflow(d Dataflow) Config {
+	c.Dataflow = d
+	return c
+}
+
+// WithSRAM returns a copy of c with the three SRAM sizes (KiB) replaced.
+func (c Config) WithSRAM(ifmapKB, filterKB, ofmapKB int) Config {
+	c.IfmapSRAMKB = ifmapKB
+	c.FilterSRAMKB = filterKB
+	c.OfmapSRAMKB = ofmapKB
+	return c
+}
+
+// MACs returns the total number of multiply-accumulate units in the array.
+func (c Config) MACs() int { return c.ArrayHeight * c.ArrayWidth }
+
+// IfmapSRAMWords returns the IFMAP SRAM capacity in elements.
+func (c Config) IfmapSRAMWords() int64 {
+	return int64(c.IfmapSRAMKB) * 1024 / int64(c.WordBytes)
+}
+
+// FilterSRAMWords returns the filter SRAM capacity in elements.
+func (c Config) FilterSRAMWords() int64 {
+	return int64(c.FilterSRAMKB) * 1024 / int64(c.WordBytes)
+}
+
+// OfmapSRAMWords returns the OFMAP SRAM capacity in elements.
+func (c Config) OfmapSRAMWords() int64 {
+	return int64(c.OfmapSRAMKB) * 1024 / int64(c.WordBytes)
+}
+
+// Validate reports the first structural problem with the configuration, or
+// nil if it can be simulated.
+func (c Config) Validate() error {
+	switch {
+	case c.ArrayHeight < 1:
+		return fmt.Errorf("config: ArrayHeight must be >= 1, got %d", c.ArrayHeight)
+	case c.ArrayWidth < 1:
+		return fmt.Errorf("config: ArrayWidth must be >= 1, got %d", c.ArrayWidth)
+	case c.IfmapSRAMKB < 1:
+		return fmt.Errorf("config: IfmapSRAMSz must be >= 1 KB, got %d", c.IfmapSRAMKB)
+	case c.FilterSRAMKB < 1:
+		return fmt.Errorf("config: FilterSRAMSz must be >= 1 KB, got %d", c.FilterSRAMKB)
+	case c.OfmapSRAMKB < 1:
+		return fmt.Errorf("config: OfmapSRAMSz must be >= 1 KB, got %d", c.OfmapSRAMKB)
+	case c.WordBytes < 1:
+		return fmt.Errorf("config: WordBytes must be >= 1, got %d", c.WordBytes)
+	case c.IfmapOffset < 0 || c.FilterOffset < 0 || c.OfmapOffset < 0:
+		return fmt.Errorf("config: address offsets must be non-negative")
+	case c.Dataflow != OutputStationary && c.Dataflow != WeightStationary && c.Dataflow != InputStationary:
+		return fmt.Errorf("config: unknown dataflow %d", int(c.Dataflow))
+	}
+	if overlap := c.offsetOverlap(); overlap != "" {
+		return fmt.Errorf("config: operand address regions %s overlap", overlap)
+	}
+	return nil
+}
+
+// offsetOverlap detects equal region base offsets, the only overlap the
+// simulator can detect without knowing the workload extent.
+func (c Config) offsetOverlap() string {
+	switch {
+	case c.IfmapOffset == c.FilterOffset:
+		return "ifmap/filter"
+	case c.IfmapOffset == c.OfmapOffset:
+		return "ifmap/ofmap"
+	case c.FilterOffset == c.OfmapOffset:
+		return "filter/ofmap"
+	}
+	return ""
+}

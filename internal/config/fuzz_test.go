@@ -1,0 +1,46 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the config parser never panics and that anything it
+// accepts survives a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleCfg)
+	f.Add("[general]\nrun_name=x\n")
+	f.Add("[architecture_presets]\nArrayHeight: 8\nArrayWidth: 8\n")
+	f.Add("")
+	f.Add("[a]\n=\n")
+	f.Add("[architecture_presets]\nDataflow: ws\nEdgeTrim: true\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Parse returned invalid config: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, cfg); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		// Run names with separators or comment markers are lossy by design;
+		// only round-trip clean ones.
+		if strings.ContainsAny(cfg.RunName, "#;\n\r") ||
+			strings.TrimSpace(cfg.RunName) != cfg.RunName ||
+			strings.ContainsAny(cfg.TopologyPath, "#;\n\r") ||
+			strings.TrimSpace(cfg.TopologyPath) != cfg.TopologyPath {
+			return
+		}
+		got, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-Parse: %v", err)
+		}
+		if got != cfg {
+			t.Fatalf("round trip changed config:\n in  %+v\n out %+v", cfg, got)
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedPresetsLoad keeps the configs/ presets in the repository root
+// loadable and sane.
+func TestShippedPresetsLoad(t *testing.T) {
+	cases := []struct {
+		file     string
+		array    [2]int
+		dataflow Dataflow
+	}{
+		{"scale.cfg", [2]int{32, 32}, OutputStationary},
+		{"google.cfg", [2]int{256, 256}, WeightStationary},
+		{"eyeriss.cfg", [2]int{12, 14}, OutputStationary},
+		{"brainwave.cfg", [2]int{16, 16}, InputStationary},
+	}
+	for _, tc := range cases {
+		path := filepath.Join("..", "..", "configs", tc.file)
+		cfg, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", tc.file, err)
+			continue
+		}
+		if cfg.ArrayHeight != tc.array[0] || cfg.ArrayWidth != tc.array[1] {
+			t.Errorf("%s: array %dx%d, want %dx%d",
+				tc.file, cfg.ArrayHeight, cfg.ArrayWidth, tc.array[0], tc.array[1])
+		}
+		if cfg.Dataflow != tc.dataflow {
+			t.Errorf("%s: dataflow %v, want %v", tc.file, cfg.Dataflow, tc.dataflow)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.file, err)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+// Package core is the top of the simulator stack: it wires the
+// cycle-accurate systolic engine, the SRAM/DRAM memory system, the optional
+// DRAM timing model and the energy model into a single Simulator that
+// executes whole network topologies layer by layer (the original tool's
+// behaviour: one CSV row at a time, serialized in file order) and collects
+// per-layer and whole-network results.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"scalesim/internal/config"
+	"scalesim/internal/dram"
+	"scalesim/internal/energy"
+	"scalesim/internal/memory"
+	"scalesim/internal/systolic"
+	"scalesim/internal/topology"
+	"scalesim/internal/trace"
+)
+
+// Options tunes a Simulator beyond the architecture configuration.
+type Options struct {
+	// Memory forwards to the per-layer memory system.
+	Memory memory.Options
+	// Energy is the energy model; the zero value selects energy.Eyeriss().
+	Energy energy.Model
+	// TraceDir, when non-empty, receives per-layer SRAM and DRAM trace CSVs
+	// named <run>_<layer>_<stream>.csv.
+	TraceDir string
+	// DRAM, when non-nil, replays the DRAM read trace through the timing
+	// model and records its statistics per layer.
+	DRAM *dram.Config
+	// DRAMBandwidth bounds the memory link in words per cycle; when
+	// positive, each layer's stall cycles under that link are computed
+	// from the demand traces (LayerResult.StallCycles). Zero means an
+	// unbounded link, the paper's stall-free operating point.
+	DRAMBandwidth float64
+}
+
+// LayerResult is everything the simulator learns about one layer.
+type LayerResult struct {
+	// Compute is the cycle-accurate systolic result.
+	Compute systolic.Result
+	// Memory is the SRAM/DRAM traffic summary.
+	Memory memory.Report
+	// Energy is the layer's energy breakdown.
+	Energy energy.Breakdown
+	// DRAMStats holds the timing-model statistics when Options.DRAM is set.
+	DRAMStats *dram.Stats
+	// StallCycles is the extra runtime a bounded DRAM link inflicts; only
+	// computed when Options.DRAMBandwidth is positive.
+	StallCycles int64
+}
+
+// StalledCycles returns the runtime including memory stalls.
+func (lr LayerResult) StalledCycles() int64 { return lr.Compute.Cycles + lr.StallCycles }
+
+// RunResult aggregates a whole topology.
+type RunResult struct {
+	// Config used for the run.
+	Config config.Config
+	// Topology that was executed.
+	Topology topology.Topology
+	// Layers holds one result per layer, in execution order.
+	Layers []LayerResult
+	// TotalCycles is the summed runtime (layers execute serially).
+	TotalCycles int64
+	// TotalMACs is the summed useful work.
+	TotalMACs int64
+	// TotalEnergy sums the per-layer breakdowns.
+	TotalEnergy energy.Breakdown
+}
+
+// DRAMReads returns the network's total DRAM read words.
+func (r RunResult) DRAMReads() int64 {
+	var n int64
+	for _, l := range r.Layers {
+		n += l.Memory.DRAMReads()
+	}
+	return n
+}
+
+// DRAMWrites returns the network's total DRAM write words.
+func (r RunResult) DRAMWrites() int64 {
+	var n int64
+	for _, l := range r.Layers {
+		n += l.Memory.OfmapDRAMWrites
+	}
+	return n
+}
+
+// AvgBandwidth returns the whole-run average interface bandwidth in bytes
+// per cycle.
+func (r RunResult) AvgBandwidth() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64((r.DRAMReads()+r.DRAMWrites())*int64(r.Config.WordBytes)) / float64(r.TotalCycles)
+}
+
+// Simulator executes layers under one architecture configuration.
+type Simulator struct {
+	cfg config.Config
+	opt Options
+	em  energy.Model
+}
+
+// New validates the configuration and builds a Simulator.
+func New(cfg config.Config, opt Options) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.DRAMBandwidth < 0 {
+		return nil, fmt.Errorf("core: negative DRAM bandwidth %v", opt.DRAMBandwidth)
+	}
+	em := opt.Energy
+	if em == (energy.Model{}) {
+		em = energy.Eyeriss()
+	}
+	if err := em.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.DRAM != nil {
+		if err := opt.DRAM.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Simulator{cfg: cfg, opt: opt, em: em}, nil
+}
+
+// Config returns the simulator's architecture configuration.
+func (s *Simulator) Config() config.Config { return s.cfg }
+
+// SimulateLayer runs one layer through compute, memory, optional DRAM
+// timing, and energy accounting.
+func (s *Simulator) SimulateLayer(l topology.Layer) (LayerResult, error) {
+	if err := l.Validate(); err != nil {
+		return LayerResult{}, err
+	}
+	var files []*tracedFile
+	defer func() {
+		for _, f := range files {
+			f.close()
+		}
+	}()
+	openTrace := func(stream string) (trace.Consumer, error) {
+		if s.opt.TraceDir == "" {
+			return nil, nil
+		}
+		f, err := newTracedFile(s.opt.TraceDir, s.cfg.RunName, l.Name, stream)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		return f.csv, nil
+	}
+
+	var stalls *trace.StallAnalyzer
+	if s.opt.DRAMBandwidth > 0 {
+		stalls = trace.NewStallAnalyzer(s.opt.DRAMBandwidth)
+	}
+	var dramModel *dram.Model
+	if s.opt.DRAM != nil {
+		var err error
+		dramModel, err = dram.New(*s.opt.DRAM)
+		if err != nil {
+			return LayerResult{}, err
+		}
+	}
+
+	memOpt := s.opt.Memory
+	readTrace, err := openTrace("dram_read")
+	if err != nil {
+		return LayerResult{}, err
+	}
+	writeTrace, err := openTrace("dram_write")
+	if err != nil {
+		return LayerResult{}, err
+	}
+	memOpt.DRAMRead = combine(memOpt.DRAMRead, readTrace, dramConsumer(dramModel), stallConsumer(stalls))
+	memOpt.DRAMWrite = combine(memOpt.DRAMWrite, writeTrace, dramConsumer(dramModel), stallConsumer(stalls))
+
+	sys, err := memory.NewSystem(s.cfg, memOpt)
+	if err != nil {
+		return LayerResult{}, err
+	}
+	sys.SetRegions(
+		s.cfg.IfmapOffset, l.IfmapWords(),
+		s.cfg.FilterOffset, l.FilterWords(),
+		s.cfg.OfmapOffset, l.OfmapWords(),
+	)
+
+	sinks := systolic.Sinks{
+		IfmapRead:  trace.Consumer(sys.Ifmap),
+		FilterRead: trace.Consumer(sys.Filter),
+		OfmapWrite: trace.Consumer(sys.Ofmap),
+	}
+	for _, tap := range []struct {
+		stream string
+		sink   *trace.Consumer
+	}{
+		{"sram_read_ifmap", &sinks.IfmapRead},
+		{"sram_read_filter", &sinks.FilterRead},
+		{"sram_write_ofmap", &sinks.OfmapWrite},
+	} {
+		t, err := openTrace(tap.stream)
+		if err != nil {
+			return LayerResult{}, err
+		}
+		if t != nil {
+			*tap.sink = trace.Tee(*tap.sink, t)
+		}
+	}
+
+	comp, err := systolic.Run(l, s.cfg, sinks)
+	if err != nil {
+		return LayerResult{}, err
+	}
+	sys.Ofmap.Flush(comp.Cycles)
+	mrep := sys.Report(comp.Cycles)
+
+	res := LayerResult{
+		Compute: comp,
+		Memory:  mrep,
+		Energy: s.em.Compute(
+			int64(s.cfg.MACs()), comp.Cycles,
+			mrep.IfmapSRAMReads+mrep.FilterSRAMReads+mrep.OfmapSRAMWrites,
+			mrep.DRAMAccesses(),
+		),
+	}
+	if dramModel != nil {
+		stats := dramModel.Stats()
+		res.DRAMStats = &stats
+	}
+	if stalls != nil {
+		res.StallCycles = stalls.StallCycles()
+	}
+	for _, f := range files {
+		if err := f.flush(); err != nil {
+			return LayerResult{}, err
+		}
+	}
+	return res, nil
+}
+
+// Simulate runs every layer of the topology in order.
+func (s *Simulator) Simulate(topo topology.Topology) (RunResult, error) {
+	if err := topo.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	run := RunResult{Config: s.cfg, Topology: topo}
+	for _, l := range topo.Layers {
+		lr, err := s.SimulateLayer(l)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("core: layer %q: %w", l.Name, err)
+		}
+		run.Layers = append(run.Layers, lr)
+		run.TotalCycles += lr.Compute.Cycles
+		run.TotalMACs += lr.Compute.MACs
+		run.TotalEnergy = run.TotalEnergy.Add(lr.Energy)
+	}
+	return run, nil
+}
+
+// combine merges optional consumers, dropping nils.
+func combine(consumers ...trace.Consumer) trace.Consumer {
+	var live []trace.Consumer
+	for _, c := range consumers {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return trace.Tee(live...)
+}
+
+// dramConsumer adapts a nil-able model to a consumer.
+func dramConsumer(m *dram.Model) trace.Consumer {
+	if m == nil {
+		return nil
+	}
+	return m
+}
+
+// stallConsumer adapts a nil-able stall analyzer to a consumer.
+func stallConsumer(s *trace.StallAnalyzer) trace.Consumer {
+	if s == nil {
+		return nil
+	}
+	return s
+}
+
+// tracedFile is one per-layer trace CSV on disk.
+type tracedFile struct {
+	f   *os.File
+	csv *trace.CSVWriter
+}
+
+func newTracedFile(dir, run, layer, stream string) (*tracedFile, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	name := fmt.Sprintf("%s_%s_%s.csv", sanitize(run), sanitize(layer), stream)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &tracedFile{f: f, csv: trace.NewCSVWriter(f)}, nil
+}
+
+func (t *tracedFile) flush() error {
+	if err := t.csv.Flush(); err != nil {
+		return fmt.Errorf("core: writing trace %s: %w", t.f.Name(), err)
+	}
+	return nil
+}
+
+func (t *tracedFile) close() { _ = t.f.Close() }
+
+// sanitize makes a string safe as a file-name component.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}

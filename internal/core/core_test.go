@@ -1,0 +1,283 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/dram"
+	"scalesim/internal/energy"
+	"scalesim/internal/systolic"
+	"scalesim/internal/topology"
+	"scalesim/internal/trace"
+)
+
+func newSim(t *testing.T, cfg config.Config, opt Options) *Simulator {
+	t.Helper()
+	s, err := New(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(config.New().WithArray(0, 1), Options{}); err == nil {
+		t.Error("accepted invalid config")
+	}
+	if _, err := New(config.New(), Options{Energy: energy.Model{MACCycle: -1}}); err == nil {
+		t.Error("accepted invalid energy model")
+	}
+	if _, err := New(config.New(), Options{DRAM: &dram.Config{}}); err == nil {
+		t.Error("accepted invalid dram config")
+	}
+	s := newSim(t, config.New(), Options{})
+	if s.Config().ArrayHeight != config.DefaultArrayHeight {
+		t.Error("Config() lost values")
+	}
+}
+
+func TestSimulateLayerConsistency(t *testing.T) {
+	cfg := config.New().WithArray(8, 8).WithSRAM(4, 4, 2)
+	s := newSim(t, cfg, Options{})
+	l := topology.TinyNet().Layers[0]
+	lr, err := s.SimulateLayer(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := systolic.Estimate(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Compute.Cycles != want.Cycles {
+		t.Errorf("Cycles = %d, want %d", lr.Compute.Cycles, want.Cycles)
+	}
+	if lr.Memory.IfmapSRAMReads != want.IfmapReads {
+		t.Errorf("IfmapSRAMReads = %d, want %d", lr.Memory.IfmapSRAMReads, want.IfmapReads)
+	}
+	// All outputs eventually reach DRAM (OS dataflow writes each once).
+	if lr.Memory.OfmapDRAMWrites != l.OfmapWords() {
+		t.Errorf("OfmapDRAMWrites = %d, want %d", lr.Memory.OfmapDRAMWrites, l.OfmapWords())
+	}
+	// DRAM reads at least cover each distinct input/filter element once.
+	if lr.Memory.IfmapDRAMReads < l.IfmapWords() {
+		t.Errorf("IfmapDRAMReads = %d < %d distinct words", lr.Memory.IfmapDRAMReads, l.IfmapWords())
+	}
+	if lr.Memory.FilterDRAMReads < l.FilterWords() {
+		t.Errorf("FilterDRAMReads = %d < %d", lr.Memory.FilterDRAMReads, l.FilterWords())
+	}
+	if lr.Energy.Total() <= 0 {
+		t.Error("non-positive energy")
+	}
+	if lr.DRAMStats != nil {
+		t.Error("DRAMStats set without a DRAM model")
+	}
+}
+
+func TestSimulateTopology(t *testing.T) {
+	cfg := config.New().WithArray(8, 8).WithSRAM(4, 4, 2)
+	s := newSim(t, cfg, Options{})
+	topo := topology.TinyNet()
+	run, err := s.Simulate(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Layers) != len(topo.Layers) {
+		t.Fatalf("layers = %d", len(run.Layers))
+	}
+	var cycles, macs int64
+	for _, lr := range run.Layers {
+		cycles += lr.Compute.Cycles
+		macs += lr.Compute.MACs
+	}
+	if run.TotalCycles != cycles || run.TotalMACs != macs {
+		t.Errorf("totals %d/%d, want %d/%d", run.TotalCycles, run.TotalMACs, cycles, macs)
+	}
+	if run.TotalMACs != topo.TotalMACOps() {
+		t.Errorf("TotalMACs = %d, want %d", run.TotalMACs, topo.TotalMACOps())
+	}
+	if run.AvgBandwidth() <= 0 {
+		t.Error("AvgBandwidth <= 0")
+	}
+	if run.DRAMReads() <= 0 || run.DRAMWrites() <= 0 {
+		t.Error("DRAM totals not positive")
+	}
+	if got := run.TotalEnergy.Total(); got <= 0 {
+		t.Error("TotalEnergy <= 0")
+	}
+
+	bad := topology.Topology{Name: "bad"}
+	if _, err := s.Simulate(bad); err == nil {
+		t.Error("accepted empty topology")
+	}
+	badLayer := topology.Topology{Name: "b", Layers: []topology.Layer{{Name: "x"}}}
+	if _, err := s.Simulate(badLayer); err == nil {
+		t.Error("accepted invalid layer")
+	}
+}
+
+func TestTraceFilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config.New().WithArray(4, 4).WithSRAM(1, 1, 1)
+	cfg.RunName = "run/1" // exercises sanitization
+	s := newSim(t, cfg, Options{TraceDir: dir})
+	l := topology.TinyNet().Layers[0]
+	lr, err := s.SimulateLayer(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := []string{
+		"sram_read_ifmap", "sram_read_filter", "sram_write_ofmap",
+		"dram_read", "dram_write",
+	}
+	for _, stream := range streams {
+		path := filepath.Join(dir, "run_1_conv1_"+stream+".csv")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", stream, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s: empty trace", stream)
+		}
+	}
+	// The SRAM read trace replays to the same access count.
+	f, err := os.Open(filepath.Join(dir, "run_1_conv1_sram_read_ifmap.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := trace.ParseCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Accesses() != lr.Memory.IfmapSRAMReads {
+		t.Errorf("trace accesses %d != report %d", rec.Accesses(), lr.Memory.IfmapSRAMReads)
+	}
+}
+
+func TestDRAMModelIntegration(t *testing.T) {
+	cfgDram := dram.DDR3()
+	cfg := config.New().WithArray(8, 8).WithSRAM(2, 2, 1)
+	s := newSim(t, cfg, Options{DRAM: &cfgDram})
+	lr, err := s.SimulateLayer(topology.TinyNet().Layers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.DRAMStats == nil {
+		t.Fatal("DRAMStats missing")
+	}
+	if lr.DRAMStats.Requests != lr.Memory.DRAMAccesses() {
+		t.Errorf("DRAM model saw %d requests, interface moved %d words",
+			lr.DRAMStats.Requests, lr.Memory.DRAMAccesses())
+	}
+	if lr.DRAMStats.AvgLatency() <= 0 {
+		t.Error("DRAM latency not positive")
+	}
+}
+
+func TestTraceDirFailure(t *testing.T) {
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "file")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newSim(t, config.New().WithArray(4, 4), Options{TraceDir: filepath.Join(blocked, "sub")})
+	if _, err := s.SimulateLayer(topology.TinyNet().Layers[0]); err == nil {
+		t.Error("SimulateLayer succeeded with unusable trace dir")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a b/c:d.e-f_g"); got != "a_b_c_d.e-f_g" {
+		t.Errorf("sanitize = %q", got)
+	}
+}
+
+func TestAvgBandwidthZeroCycles(t *testing.T) {
+	r := RunResult{Config: config.New()}
+	if r.AvgBandwidth() != 0 {
+		t.Error("zero-cycle AvgBandwidth != 0")
+	}
+}
+
+// TestLanguageModelLayer runs a Table IV GEMM end to end as a smoke test of
+// the full stack at a realistic (small) scale.
+func TestLanguageModelLayer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full GEMM layer in -short mode")
+	}
+	topo := topology.LanguageModels()
+	l, _ := topo.Layer("TF1") // 84 x 4096 x 1024
+	cfg := config.New().WithArray(32, 32).WithSRAM(64, 64, 32)
+	s := newSim(t, cfg, Options{})
+	lr, err := s.SimulateLayer(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := systolic.Estimate(l, cfg)
+	if lr.Compute.Cycles != want.Cycles {
+		t.Errorf("Cycles = %d, want %d", lr.Compute.Cycles, want.Cycles)
+	}
+	if lr.Memory.AvgTotalBW() <= 0 {
+		t.Error("no bandwidth measured")
+	}
+}
+
+func TestBoundedBandwidthStalls(t *testing.T) {
+	cfg := config.New().WithArray(8, 8).WithSRAM(2, 2, 1)
+	l := topology.TinyNet().Layers[1]
+
+	// Unbounded link: no stall accounting.
+	free := newSim(t, cfg, Options{})
+	lrFree, err := free.SimulateLayer(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrFree.StallCycles != 0 || lrFree.StalledCycles() != lrFree.Compute.Cycles {
+		t.Errorf("unbounded link reported stalls: %d", lrFree.StallCycles)
+	}
+
+	// A very fast bounded link: still no stalls.
+	fast := newSim(t, cfg, Options{DRAMBandwidth: 1e9})
+	lrFast, err := fast.SimulateLayer(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrFast.StallCycles != 0 {
+		t.Errorf("fast link stalled %d cycles", lrFast.StallCycles)
+	}
+
+	// A link much narrower than the layer's demand must stall, and the
+	// stalled runtime must cover the time to move all traffic.
+	demand := float64(lrFree.Memory.DRAMAccesses()) / float64(lrFree.Compute.Cycles)
+	narrowBW := demand / 4
+	narrow := newSim(t, cfg, Options{DRAMBandwidth: narrowBW})
+	lrNarrow, err := narrow.SimulateLayer(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrNarrow.StallCycles <= 0 {
+		t.Fatalf("narrow link (%.2f w/c vs %.2f demand) did not stall", narrowBW, demand)
+	}
+	minTime := float64(lrNarrow.Memory.DRAMAccesses()) / narrowBW
+	if float64(lrNarrow.StalledCycles()) < minTime-1 {
+		t.Errorf("stalled runtime %d below link-limited time %.0f", lrNarrow.StalledCycles(), minTime)
+	}
+
+	// Stalls are monotone in bandwidth.
+	wider := newSim(t, cfg, Options{DRAMBandwidth: narrowBW * 2})
+	lrWider, err := wider.SimulateLayer(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrWider.StallCycles > lrNarrow.StallCycles {
+		t.Errorf("stalls rose with bandwidth: %d > %d", lrWider.StallCycles, lrNarrow.StallCycles)
+	}
+}
+
+func TestNegativeBandwidthRejected(t *testing.T) {
+	if _, err := New(config.New(), Options{DRAMBandwidth: -1}); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+}

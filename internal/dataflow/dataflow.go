@@ -1,0 +1,169 @@
+// Package dataflow implements the spatio-temporal mapping of DNN layers onto
+// a systolic array for the three true systolic dataflows the paper considers
+// (Table III): Output Stationary, Weight Stationary, and Input Stationary.
+//
+// Every layer reduces to a GEMM with spatial dimensions S_R x S_C and a
+// temporal dimension T (Sec. III-A). This package computes those dimensions
+// and generates the concrete SRAM addresses of the operands that enter each
+// edge of the array, which the cycle-accurate simulator turns into traces.
+package dataflow
+
+import (
+	"fmt"
+
+	"scalesim/internal/config"
+	"scalesim/internal/topology"
+)
+
+// Operand identifies which tensor an address belongs to, and therefore which
+// SRAM buffer services it.
+type Operand int
+
+const (
+	// Ifmap is the input feature map operand.
+	Ifmap Operand = iota
+	// Filter is the weight operand.
+	Filter
+	// Ofmap is the output feature map operand.
+	Ofmap
+	// None marks an absent stream (e.g. the top-edge temporal stream of the
+	// weight-stationary dataflow, whose top edge is only used for the fill).
+	None
+)
+
+// String returns the lower-case operand name.
+func (o Operand) String() string {
+	switch o {
+	case Ifmap:
+		return "ifmap"
+	case Filter:
+		return "filter"
+	case Ofmap:
+		return "ofmap"
+	case None:
+		return "none"
+	}
+	return fmt.Sprintf("Operand(%d)", int(o))
+}
+
+// Mapping is the spatio-temporal shape of one layer under one dataflow
+// (Table III): the operand matrices are S_R x T and T x S_C.
+type Mapping struct {
+	Dataflow config.Dataflow
+	// Sr is the number of spatial rows of the mapped computation.
+	Sr int64
+	// Sc is the number of spatial columns of the mapped computation.
+	Sc int64
+	// T is the temporal extent of the computation.
+	T int64
+}
+
+// Map computes the Table III mapping of a layer under a dataflow:
+//
+//	                 S_R       S_C       T
+//	OS            N_ofmap  N_filter  W_conv
+//	WS             W_conv  N_filter  N_ofmap
+//	IS             W_conv   N_ofmap  N_filter
+func Map(l topology.Layer, df config.Dataflow) Mapping {
+	nOfmap := l.NumOfmapPx()
+	nFilter := int64(l.NumFilters)
+	wConv := l.WindowSize()
+	switch df {
+	case config.OutputStationary:
+		return Mapping{Dataflow: df, Sr: nOfmap, Sc: nFilter, T: wConv}
+	case config.WeightStationary:
+		return Mapping{Dataflow: df, Sr: wConv, Sc: nFilter, T: nOfmap}
+	case config.InputStationary:
+		return Mapping{Dataflow: df, Sr: wConv, Sc: nOfmap, T: nFilter}
+	}
+	panic(fmt.Sprintf("dataflow: unknown dataflow %v", df))
+}
+
+// MapGEMM computes the mapping of a raw M x K by K x N matrix multiplication,
+// the reduction the Table IV language-model workloads are specified in
+// (Table IV lists (S_R, T, S_C) under the OS dataflow, i.e. (M, K, N)).
+func MapGEMM(m, k, n int64, df config.Dataflow) Mapping {
+	switch df {
+	case config.OutputStationary:
+		return Mapping{Dataflow: df, Sr: m, Sc: n, T: k}
+	case config.WeightStationary:
+		return Mapping{Dataflow: df, Sr: k, Sc: n, T: m}
+	case config.InputStationary:
+		return Mapping{Dataflow: df, Sr: k, Sc: m, T: n}
+	}
+	panic(fmt.Sprintf("dataflow: unknown dataflow %v", df))
+}
+
+// MACs returns the total multiply-accumulate count implied by the mapping;
+// it is invariant across dataflows for the same layer.
+func (m Mapping) MACs() int64 { return m.Sr * m.Sc * m.T }
+
+// Offsets are the base addresses of the three operand regions.
+type Offsets struct {
+	Ifmap, Filter, Ofmap int64
+}
+
+// OffsetsFromConfig extracts the operand region bases from a configuration.
+func OffsetsFromConfig(cfg config.Config) Offsets {
+	return Offsets{Ifmap: cfg.IfmapOffset, Filter: cfg.FilterOffset, Ofmap: cfg.OfmapOffset}
+}
+
+// Addressing generates flat word addresses for the elements of a layer's
+// three tensors. Layouts are row-major:
+//
+//	ifmap  (h, w, c)      -> h*W*C + w*C + c            + Offsets.Ifmap
+//	filter (f, r, s, c)   -> f*R*S*C + r*S*C + s*C + c  + Offsets.Filter
+//	ofmap  (p, f)         -> p*NumFilters + f           + Offsets.Ofmap
+type Addressing struct {
+	layer topology.Layer
+	off   Offsets
+	// cached derived dims
+	ofmapW  int64
+	windowW int64 // FilterW * Channels, row stride inside a window
+	chans   int64
+	ifmapW  int64
+	window  int64 // full window size
+	filters int64
+}
+
+// NewAddressing builds an address generator for a layer.
+func NewAddressing(l topology.Layer, off Offsets) *Addressing {
+	return &Addressing{
+		layer:   l,
+		off:     off,
+		ofmapW:  int64(l.OfmapW()),
+		windowW: int64(l.FilterW) * int64(l.Channels),
+		chans:   int64(l.Channels),
+		ifmapW:  int64(l.IfmapW),
+		window:  l.WindowSize(),
+		filters: int64(l.NumFilters),
+	}
+}
+
+// Layer returns the layer being addressed.
+func (a *Addressing) Layer() topology.Layer { return a.layer }
+
+// IfmapElem returns the address of element elem (in [0, WindowSize)) of
+// convolution window number window (in [0, NumOfmapPx)). Windows are
+// numbered row-major over the OFMAP; elements row-major over (r, s, c).
+func (a *Addressing) IfmapElem(window, elem int64) int64 {
+	oh := window / a.ofmapW
+	ow := window % a.ofmapW
+	r := elem / a.windowW
+	rem := elem % a.windowW
+	s := rem / a.chans
+	c := rem % a.chans
+	h := oh*int64(a.layer.Stride) + r
+	w := ow*int64(a.layer.Stride) + s
+	return (h*a.ifmapW+w)*a.chans + c + a.off.Ifmap
+}
+
+// FilterElem returns the address of element elem of filter f.
+func (a *Addressing) FilterElem(f, elem int64) int64 {
+	return f*a.window + elem + a.off.Filter
+}
+
+// OfmapElem returns the address of OFMAP pixel p in output channel f.
+func (a *Addressing) OfmapElem(p, f int64) int64 {
+	return p*a.filters + f + a.off.Ofmap
+}

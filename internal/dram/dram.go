@@ -1,0 +1,301 @@
+// Package dram is a behavioural DRAM timing model that consumes the
+// simulator's DRAM-interface traces. The paper feeds SCALE-Sim's interface
+// traces to an external simulator (DRAMSim2); this package is the in-repo
+// substitute: a channel/bank open-page model with activate/CAS/precharge
+// timings, periodic refresh, a shared per-channel data bus and an optional
+// FR-FCFS-style scheduler, enough to answer whether a trace's demand
+// bandwidth is achievable and at what latency.
+package dram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects the request scheduler.
+type Policy int
+
+const (
+	// FCFS services requests strictly in arrival order.
+	FCFS Policy = iota
+	// FRFCFS reorders each same-cycle batch to service open-row hits first
+	// (a batch-local approximation of first-ready FCFS).
+	FRFCFS
+)
+
+// Config holds the timing and geometry parameters, all in accelerator
+// clock cycles and words.
+type Config struct {
+	// Channels is the number of independent channels (0 means 1). Requests
+	// interleave across channels at InterleaveWords granularity.
+	Channels int
+	// InterleaveWords is the channel-interleave granularity (0 means
+	// RowWords).
+	InterleaveWords int64
+	// Banks is the number of banks per channel.
+	Banks int
+	// RowWords is the page size: words per DRAM row.
+	RowWords int64
+	// TRCD is the activate-to-CAS delay.
+	TRCD int64
+	// TCAS is the CAS-to-data delay.
+	TCAS int64
+	// TRP is the precharge delay.
+	TRP int64
+	// TREFI is the refresh interval; TRFC the refresh duration. Zero TREFI
+	// disables refresh.
+	TREFI, TRFC int64
+	// BusCyclesPerWord is the data-bus occupancy per word transferred.
+	BusCyclesPerWord int64
+	// Policy selects the scheduler (default FCFS).
+	Policy Policy
+}
+
+// DDR3 returns timings loosely modeled on DDR3-1600 expressed in a 1 GHz
+// accelerator clock: one channel, 8 banks, 2 KiB pages, tRCD = tCAS = tRP =
+// 11, refresh every 7800 cycles for 139, and a bus that moves one word per
+// cycle.
+func DDR3() Config {
+	return Config{
+		Banks: 8, RowWords: 2048,
+		TRCD: 11, TCAS: 11, TRP: 11,
+		TREFI: 7800, TRFC: 139,
+		BusCyclesPerWord: 1,
+	}
+}
+
+// HBM2 returns timings loosely modeled on HBM2: eight pseudo-channels of
+// 16 banks with small pages. The per-channel bus still moves one word per
+// cycle, so aggregate bandwidth comes from channel parallelism — which is
+// exactly how HBM differs from DDR.
+func HBM2() Config {
+	return Config{
+		Channels: 8, InterleaveWords: 256,
+		Banks: 16, RowWords: 1024,
+		TRCD: 14, TCAS: 14, TRP: 14,
+		TREFI: 3900, TRFC: 160,
+		BusCyclesPerWord: 1,
+	}
+}
+
+// Validate reports the first structural problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels < 0:
+		return fmt.Errorf("dram: negative Channels %d", c.Channels)
+	case c.InterleaveWords < 0:
+		return fmt.Errorf("dram: negative InterleaveWords %d", c.InterleaveWords)
+	case c.Banks < 1:
+		return fmt.Errorf("dram: Banks must be >= 1, got %d", c.Banks)
+	case c.RowWords < 1:
+		return fmt.Errorf("dram: RowWords must be >= 1, got %d", c.RowWords)
+	case c.TRCD < 0 || c.TCAS < 0 || c.TRP < 0 || c.TREFI < 0 || c.TRFC < 0:
+		return fmt.Errorf("dram: negative timing parameter")
+	case c.TREFI > 0 && c.TRFC >= c.TREFI:
+		return fmt.Errorf("dram: TRFC %d must be below TREFI %d", c.TRFC, c.TREFI)
+	case c.BusCyclesPerWord < 1:
+		return fmt.Errorf("dram: BusCyclesPerWord must be >= 1, got %d", c.BusCyclesPerWord)
+	case c.Policy != FCFS && c.Policy != FRFCFS:
+		return fmt.Errorf("dram: unknown policy %d", int(c.Policy))
+	}
+	return nil
+}
+
+// normalized applies the documented defaults.
+func (c Config) normalized() Config {
+	if c.Channels == 0 {
+		c.Channels = 1
+	}
+	if c.InterleaveWords == 0 {
+		c.InterleaveWords = c.RowWords
+	}
+	return c
+}
+
+// bank is one bank's state.
+type bank struct {
+	openRow int64 // -1 when precharged
+	cmdFree int64 // cycle at which the bank can accept a new command
+}
+
+// channel is one channel's state.
+type channel struct {
+	banks       []bank
+	bus         int64 // cycle at which the data bus frees
+	nextRefresh int64
+	refreshHold int64 // channel blocked until this cycle by refresh
+}
+
+// Model simulates a DRAM device.
+type Model struct {
+	cfg      Config
+	channels []channel
+	stats    Stats
+	batch    []int64 // scratch for FR-FCFS reordering
+}
+
+// Stats aggregates the model's behaviour.
+type Stats struct {
+	// Requests counts words serviced.
+	Requests int64
+	// RowHits and RowMisses count page-policy outcomes.
+	RowHits, RowMisses int64
+	// Refreshes counts refresh windows applied.
+	Refreshes int64
+	// TotalLatency sums per-word latency (completion - arrival).
+	TotalLatency int64
+	// MaxLatency is the worst per-word latency.
+	MaxLatency int64
+	// LastCompletion is the cycle the final word finished.
+	LastCompletion int64
+	// BusBusy counts data-bus cycles consumed (summed over channels).
+	BusBusy int64
+}
+
+// AvgLatency returns the mean per-word latency.
+func (s Stats) AvgLatency() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Requests)
+}
+
+// RowHitRate returns the fraction of requests that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Requests)
+}
+
+// AchievedWordsPerCycle returns delivered bandwidth over the busy interval.
+func (s Stats) AchievedWordsPerCycle() float64 {
+	if s.LastCompletion == 0 {
+		return 0
+	}
+	return float64(s.Requests) / float64(s.LastCompletion)
+}
+
+// BusUtilization returns the average per-channel data-bus occupancy up to
+// the last completion (can exceed 1 only if multiple channels are busy;
+// it is normalized per channel by the caller's channel count if needed).
+func (s Stats) BusUtilization() float64 {
+	if s.LastCompletion == 0 {
+		return 0
+	}
+	return float64(s.BusBusy) / float64(s.LastCompletion)
+}
+
+// New builds a Model.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	m := &Model{cfg: cfg, channels: make([]channel, cfg.Channels)}
+	for c := range m.channels {
+		ch := &m.channels[c]
+		ch.banks = make([]bank, cfg.Banks)
+		for i := range ch.banks {
+			ch.banks[i].openRow = -1
+		}
+		if cfg.TREFI > 0 {
+			ch.nextRefresh = cfg.TREFI
+		}
+	}
+	return m, nil
+}
+
+// Request services one word at the given arrival cycle and returns its
+// completion cycle. Requests must arrive in non-decreasing cycle order.
+func (m *Model) Request(arrival, addr int64) int64 {
+	cfg := m.cfg
+	chIdx := int((addr / cfg.InterleaveWords) % int64(cfg.Channels))
+	ch := &m.channels[chIdx]
+
+	// Apply any refresh windows due before this request.
+	if cfg.TREFI > 0 {
+		for arrival >= ch.nextRefresh {
+			hold := ch.nextRefresh + cfg.TRFC
+			if hold > ch.refreshHold {
+				ch.refreshHold = hold
+			}
+			ch.nextRefresh += cfg.TREFI
+			m.stats.Refreshes++
+		}
+	}
+
+	row := addr / cfg.RowWords
+	b := &ch.banks[int(row%int64(cfg.Banks))]
+
+	start := max64(arrival, b.cmdFree)
+	start = max64(start, ch.refreshHold)
+	var ready int64
+	if b.openRow == row {
+		// CAS commands pipeline: the bank takes a new column command every
+		// bus slot while the CAS latency overlaps with earlier transfers.
+		m.stats.RowHits++
+		ready = start + cfg.TCAS
+		b.cmdFree = start + cfg.BusCyclesPerWord
+	} else {
+		m.stats.RowMisses++
+		activate := start + cfg.TRCD
+		if b.openRow >= 0 {
+			activate += cfg.TRP
+		}
+		ready = activate + cfg.TCAS
+		b.openRow = row
+		b.cmdFree = activate + cfg.BusCyclesPerWord
+	}
+
+	// The data transfer occupies the channel's bus.
+	xferStart := max64(ready, ch.bus)
+	done := xferStart + cfg.BusCyclesPerWord
+	ch.bus = done
+	m.stats.BusBusy += cfg.BusCyclesPerWord
+
+	m.stats.Requests++
+	lat := done - arrival
+	m.stats.TotalLatency += lat
+	if lat > m.stats.MaxLatency {
+		m.stats.MaxLatency = lat
+	}
+	if done > m.stats.LastCompletion {
+		m.stats.LastCompletion = done
+	}
+	return done
+}
+
+// Consume implements trace.Consumer: each address in the batch is a word
+// request arriving at the given cycle. Under FRFCFS the batch is reordered
+// so open-row hits go first.
+func (m *Model) Consume(cycle int64, addrs []int64) {
+	if m.cfg.Policy == FRFCFS && len(addrs) > 1 {
+		m.batch = append(m.batch[:0], addrs...)
+		sort.SliceStable(m.batch, func(i, j int) bool {
+			return m.isOpenRow(m.batch[i]) && !m.isOpenRow(m.batch[j])
+		})
+		addrs = m.batch
+	}
+	for _, a := range addrs {
+		m.Request(cycle, a)
+	}
+}
+
+// isOpenRow reports whether the address currently hits an open row.
+func (m *Model) isOpenRow(addr int64) bool {
+	cfg := m.cfg
+	ch := &m.channels[int((addr/cfg.InterleaveWords)%int64(cfg.Channels))]
+	row := addr / cfg.RowWords
+	return ch.banks[int(row%int64(cfg.Banks))].openRow == row
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Model) Stats() Stats { return m.stats }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

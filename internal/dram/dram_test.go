@@ -1,0 +1,270 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func smallCfg() Config {
+	return Config{Banks: 2, RowWords: 16, TRCD: 3, TCAS: 2, TRP: 4, BusCyclesPerWord: 1}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DDR3().Validate(); err != nil {
+		t.Errorf("DDR3 invalid: %v", err)
+	}
+	bad := []Config{
+		{Banks: 0, RowWords: 1, BusCyclesPerWord: 1},
+		{Banks: 1, RowWords: 0, BusCyclesPerWord: 1},
+		{Banks: 1, RowWords: 1, BusCyclesPerWord: 0},
+		{Banks: 1, RowWords: 1, TCAS: -1, BusCyclesPerWord: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: accepted %+v", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestFirstAccessIsRowMiss(t *testing.T) {
+	m, err := New(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold miss on a precharged bank: no tRP, just tRCD + tCAS + bus.
+	done := m.Request(0, 0)
+	if want := int64(3 + 2 + 1); done != want {
+		t.Errorf("cold miss completion = %d, want %d", done, want)
+	}
+	s := m.Stats()
+	if s.RowMisses != 1 || s.RowHits != 0 {
+		t.Errorf("hits/misses = %d/%d", s.RowHits, s.RowMisses)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	m, _ := New(smallCfg())
+	first := m.Request(0, 0)
+	second := m.Request(first, 1) // same row: hit
+	hitLat := second - first
+	third := m.Request(second, 64) // row 4, same bank 0: conflict miss with tRP
+	missLat := third - second
+	if hitLat >= missLat {
+		t.Errorf("row hit latency %d not faster than conflict miss %d", hitLat, missLat)
+	}
+	s := m.Stats()
+	if s.RowHits != 1 || s.RowMisses != 2 {
+		t.Errorf("hits/misses = %d/%d", s.RowHits, s.RowMisses)
+	}
+	// Conflict miss pays precharge: tRP + tRCD + tCAS + bus.
+	if want := int64(4 + 3 + 2 + 1); missLat != want {
+		t.Errorf("conflict miss latency = %d, want %d", missLat, want)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	// Two streams to different banks overlap; same bank serializes.
+	cfg := smallCfg()
+	m1, _ := New(cfg)
+	m1.Request(0, 0)        // bank 0 (row 0)
+	d1 := m1.Request(0, 16) // row 1 -> bank 1: overlapped activate
+	m2, _ := New(cfg)
+	m2.Request(0, 0)        // bank 0
+	d2 := m2.Request(0, 64) // row 4 -> bank 0: serialized
+	if d1 >= d2 {
+		t.Errorf("different-bank completion %d should beat same-bank %d", d1, d2)
+	}
+}
+
+func TestBusSerializes(t *testing.T) {
+	cfg := smallCfg()
+	cfg.BusCyclesPerWord = 4
+	m, _ := New(cfg)
+	m.Consume(0, []int64{0, 1, 2, 3}) // same row: hits after first
+	s := m.Stats()
+	// 4 words x 4 bus cycles each cannot complete before 16 + first word's setup.
+	if s.LastCompletion < 16 {
+		t.Errorf("LastCompletion = %d, want >= 16 (bus-bound)", s.LastCompletion)
+	}
+	if s.BusBusy != 16 {
+		t.Errorf("BusBusy = %d, want 16", s.BusBusy)
+	}
+	if s.BusUtilization() <= 0 || s.BusUtilization() > 1 {
+		t.Errorf("BusUtilization = %v", s.BusUtilization())
+	}
+}
+
+func TestSequentialStreamMostlyHits(t *testing.T) {
+	m, _ := New(DDR3())
+	for a := int64(0); a < 10_000; a++ {
+		m.Request(a, a)
+	}
+	s := m.Stats()
+	if s.Requests != 10_000 {
+		t.Errorf("Requests = %d", s.Requests)
+	}
+	if s.RowHitRate() < 0.99 {
+		t.Errorf("sequential RowHitRate = %v, want > 0.99", s.RowHitRate())
+	}
+	if s.AchievedWordsPerCycle() < 0.9 {
+		t.Errorf("sequential bandwidth = %v words/cycle, want near 1", s.AchievedWordsPerCycle())
+	}
+}
+
+func TestRandomStreamWorseThanSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	seq, _ := New(DDR3())
+	rnd, _ := New(DDR3())
+	for i := int64(0); i < 5000; i++ {
+		seq.Request(i, i)
+		rnd.Request(i, rng.Int63n(1<<24))
+	}
+	if rnd.Stats().RowHitRate() >= seq.Stats().RowHitRate() {
+		t.Errorf("random hit rate %v >= sequential %v",
+			rnd.Stats().RowHitRate(), seq.Stats().RowHitRate())
+	}
+	if rnd.Stats().AvgLatency() <= seq.Stats().AvgLatency() {
+		t.Errorf("random latency %v <= sequential %v",
+			rnd.Stats().AvgLatency(), seq.Stats().AvgLatency())
+	}
+}
+
+func TestStatsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m, _ := New(smallCfg())
+	cycle := int64(0)
+	var prevDone int64
+	for i := 0; i < 2000; i++ {
+		cycle += rng.Int63n(3)
+		done := m.Request(cycle, rng.Int63n(4096))
+		if done <= cycle {
+			t.Fatalf("completion %d not after arrival %d", done, cycle)
+		}
+		_ = prevDone
+		prevDone = done
+	}
+	s := m.Stats()
+	if s.RowHits+s.RowMisses != s.Requests {
+		t.Errorf("hits %d + misses %d != requests %d", s.RowHits, s.RowMisses, s.Requests)
+	}
+	if s.MaxLatency < int64(s.AvgLatency()) {
+		t.Errorf("MaxLatency %d below average %v", s.MaxLatency, s.AvgLatency())
+	}
+	if s.BusUtilization() > 1 {
+		t.Errorf("BusUtilization %v > 1", s.BusUtilization())
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	m, _ := New(smallCfg())
+	s := m.Stats()
+	if s.AvgLatency() != 0 || s.RowHitRate() != 0 || s.AchievedWordsPerCycle() != 0 || s.BusUtilization() != 0 {
+		t.Error("empty model reports nonzero stats")
+	}
+}
+
+func TestHBM2Preset(t *testing.T) {
+	if err := HBM2().Validate(); err != nil {
+		t.Fatalf("HBM2 invalid: %v", err)
+	}
+	// Under bank-conflict-heavy random traffic, the many-banked HBM2 model
+	// must beat DDR3 on average latency.
+	rng := rand.New(rand.NewSource(55))
+	ddr, _ := New(DDR3())
+	hbm, _ := New(HBM2())
+	for i := int64(0); i < 20_000; i++ {
+		a := rng.Int63n(1 << 22)
+		ddr.Request(i, a)
+		hbm.Request(i, a)
+	}
+	if hbm.Stats().AvgLatency() >= ddr.Stats().AvgLatency() {
+		t.Errorf("HBM2 latency %v not below DDR3 %v under random traffic",
+			hbm.Stats().AvgLatency(), ddr.Stats().AvgLatency())
+	}
+}
+
+func TestRefreshApplied(t *testing.T) {
+	cfg := smallCfg()
+	cfg.TREFI = 100
+	cfg.TRFC = 20
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Request(0, 0)
+	// Jump past three refresh intervals: all due windows are applied.
+	m.Request(350, 0)
+	if got := m.Stats().Refreshes; got != 3 {
+		t.Errorf("Refreshes = %d, want 3", got)
+	}
+	// A request landing inside the refresh hold waits it out.
+	m2, _ := New(cfg)
+	m2.Request(100, 1) // refresh at 100 holds until 120; row hit after
+	lat := m2.Stats().MaxLatency
+	if lat < cfg.TRFC {
+		t.Errorf("refresh-blocked latency %d < TRFC %d", lat, cfg.TRFC)
+	}
+}
+
+func TestChannelsParallelize(t *testing.T) {
+	base := smallCfg()
+	base.TREFI = 0
+	single, _ := New(base)
+	multi4 := base
+	multi4.Channels = 4
+	multi4.InterleaveWords = base.RowWords
+	multi, _ := New(multi4)
+	// Stream rows that map to different channels under interleaving.
+	for i := int64(0); i < 8000; i++ {
+		addr := i * base.RowWords // one word per row: worst case, all misses
+		single.Request(i, addr)
+		multi.Request(i, addr)
+	}
+	if multi.Stats().AchievedWordsPerCycle() <= single.Stats().AchievedWordsPerCycle() {
+		t.Errorf("4 channels (%v w/c) not faster than 1 (%v w/c)",
+			multi.Stats().AchievedWordsPerCycle(), single.Stats().AchievedWordsPerCycle())
+	}
+}
+
+func TestFRFCFSPrefersOpenRows(t *testing.T) {
+	mk := func(p Policy) *Model {
+		cfg := smallCfg()
+		cfg.TREFI = 0
+		cfg.Policy = p
+		m, _ := New(cfg)
+		return m
+	}
+	fcfs, frfcfs := mk(FCFS), mk(FRFCFS)
+	// Open row 0 on bank 0, then issue a batch that interleaves a conflict
+	// (row 4, bank 0) before more row-0 hits; FR-FCFS hoists the hits.
+	warm := []int64{0}
+	batch := []int64{64, 1, 2, 3} // row 4 conflict first, then row-0 hits
+	fcfs.Consume(0, warm)
+	frfcfs.Consume(0, warm)
+	fcfs.Consume(1, batch)
+	frfcfs.Consume(1, batch)
+	if frfcfs.Stats().TotalLatency >= fcfs.Stats().TotalLatency {
+		t.Errorf("FR-FCFS latency %d not below FCFS %d",
+			frfcfs.Stats().TotalLatency, fcfs.Stats().TotalLatency)
+	}
+	if frfcfs.Stats().RowHits < fcfs.Stats().RowHits {
+		t.Errorf("FR-FCFS hits %d below FCFS %d", frfcfs.Stats().RowHits, fcfs.Stats().RowHits)
+	}
+}
+
+func TestConfigValidateExtended(t *testing.T) {
+	bad := []Config{
+		{Channels: -1, Banks: 1, RowWords: 1, BusCyclesPerWord: 1},
+		{InterleaveWords: -1, Banks: 1, RowWords: 1, BusCyclesPerWord: 1},
+		{Banks: 1, RowWords: 1, BusCyclesPerWord: 1, TREFI: 10, TRFC: 10},
+		{Banks: 1, RowWords: 1, BusCyclesPerWord: 1, Policy: Policy(9)},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scalesim/internal/config"
+	"scalesim/internal/core"
+	"scalesim/internal/topology"
+)
+
+// The paper's abstract frames the whole study as finding the best scaling
+// "within the available DRAM bandwidth", and its tool reports the bandwidth
+// *required* for stall-free operation. This extension closes the loop: it
+// bounds the memory link and measures the runtime the layer actually
+// achieves, sweeping the available bandwidth to expose the knee where the
+// accelerator turns memory-bound.
+
+// BWPoint is one point of the bandwidth-scaling curve.
+type BWPoint struct {
+	// BandwidthWordsPerCycle is the available link bandwidth.
+	BandwidthWordsPerCycle float64
+	// StallFreeCycles is the compute-bound runtime.
+	StallFreeCycles int64
+	// StallCycles is the extra time the bounded link inflicts.
+	StallCycles int64
+	// Slowdown is (StallFreeCycles+StallCycles)/StallFreeCycles.
+	Slowdown float64
+}
+
+// BandwidthCurve simulates the layer once per bandwidth point.
+func BandwidthCurve(l topology.Layer, cfg config.Config, bandwidths []float64) ([]BWPoint, error) {
+	if len(bandwidths) == 0 {
+		return nil, fmt.Errorf("experiments: no bandwidth points")
+	}
+	out := make([]BWPoint, 0, len(bandwidths))
+	for _, bw := range bandwidths {
+		if bw <= 0 {
+			return nil, fmt.Errorf("experiments: bandwidth %v must be positive", bw)
+		}
+		sim, err := core.New(cfg, core.Options{DRAMBandwidth: bw})
+		if err != nil {
+			return nil, err
+		}
+		lr, err := sim.SimulateLayer(l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BWPoint{
+			BandwidthWordsPerCycle: bw,
+			StallFreeCycles:        lr.Compute.Cycles,
+			StallCycles:            lr.StallCycles,
+			Slowdown:               float64(lr.StalledCycles()) / float64(lr.Compute.Cycles),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,342 @@
+// Package memory models the accelerator's local memory system: three
+// double-buffered operand SRAMs (IFMAP, filter, OFMAP) that service the
+// stall-free SRAM traces produced by the systolic core and, in turn,
+// generate the DRAM-interface traffic (Sec. II-C of the paper: "SCALE-SIM
+// parses the SRAM traces ... and generates a series of prefetch requests to
+// SRAM which we call the DRAM trace").
+//
+// Residency model: each buffer holds a working set of distinct word
+// addresses in first-use (FIFO) order. A read of a non-resident address is a
+// demand miss that must have been prefetched from DRAM by that cycle; the
+// miss is charged to the DRAM read trace at the cycle of use, which is
+// exactly the stall-free demand schedule. Reuse within the resident window
+// is free; reuse after eviction is re-fetched, which is how the loss of
+// on-chip reuse from partitioning shows up as extra DRAM bandwidth
+// (Fig. 11). The OFMAP buffer is a write-back buffer: outputs drain to DRAM
+// on eviction and at the final flush, so partial sums revisited while still
+// resident cost no interface traffic.
+//
+// With double buffering enabled (the paper's configuration), half of each
+// SRAM serves the array while the other half prefetches, so the effective
+// resident capacity is half the nominal size.
+package memory
+
+import (
+	"fmt"
+
+	"scalesim/internal/trace"
+)
+
+// denseLimitWords bounds the size of the direct-mapped presence table a
+// fifoSet is willing to allocate (one byte per word in the region). Larger
+// regions use the open-addressing probe set instead, whose footprint scales
+// with the buffer capacity rather than the region.
+const denseLimitWords = 1 << 22
+
+// fifoSet is a fixed-capacity set of addresses with FIFO replacement.
+//
+// Residency is tracked in one of three structures — membership tests
+// dominate the simulator's runtime, so the choice matters:
+//
+//   - a direct-mapped byte table when the producer declares a small address
+//     region via setRegion (one array access per test);
+//   - an open-addressing probe table when the declared region is large
+//     (footprint proportional to capacity, not region);
+//   - a Go map as the general fallback when no region is declared.
+type fifoSet struct {
+	capacity int64
+	resident map[int64]struct{}
+	ring     []int64
+	head     int // next eviction slot when full
+
+	dense bool
+	base  int64
+	marks []byte
+
+	probe *probeSet
+}
+
+func newFIFOSet(capacity int64) *fifoSet {
+	return &fifoSet{
+		capacity: capacity,
+		resident: make(map[int64]struct{}, min64(capacity, 1<<20)),
+		ring:     make([]int64, 0, min64(capacity, 1<<20)),
+	}
+}
+
+// setRegion switches to a region-aware residency structure for addresses in
+// [base, base+words). Must be called before any insertion.
+func (f *fifoSet) setRegion(base, words int64) {
+	if words < 1 || len(f.ring) > 0 {
+		return
+	}
+	if words <= denseLimitWords {
+		f.dense = true
+		f.base = base
+		f.marks = make([]byte, words)
+		f.resident = nil
+		return
+	}
+	f.probe = newProbeSet(f.capacity)
+	f.resident = nil
+}
+
+// contains reports residency.
+func (f *fifoSet) contains(addr int64) bool {
+	if f.dense {
+		idx := addr - f.base
+		if idx < 0 || idx >= int64(len(f.marks)) {
+			panic("memory: address outside declared region")
+		}
+		return f.marks[idx] != 0
+	}
+	if f.probe != nil {
+		return f.probe.contains(addr)
+	}
+	_, ok := f.resident[addr]
+	return ok
+}
+
+func (f *fifoSet) mark(addr int64, present bool) {
+	if f.dense {
+		if present {
+			f.marks[addr-f.base] = 1
+		} else {
+			f.marks[addr-f.base] = 0
+		}
+		return
+	}
+	if f.probe != nil {
+		if present {
+			f.probe.insert(addr)
+		} else {
+			f.probe.remove(addr)
+		}
+		return
+	}
+	if present {
+		f.resident[addr] = struct{}{}
+	} else {
+		delete(f.resident, addr)
+	}
+}
+
+// insert adds addr, evicting the oldest entry when full. It returns the
+// evicted address and whether an eviction happened.
+func (f *fifoSet) insert(addr int64) (evicted int64, didEvict bool) {
+	if int64(len(f.ring)) < f.capacity {
+		f.ring = append(f.ring, addr)
+		f.mark(addr, true)
+		return 0, false
+	}
+	old := f.ring[f.head]
+	f.mark(old, false)
+	f.ring[f.head] = addr
+	f.mark(addr, true)
+	f.head++
+	if f.head == len(f.ring) {
+		f.head = 0
+	}
+	return old, true
+}
+
+// drain empties the set, invoking fn for each resident address in FIFO order.
+func (f *fifoSet) drain(fn func(addr int64)) {
+	n := len(f.ring)
+	for i := 0; i < n; i++ {
+		addr := f.ring[(f.head+i)%n]
+		fn(addr)
+		f.mark(addr, false)
+	}
+	f.ring = f.ring[:0]
+	f.head = 0
+}
+
+func (f *fifoSet) len() int { return len(f.ring) }
+
+// ReadBuffer is one operand SRAM on the read path (IFMAP or filter).
+// It implements trace.Consumer over the SRAM read trace and forwards demand
+// misses to the DRAM read trace.
+type ReadBuffer struct {
+	name string
+	set  *fifoSet
+
+	// SRAMReads counts word reads served (hits + misses).
+	SRAMReads int64
+	// DRAMReads counts words fetched from DRAM (demand misses).
+	DRAMReads int64
+	// Evictions counts working-set replacements.
+	Evictions int64
+
+	dram  trace.Consumer
+	meter *trace.BandwidthMeter
+	buf   []int64
+}
+
+// NewReadBuffer creates a read-path SRAM.
+//
+// capacityWords is the nominal SRAM size in words; with doubleBuffered the
+// effective resident capacity is half of it. dram receives the DRAM read
+// trace (may be nil) and meter, when non-nil, accumulates the DRAM demand
+// bandwidth profile.
+func NewReadBuffer(name string, capacityWords int64, doubleBuffered bool, dram trace.Consumer, meter *trace.BandwidthMeter) (*ReadBuffer, error) {
+	eff, err := effectiveCapacity(name, capacityWords, doubleBuffered)
+	if err != nil {
+		return nil, err
+	}
+	if dram == nil {
+		dram = trace.Null
+	}
+	return &ReadBuffer{name: name, set: newFIFOSet(eff), dram: dram, meter: meter}, nil
+}
+
+// Name returns the buffer's label.
+func (b *ReadBuffer) Name() string { return b.name }
+
+// SetRegion declares the address region this buffer will service, enabling
+// the fast direct-mapped residency table. Call before the first access.
+func (b *ReadBuffer) SetRegion(base, words int64) { b.set.setRegion(base, words) }
+
+// EffectiveWords returns the resident capacity in words.
+func (b *ReadBuffer) EffectiveWords() int64 { return b.set.capacity }
+
+// Consume implements trace.Consumer over SRAM read events.
+func (b *ReadBuffer) Consume(cycle int64, addrs []int64) {
+	if len(addrs) == 0 {
+		return
+	}
+	b.SRAMReads += int64(len(addrs))
+	misses := b.buf[:0]
+	for _, a := range addrs {
+		if b.set.contains(a) {
+			continue
+		}
+		if _, evicted := b.set.insert(a); evicted {
+			b.Evictions++
+		}
+		misses = append(misses, a)
+	}
+	b.buf = misses
+	if len(misses) == 0 {
+		return
+	}
+	b.DRAMReads += int64(len(misses))
+	b.dram.Consume(cycle, misses)
+	if b.meter != nil {
+		b.meter.Add(cycle, int64(len(misses)))
+	}
+}
+
+// HitRate returns the fraction of SRAM reads served without DRAM traffic.
+func (b *ReadBuffer) HitRate() float64 {
+	if b.SRAMReads == 0 {
+		return 0
+	}
+	return 1 - float64(b.DRAMReads)/float64(b.SRAMReads)
+}
+
+// WriteBuffer is the OFMAP SRAM: a write-back buffer that drains to DRAM on
+// eviction and at the final Flush.
+type WriteBuffer struct {
+	name string
+	set  *fifoSet
+
+	// SRAMWrites counts word writes accepted from the array.
+	SRAMWrites int64
+	// DRAMWrites counts words drained to DRAM.
+	DRAMWrites int64
+
+	dram  trace.Consumer
+	meter *trace.BandwidthMeter
+	buf   []int64
+}
+
+// NewWriteBuffer creates the write-path SRAM; parameters mirror
+// NewReadBuffer, with dram receiving the DRAM write trace.
+func NewWriteBuffer(name string, capacityWords int64, doubleBuffered bool, dram trace.Consumer, meter *trace.BandwidthMeter) (*WriteBuffer, error) {
+	eff, err := effectiveCapacity(name, capacityWords, doubleBuffered)
+	if err != nil {
+		return nil, err
+	}
+	if dram == nil {
+		dram = trace.Null
+	}
+	return &WriteBuffer{name: name, set: newFIFOSet(eff), dram: dram, meter: meter}, nil
+}
+
+// Name returns the buffer's label.
+func (b *WriteBuffer) Name() string { return b.name }
+
+// SetRegion declares the address region this buffer will service, enabling
+// the fast direct-mapped residency table. Call before the first access.
+func (b *WriteBuffer) SetRegion(base, words int64) { b.set.setRegion(base, words) }
+
+// EffectiveWords returns the resident capacity in words.
+func (b *WriteBuffer) EffectiveWords() int64 { return b.set.capacity }
+
+// Consume implements trace.Consumer over SRAM write events.
+func (b *WriteBuffer) Consume(cycle int64, addrs []int64) {
+	if len(addrs) == 0 {
+		return
+	}
+	b.SRAMWrites += int64(len(addrs))
+	drained := b.buf[:0]
+	for _, a := range addrs {
+		if b.set.contains(a) {
+			continue // accumulate in place, no new traffic
+		}
+		if old, evicted := b.set.insert(a); evicted {
+			drained = append(drained, old)
+		}
+	}
+	b.buf = drained
+	if len(drained) == 0 {
+		return
+	}
+	b.DRAMWrites += int64(len(drained))
+	b.dram.Consume(cycle, drained)
+	if b.meter != nil {
+		b.meter.Add(cycle, int64(len(drained)))
+	}
+}
+
+// Flush drains every resident output to DRAM at the given cycle (the end of
+// the layer). It returns the number of words written back.
+func (b *WriteBuffer) Flush(cycle int64) int64 {
+	drained := b.buf[:0]
+	b.set.drain(func(addr int64) { drained = append(drained, addr) })
+	b.buf = drained
+	if len(drained) == 0 {
+		return 0
+	}
+	b.DRAMWrites += int64(len(drained))
+	b.dram.Consume(cycle, drained)
+	if b.meter != nil {
+		b.meter.Add(cycle, int64(len(drained)))
+	}
+	return int64(len(drained))
+}
+
+// Pending returns the resident word count awaiting write-back.
+func (b *WriteBuffer) Pending() int64 { return int64(b.set.len()) }
+
+func effectiveCapacity(name string, capacityWords int64, doubleBuffered bool) (int64, error) {
+	if capacityWords < 1 {
+		return 0, fmt.Errorf("memory: %s: capacity %d words must be positive", name, capacityWords)
+	}
+	eff := capacityWords
+	if doubleBuffered {
+		eff = capacityWords / 2
+		if eff < 1 {
+			eff = 1
+		}
+	}
+	return eff, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package memory
+
+import "math/bits"
+
+// probeSet is an open-addressing hash set of non-negative int64 addresses
+// with linear probing and backward-shift deletion. Its footprint is
+// proportional to the declared capacity (the table is sized to at most 50%
+// load), which makes it the right residency structure for buffers serving
+// very large address regions.
+type probeSet struct {
+	slots []int64 // stores addr+1; 0 means empty
+	mask  uint64
+}
+
+// newProbeSet sizes the table for up to capacity live elements.
+func newProbeSet(capacity int64) *probeSet {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := uint64(1) << bits.Len64(uint64(capacity*2-1)) // >= 2*capacity, pow2
+	if size < 8 {
+		size = 8
+	}
+	return &probeSet{slots: make([]int64, size), mask: size - 1}
+}
+
+func (p *probeSet) home(addr int64) uint64 {
+	// Fibonacci hashing spreads sequential addresses well.
+	return (uint64(addr+1) * 0x9E3779B97F4A7C15) >> 1 & p.mask
+}
+
+// contains reports membership.
+func (p *probeSet) contains(addr int64) bool {
+	key := addr + 1
+	for i := p.home(addr); ; i = (i + 1) & p.mask {
+		s := p.slots[i]
+		if s == 0 {
+			return false
+		}
+		if s == key {
+			return true
+		}
+	}
+}
+
+// insert adds addr; inserting an existing element is a no-op.
+func (p *probeSet) insert(addr int64) {
+	key := addr + 1
+	for i := p.home(addr); ; i = (i + 1) & p.mask {
+		s := p.slots[i]
+		if s == key {
+			return
+		}
+		if s == 0 {
+			p.slots[i] = key
+			return
+		}
+	}
+}
+
+// remove deletes addr using backward-shift deletion, which keeps probe
+// chains intact without tombstones. Removing an absent element is a no-op.
+func (p *probeSet) remove(addr int64) {
+	key := addr + 1
+	i := p.home(addr)
+	for {
+		s := p.slots[i]
+		if s == 0 {
+			return // not present
+		}
+		if s == key {
+			break
+		}
+		i = (i + 1) & p.mask
+	}
+	// Shift the rest of the cluster back over the hole.
+	hole := i
+	j := i
+	for {
+		j = (j + 1) & p.mask
+		s := p.slots[j]
+		if s == 0 {
+			break
+		}
+		h := p.home(s - 1)
+		// s may fill the hole if its home position lies at or before the
+		// hole along the probe order (cyclic comparison).
+		if (j-h)&p.mask >= (j-hole)&p.mask {
+			p.slots[hole] = s
+			hole = j
+		}
+	}
+	p.slots[hole] = 0
+}

@@ -1,0 +1,143 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestProbeSetAgainstMap drives the probe set and a reference map through
+// the same random insert/remove/contains sequence.
+func TestProbeSetAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	p := newProbeSet(64)
+	ref := map[int64]bool{}
+	live := 0
+	for op := 0; op < 200_000; op++ {
+		addr := int64(rng.Intn(300)) // force heavy collision and reuse
+		switch {
+		case live < 64 && rng.Intn(2) == 0:
+			if !ref[addr] {
+				live++
+			}
+			ref[addr] = true
+			p.insert(addr)
+		default:
+			if ref[addr] {
+				live--
+			}
+			delete(ref, addr)
+			p.remove(addr)
+		}
+		if p.contains(addr) != ref[addr] {
+			t.Fatalf("op %d: contains(%d) = %v, want %v", op, addr, p.contains(addr), ref[addr])
+		}
+		if op%1000 == 0 {
+			for a := int64(0); a < 300; a++ {
+				if p.contains(a) != ref[a] {
+					t.Fatalf("op %d: drift at addr %d", op, a)
+				}
+			}
+		}
+	}
+}
+
+func TestProbeSetAddressZero(t *testing.T) {
+	p := newProbeSet(4)
+	if p.contains(0) {
+		t.Error("empty set contains 0")
+	}
+	p.insert(0)
+	if !p.contains(0) {
+		t.Error("0 not found after insert")
+	}
+	p.insert(0) // duplicate insert is a no-op
+	p.remove(0)
+	if p.contains(0) {
+		t.Error("0 still present after remove")
+	}
+	p.remove(0) // absent remove is a no-op
+}
+
+func TestProbeSetTinyCapacity(t *testing.T) {
+	p := newProbeSet(0)
+	p.insert(42)
+	if !p.contains(42) || p.contains(43) {
+		t.Error("tiny set misbehaves")
+	}
+}
+
+// TestProbeSetClusterDeletion exercises backward-shift deletion inside a
+// dense collision cluster.
+func TestProbeSetClusterDeletion(t *testing.T) {
+	p := newProbeSet(8)
+	// Insert enough sequential addresses to form clusters.
+	for a := int64(100); a < 108; a++ {
+		p.insert(a)
+	}
+	// Remove from the middle and verify the rest stay findable.
+	p.remove(103)
+	p.remove(100)
+	for a := int64(100); a < 108; a++ {
+		want := a != 103 && a != 100
+		if p.contains(a) != want {
+			t.Errorf("contains(%d) = %v, want %v", a, p.contains(a), want)
+		}
+	}
+}
+
+// TestFIFOSetProbeModeAgainstMapMode runs the full fifoSet in probe mode and
+// map mode over an identical access trace and requires identical behaviour.
+func TestFIFOSetProbeModeAgainstMapMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func(region bool) *ReadBuffer {
+		b, err := NewReadBuffer("x", 128, false, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if region {
+			// A region larger than denseLimitWords selects the probe set.
+			b.SetRegion(0, denseLimitWords+1)
+		}
+		return b
+	}
+	probe, plain := mk(true), mk(false)
+	if probe.set.probe == nil {
+		t.Fatal("probe mode not selected")
+	}
+	for cycle := int64(0); cycle < 50_000; cycle++ {
+		addr := int64(rng.Intn(500))
+		probe.Consume(cycle, []int64{addr})
+		plain.Consume(cycle, []int64{addr})
+	}
+	if probe.DRAMReads != plain.DRAMReads || probe.Evictions != plain.Evictions {
+		t.Errorf("probe mode diverged: %d/%d vs %d/%d",
+			probe.DRAMReads, probe.Evictions, plain.DRAMReads, plain.Evictions)
+	}
+}
+
+// TestFIFOSetDenseModeAgainstMapMode does the same for the dense mode.
+func TestFIFOSetDenseModeAgainstMapMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mkDense, err := NewWriteBuffer("d", 64, false, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkDense.SetRegion(0, 1000)
+	if !mkDense.set.dense {
+		t.Fatal("dense mode not selected")
+	}
+	plain, err := NewWriteBuffer("p", 64, false, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := int64(0); cycle < 50_000; cycle++ {
+		addr := int64(rng.Intn(1000))
+		mkDense.Consume(cycle, []int64{addr})
+		plain.Consume(cycle, []int64{addr})
+	}
+	mkDense.Flush(50_000)
+	plain.Flush(50_000)
+	if mkDense.DRAMWrites != plain.DRAMWrites {
+		t.Errorf("dense mode diverged: %d vs %d", mkDense.DRAMWrites, plain.DRAMWrites)
+	}
+}

@@ -1,0 +1,132 @@
+package memory
+
+import (
+	"scalesim/internal/config"
+	"scalesim/internal/trace"
+)
+
+// DefaultBandwidthWindow is the cycle granularity for peak-bandwidth
+// profiling.
+const DefaultBandwidthWindow = 64
+
+// Options tunes a memory System beyond what config.Config specifies.
+type Options struct {
+	// DoubleBuffered halves each SRAM's effective resident capacity (the
+	// paper's configuration). NewSystem defaults it to true; set
+	// SingleBuffered to disable.
+	SingleBuffered bool
+	// BandwidthWindow is the cycle window for peak-bandwidth profiling
+	// (default DefaultBandwidthWindow).
+	BandwidthWindow int64
+	// DRAMRead and DRAMWrite optionally receive the DRAM traces (e.g. CSV
+	// writers or a DRAM timing model).
+	DRAMRead, DRAMWrite trace.Consumer
+}
+
+// System is the accelerator's local memory: the three operand SRAMs plus
+// their DRAM-interface bandwidth meters.
+type System struct {
+	// Ifmap and Filter are the read-path SRAMs; Ofmap the write-back SRAM.
+	Ifmap, Filter *ReadBuffer
+	Ofmap         *WriteBuffer
+	// IfmapBW, FilterBW and OfmapBW profile DRAM traffic per operand.
+	IfmapBW, FilterBW, OfmapBW *trace.BandwidthMeter
+
+	wordBytes int64
+}
+
+// NewSystem builds the memory system described by cfg.
+func NewSystem(cfg config.Config, opt Options) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	window := opt.BandwidthWindow
+	if window <= 0 {
+		window = DefaultBandwidthWindow
+	}
+	wb := int64(cfg.WordBytes)
+	s := &System{
+		IfmapBW:   trace.NewBandwidthMeter(window, wb),
+		FilterBW:  trace.NewBandwidthMeter(window, wb),
+		OfmapBW:   trace.NewBandwidthMeter(window, wb),
+		wordBytes: wb,
+	}
+	double := !opt.SingleBuffered
+	var err error
+	s.Ifmap, err = NewReadBuffer("ifmap", cfg.IfmapSRAMWords(), double, opt.DRAMRead, s.IfmapBW)
+	if err != nil {
+		return nil, err
+	}
+	s.Filter, err = NewReadBuffer("filter", cfg.FilterSRAMWords(), double, opt.DRAMRead, s.FilterBW)
+	if err != nil {
+		return nil, err
+	}
+	s.Ofmap, err = NewWriteBuffer("ofmap", cfg.OfmapSRAMWords(), double, opt.DRAMWrite, s.OfmapBW)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SetRegions declares the three operand address regions (base and extent in
+// words), enabling the buffers' fast direct-mapped residency tables. Call
+// before the first access; callers that know the layer use the layer's
+// element counts as extents.
+func (s *System) SetRegions(ifBase, ifWords, flBase, flWords, ofBase, ofWords int64) {
+	s.Ifmap.SetRegion(ifBase, ifWords)
+	s.Filter.SetRegion(flBase, flWords)
+	s.Ofmap.SetRegion(ofBase, ofWords)
+}
+
+// Report summarizes the traffic observed so far. totalCycles is the layer's
+// runtime, used to normalize average bandwidths; Flush the OFMAP buffer
+// before reporting.
+func (s *System) Report(totalCycles int64) Report {
+	r := Report{
+		IfmapSRAMReads:  s.Ifmap.SRAMReads,
+		FilterSRAMReads: s.Filter.SRAMReads,
+		OfmapSRAMWrites: s.Ofmap.SRAMWrites,
+		IfmapDRAMReads:  s.Ifmap.DRAMReads,
+		FilterDRAMReads: s.Filter.DRAMReads,
+		OfmapDRAMWrites: s.Ofmap.DRAMWrites,
+		Cycles:          totalCycles,
+		WordBytes:       s.wordBytes,
+
+		PeakIfmapBW:  s.IfmapBW.PeakBytesPerCycle(),
+		PeakFilterBW: s.FilterBW.PeakBytesPerCycle(),
+		PeakOfmapBW:  s.OfmapBW.PeakBytesPerCycle(),
+	}
+	if totalCycles > 0 {
+		c := float64(totalCycles)
+		r.AvgReadBW = float64((r.IfmapDRAMReads+r.FilterDRAMReads)*s.wordBytes) / c
+		r.AvgWriteBW = float64(r.OfmapDRAMWrites*s.wordBytes) / c
+	}
+	return r
+}
+
+// Report is the memory side of a layer's simulation summary.
+type Report struct {
+	// SRAM access totals (words).
+	IfmapSRAMReads, FilterSRAMReads, OfmapSRAMWrites int64
+	// DRAM interface totals (words).
+	IfmapDRAMReads, FilterDRAMReads, OfmapDRAMWrites int64
+	// Cycles is the runtime used for bandwidth normalization.
+	Cycles int64
+	// WordBytes is the element size.
+	WordBytes int64
+	// AvgReadBW and AvgWriteBW are bytes per cycle over the whole runtime.
+	AvgReadBW, AvgWriteBW float64
+	// PeakIfmapBW, PeakFilterBW and PeakOfmapBW are the highest windowed
+	// demands in bytes per cycle.
+	PeakIfmapBW, PeakFilterBW, PeakOfmapBW float64
+}
+
+// DRAMReads returns the total words read from DRAM.
+func (r Report) DRAMReads() int64 { return r.IfmapDRAMReads + r.FilterDRAMReads }
+
+// DRAMAccesses returns the total words moved over the interface.
+func (r Report) DRAMAccesses() int64 { return r.DRAMReads() + r.OfmapDRAMWrites }
+
+// AvgTotalBW returns the combined average interface bandwidth in bytes per
+// cycle.
+func (r Report) AvgTotalBW() float64 { return r.AvgReadBW + r.AvgWriteBW }

@@ -1,0 +1,221 @@
+// Package noc models the on-chip network that distributes operands to the
+// partitions of a scale-out accelerator and collects their outputs. The
+// paper's Sec. IV-A points at this cost directly: "the loss of reuse within
+// the array over short wires also leads to longer traversals over an
+// on-chip/off-chip network ... to distribute data to the different
+// partitions and collecting outputs — which in turn can affect overall
+// energy."
+//
+// The model is a 2D mesh of Pr x Pc routers, one per partition, with the
+// memory controller attached at the north-west corner. Traffic is routed
+// XY (first along row 0, then down the destination column), the standard
+// deadlock-free choice. Given each partition's interface traffic, the
+// model computes exact per-link loads, the serialization time the busiest
+// link imposes, and hop-based transport energy — in both unicast mode and
+// an idealized multicast mode where a word shared by several partitions in
+// a column traverses shared links once.
+package noc
+
+import (
+	"fmt"
+)
+
+// Config holds the mesh's cost parameters.
+type Config struct {
+	// LinkWordsPerCycle is each link's bandwidth.
+	LinkWordsPerCycle float64
+	// HopEnergy is the energy per word per link traversed (same normalized
+	// units as the energy package; Eyeriss-style wiring puts a hop at about
+	// one MAC-cycle).
+	HopEnergy float64
+}
+
+// Default returns a 1 word/cycle/link mesh with unit hop energy.
+func Default() Config {
+	return Config{LinkWordsPerCycle: 1, HopEnergy: 1}
+}
+
+// Validate rejects non-positive link bandwidth and negative energies.
+func (c Config) Validate() error {
+	if c.LinkWordsPerCycle <= 0 {
+		return fmt.Errorf("noc: LinkWordsPerCycle must be positive, got %v", c.LinkWordsPerCycle)
+	}
+	if c.HopEnergy < 0 {
+		return fmt.Errorf("noc: negative HopEnergy %v", c.HopEnergy)
+	}
+	return nil
+}
+
+// Traffic is one partition's interface load.
+type Traffic struct {
+	// Pi, Pj locate the partition in the mesh.
+	Pi, Pj int64
+	// Words is the number of words moved between the partition and the
+	// memory controller (reads plus writes).
+	Words int64
+}
+
+// Report is the mesh analysis result.
+type Report struct {
+	// TotalHopWords is the sum over words of links traversed (the energy
+	// proxy). Injection from the controller into the mesh counts as one hop.
+	TotalHopWords int64
+	// AvgHops is TotalHopWords divided by total words.
+	AvgHops float64
+	// MaxLinkWords is the load on the busiest link.
+	MaxLinkWords int64
+	// SerializationCycles is MaxLinkWords / LinkWordsPerCycle: the minimum
+	// time the mesh needs to move the traffic, regardless of compute.
+	SerializationCycles float64
+	// Energy is TotalHopWords x HopEnergy.
+	Energy float64
+}
+
+// Analyze routes the traffic over a pr x pc mesh and returns the exact
+// per-link accounting. With multicast set, words that several partitions in
+// the same column need are modeled as traversing the shared row-0 links
+// once (an idealized tree multicast); sharedWords is the caller's estimate
+// of how many of each partition's words are shared with every other
+// partition in its column (0 for pure unicast).
+func Analyze(pr, pc int64, traffic []Traffic, cfg Config) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	if pr < 1 || pc < 1 {
+		return Report{}, fmt.Errorf("noc: invalid mesh %dx%d", pr, pc)
+	}
+	// Link loads: row0[j] is the horizontal link from column j-1 to j on
+	// row 0 (j in 1..pc-1); col[j][i] is the vertical link from row i-1 to
+	// i in column j (i in 1..pr-1); inject is the controller's injection
+	// link into router (0,0).
+	row0 := make([]int64, pc)
+	col := make([][]int64, pc)
+	for j := range col {
+		col[j] = make([]int64, pr)
+	}
+	var inject, totalWords, totalHops int64
+
+	for _, t := range traffic {
+		if t.Pi < 0 || t.Pi >= pr || t.Pj < 0 || t.Pj >= pc {
+			return Report{}, fmt.Errorf("noc: partition (%d,%d) outside %dx%d mesh", t.Pi, t.Pj, pr, pc)
+		}
+		if t.Words < 0 {
+			return Report{}, fmt.Errorf("noc: negative traffic at (%d,%d)", t.Pi, t.Pj)
+		}
+		if t.Words == 0 {
+			continue
+		}
+		totalWords += t.Words
+		inject += t.Words
+		// XY route: along row 0 to column Pj, then down to row Pi.
+		for j := int64(1); j <= t.Pj; j++ {
+			row0[j] += t.Words
+		}
+		for i := int64(1); i <= t.Pi; i++ {
+			col[t.Pj][i] += t.Words
+		}
+		totalHops += t.Words * (1 + t.Pj + t.Pi)
+	}
+
+	rep := Report{TotalHopWords: totalHops}
+	if totalWords > 0 {
+		rep.AvgHops = float64(totalHops) / float64(totalWords)
+	}
+	rep.MaxLinkWords = inject
+	for j := int64(0); j < pc; j++ {
+		if row0[j] > rep.MaxLinkWords {
+			rep.MaxLinkWords = row0[j]
+		}
+		for i := int64(0); i < pr; i++ {
+			if col[j][i] > rep.MaxLinkWords {
+				rep.MaxLinkWords = col[j][i]
+			}
+		}
+	}
+	rep.SerializationCycles = float64(rep.MaxLinkWords) / cfg.LinkWordsPerCycle
+	rep.Energy = float64(rep.TotalHopWords) * cfg.HopEnergy
+	return rep, nil
+}
+
+// AnalyzeMulticast models the idealized tree multicast for operand
+// distribution. Words shared by every partition of a column (the column
+// holds copies of the same operand slice under spatial partitioning) are
+// delivered once over the horizontal path and fanned down the column,
+// instead of once per partition. The shared volume of a column is
+// sharedFraction of the smallest per-partition traffic in that column — a
+// word can only be "shared by all" if every partition requested it.
+// Multicast is never worse than unicast for the same traffic.
+//
+// sharedFraction must be in [0, 1]; 0 degenerates to Analyze.
+func AnalyzeMulticast(pr, pc int64, traffic []Traffic, sharedFraction float64, cfg Config) (Report, error) {
+	if sharedFraction < 0 || sharedFraction > 1 {
+		return Report{}, fmt.Errorf("noc: sharedFraction %v outside [0,1]", sharedFraction)
+	}
+	if sharedFraction == 0 || pr == 1 {
+		return Analyze(pr, pc, traffic, cfg)
+	}
+	// Per column: the multicast volume and the deepest requesting row.
+	type colShare struct {
+		words   int64 // min words over requesting partitions x fraction
+		deepest int64
+		seen    bool
+	}
+	shares := make(map[int64]*colShare)
+	for _, t := range traffic {
+		if t.Pi < 0 || t.Pi >= pr || t.Pj < 0 || t.Pj >= pc {
+			return Report{}, fmt.Errorf("noc: partition (%d,%d) outside %dx%d mesh", t.Pi, t.Pj, pr, pc)
+		}
+		if t.Words <= 0 {
+			continue
+		}
+		s := shares[t.Pj]
+		if s == nil {
+			s = &colShare{words: t.Words, deepest: t.Pi, seen: true}
+			shares[t.Pj] = s
+			continue
+		}
+		if t.Words < s.words {
+			s.words = t.Words
+		}
+		if t.Pi > s.deepest {
+			s.deepest = t.Pi
+		}
+	}
+	for _, s := range shares {
+		s.words = int64(float64(s.words) * sharedFraction)
+	}
+
+	// Private remainder routes unicast.
+	private := make([]Traffic, 0, len(traffic))
+	for _, t := range traffic {
+		w := t.Words
+		if s := shares[t.Pj]; s != nil && w > 0 {
+			w -= s.words
+		}
+		private = append(private, Traffic{Pi: t.Pi, Pj: t.Pj, Words: w})
+	}
+	rep, err := Analyze(pr, pc, private, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	// One multicast delivery per column: injection + horizontal path +
+	// column links down to the deepest requester.
+	for j, s := range shares {
+		if s.words == 0 {
+			continue
+		}
+		hops := s.words * (1 + j + s.deepest)
+		rep.TotalHopWords += hops
+		rep.Energy += float64(hops) * cfg.HopEnergy
+		rep.MaxLinkWords += s.words // the injection link carries it once
+	}
+	rep.SerializationCycles = float64(rep.MaxLinkWords) / cfg.LinkWordsPerCycle
+	var totalWords int64
+	for _, t := range traffic {
+		totalWords += t.Words
+	}
+	if totalWords > 0 {
+		rep.AvgHops = float64(rep.TotalHopWords) / float64(totalWords)
+	}
+	return rep, nil
+}

@@ -1,0 +1,187 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("Default invalid: %v", err)
+	}
+	if err := (Config{LinkWordsPerCycle: 0, HopEnergy: 1}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if err := (Config{LinkWordsPerCycle: 1, HopEnergy: -1}).Validate(); err == nil {
+		t.Error("negative hop energy accepted")
+	}
+}
+
+func TestSinglePartition(t *testing.T) {
+	rep, err := Analyze(1, 1, []Traffic{{Pi: 0, Pj: 0, Words: 100}}, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the injection hop.
+	if rep.TotalHopWords != 100 || rep.AvgHops != 1 {
+		t.Errorf("hops = %d avg %v", rep.TotalHopWords, rep.AvgHops)
+	}
+	if rep.MaxLinkWords != 100 || rep.SerializationCycles != 100 {
+		t.Errorf("link = %d ser %v", rep.MaxLinkWords, rep.SerializationCycles)
+	}
+	if rep.Energy != 100 {
+		t.Errorf("energy = %v", rep.Energy)
+	}
+}
+
+func TestXYRoutingHops(t *testing.T) {
+	// Partition (2,3) is 1 injection + 3 horizontal + 2 vertical = 6 hops away.
+	rep, err := Analyze(4, 4, []Traffic{{Pi: 2, Pj: 3, Words: 10}}, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalHopWords != 60 {
+		t.Errorf("TotalHopWords = %d, want 60", rep.TotalHopWords)
+	}
+	if rep.AvgHops != 6 {
+		t.Errorf("AvgHops = %v, want 6", rep.AvgHops)
+	}
+	// Every traversed link carries all 10 words.
+	if rep.MaxLinkWords != 10 {
+		t.Errorf("MaxLinkWords = %d", rep.MaxLinkWords)
+	}
+}
+
+func TestInjectionLinkIsBottleneck(t *testing.T) {
+	// Uniform traffic: the injection link carries everything.
+	var traffic []Traffic
+	for i := int64(0); i < 4; i++ {
+		for j := int64(0); j < 4; j++ {
+			traffic = append(traffic, Traffic{Pi: i, Pj: j, Words: 5})
+		}
+	}
+	cfg := Default()
+	cfg.LinkWordsPerCycle = 2
+	rep, err := Analyze(4, 4, traffic, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxLinkWords != 80 {
+		t.Errorf("MaxLinkWords = %d, want 80 (all words through injection)", rep.MaxLinkWords)
+	}
+	if rep.SerializationCycles != 40 {
+		t.Errorf("SerializationCycles = %v, want 40", rep.SerializationCycles)
+	}
+}
+
+// TestFartherPartitionsCostMore: the core scaling observation — the same
+// traffic spread over a bigger mesh costs more hop-energy.
+func TestFartherPartitionsCostMore(t *testing.T) {
+	mk := func(pr, pc int64) Report {
+		var traffic []Traffic
+		for i := int64(0); i < pr; i++ {
+			for j := int64(0); j < pc; j++ {
+				traffic = append(traffic, Traffic{Pi: i, Pj: j, Words: 100})
+			}
+		}
+		rep, err := Analyze(pr, pc, traffic, Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	small, large := mk(2, 2), mk(8, 8)
+	if large.AvgHops <= small.AvgHops {
+		t.Errorf("avg hops did not grow: %v vs %v", small.AvgHops, large.AvgHops)
+	}
+	if large.Energy/float64(64*100) <= small.Energy/float64(4*100) {
+		t.Error("per-word energy did not grow with mesh size")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(0, 1, nil, Default()); err == nil {
+		t.Error("zero mesh accepted")
+	}
+	if _, err := Analyze(2, 2, []Traffic{{Pi: 2, Pj: 0, Words: 1}}, Default()); err == nil {
+		t.Error("out-of-mesh partition accepted")
+	}
+	if _, err := Analyze(2, 2, []Traffic{{Pi: 0, Pj: 0, Words: -1}}, Default()); err == nil {
+		t.Error("negative words accepted")
+	}
+	if _, err := Analyze(2, 2, nil, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := AnalyzeMulticast(2, 2, nil, -0.1, Default()); err == nil {
+		t.Error("bad shared fraction accepted")
+	}
+	if _, err := AnalyzeMulticast(2, 2, []Traffic{{Pi: 5, Pj: 0, Words: 1}}, 0.5, Default()); err == nil {
+		t.Error("multicast out-of-mesh accepted")
+	}
+}
+
+func TestZeroTrafficPartitionsIgnored(t *testing.T) {
+	rep, err := Analyze(2, 2, []Traffic{{Pi: 1, Pj: 1, Words: 0}}, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalHopWords != 0 || rep.AvgHops != 0 || rep.SerializationCycles != 0 {
+		t.Errorf("empty traffic produced %+v", rep)
+	}
+}
+
+// TestMulticastNeverWorse: idealized multicast can only reduce hop-energy
+// relative to unicast for the same traffic.
+func TestMulticastNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		pr, pc := int64(1+rng.Intn(4)), int64(1+rng.Intn(4))
+		var traffic []Traffic
+		for i := int64(0); i < pr; i++ {
+			for j := int64(0); j < pc; j++ {
+				traffic = append(traffic, Traffic{Pi: i, Pj: j, Words: int64(rng.Intn(1000))})
+			}
+		}
+		uni, err := Analyze(pr, pc, traffic, Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frac := range []float64{0, 0.3, 1} {
+			multi, err := AnalyzeMulticast(pr, pc, traffic, frac, Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if frac == 0 && multi != uni {
+				t.Fatalf("fraction 0 differs from unicast")
+			}
+			if pr > 1 && multi.Energy > uni.Energy {
+				t.Fatalf("mesh %dx%d frac %v: multicast energy %v > unicast %v",
+					pr, pc, frac, multi.Energy, uni.Energy)
+			}
+		}
+	}
+}
+
+// TestLinkLoadConservation: summing hop-words over all links equals the
+// reported total (the per-link accounting is exact, not an estimate).
+func TestLinkLoadConservation(t *testing.T) {
+	// Recompute with an independent method: per-destination hop formula.
+	rng := rand.New(rand.NewSource(21))
+	pr, pc := int64(5), int64(3)
+	var traffic []Traffic
+	var want int64
+	for i := int64(0); i < pr; i++ {
+		for j := int64(0); j < pc; j++ {
+			w := int64(rng.Intn(500))
+			traffic = append(traffic, Traffic{Pi: i, Pj: j, Words: w})
+			want += w * (1 + i + j)
+		}
+	}
+	rep, err := Analyze(pr, pc, traffic, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalHopWords != want {
+		t.Errorf("TotalHopWords = %d, want %d", rep.TotalHopWords, want)
+	}
+}

@@ -1,0 +1,39 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"scalesim/internal/analytical"
+	"scalesim/internal/config"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/topology"
+)
+
+// TestCycleAccurateMatchesEq6 is the scale-out analogue of the simulator's
+// Eq. 4 property: because execution is stall-free, the cycle-accurate
+// partitioned runtime equals the analytical model's Eq. 6 exactly, for
+// random layers, grids, shapes and dataflows.
+func TestCycleAccurateMatchesEq6(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		l := topology.FromGEMM("x",
+			1+rng.Intn(300), 1+rng.Intn(60), 1+rng.Intn(200))
+		df := config.Dataflows[rng.Intn(3)]
+		base := config.New().WithSRAM(4, 4, 2).WithDataflow(df)
+		s := Spec{
+			Parts: analytical.Partitioning{Pr: int64(1 + rng.Intn(4)), Pc: int64(1 + rng.Intn(4))},
+			Shape: analytical.Shape{R: int64(1 + rng.Intn(16)), C: int64(1 + rng.Intn(16))},
+		}
+		res, err := Run(l, base, s, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m := dataflow.Map(l, df)
+		want := analytical.ScaleOutRuntime(m, s.Parts.Pr, s.Parts.Pc, s.Shape.R, s.Shape.C)
+		if res.Cycles != want {
+			t.Fatalf("trial %d (%v %v on %v): cycle-accurate %d != Eq.6 %d",
+				trial, l.Name, df, s, res.Cycles, want)
+		}
+	}
+}

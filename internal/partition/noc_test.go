@@ -1,0 +1,101 @@
+package partition
+
+import (
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/noc"
+)
+
+func TestParallelDeterminism(t *testing.T) {
+	l := testLayer()
+	base := config.New().WithSRAM(4, 4, 2)
+	s := spec(2, 4, 8, 8)
+	serial, err := Run(l, base, s, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(l, base, s, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("parallel run differs:\n serial   %+v\n parallel %+v", serial, parallel)
+	}
+}
+
+func TestNoCIntegration(t *testing.T) {
+	l := testLayer()
+	base := config.New().WithSRAM(4, 4, 2)
+	cfg := noc.Default()
+	res, err := Run(l, base, spec(2, 2, 8, 8), Options{NoC: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoC == nil {
+		t.Fatal("NoC report missing")
+	}
+	if res.NoC.TotalHopWords <= res.DRAMReads+res.DRAMWrites {
+		t.Errorf("hop-words %d should exceed raw traffic %d on a multi-hop mesh",
+			res.NoC.TotalHopWords, res.DRAMReads+res.DRAMWrites)
+	}
+	if res.Energy.NoC != res.NoC.Energy || res.Energy.NoC <= 0 {
+		t.Errorf("NoC energy not folded into breakdown: %v vs %v", res.Energy.NoC, res.NoC.Energy)
+	}
+
+	// Without the NoC option the report is absent and energy has no NoC term.
+	plain, err := Run(l, base, spec(2, 2, 8, 8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NoC != nil || plain.Energy.NoC != 0 {
+		t.Error("NoC fields set without the option")
+	}
+	if plain.Energy.Total() >= res.Energy.Total() {
+		t.Error("NoC energy did not increase the total")
+	}
+}
+
+func TestNoCMulticastReducesEnergy(t *testing.T) {
+	l := testLayer()
+	base := config.New().WithSRAM(4, 4, 2)
+	cfg := noc.Default()
+	uni, err := Run(l, base, spec(4, 2, 8, 8), Options{NoC: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Run(l, base, spec(4, 2, 8, 8), Options{NoC: &cfg, MulticastFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Energy.NoC >= uni.Energy.NoC {
+		t.Errorf("multicast energy %v not below unicast %v", multi.Energy.NoC, uni.Energy.NoC)
+	}
+}
+
+// TestNoCBiggerMeshCostsMore: the Sec. IV-A observation — the same layer on
+// more partitions pays more interconnect energy per useful word.
+func TestNoCBiggerMeshCostsMore(t *testing.T) {
+	l := testLayer()
+	base := config.New().WithSRAM(16, 16, 8)
+	cfg := noc.Default()
+	small, err := Run(l, base, spec(2, 2, 16, 16), Options{NoC: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(l, base, spec(8, 8, 4, 4), Options{NoC: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.NoC.AvgHops <= small.NoC.AvgHops {
+		t.Errorf("avg hops did not grow: %v -> %v", small.NoC.AvgHops, large.NoC.AvgHops)
+	}
+}
+
+func TestNoCInvalidConfigRejected(t *testing.T) {
+	l := testLayer()
+	bad := noc.Config{LinkWordsPerCycle: 0}
+	if _, err := Run(l, config.New(), spec(2, 2, 8, 8), Options{NoC: &bad}); err == nil {
+		t.Error("invalid NoC config accepted")
+	}
+}

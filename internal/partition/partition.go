@@ -1,0 +1,334 @@
+// Package partition executes a layer on a scale-out system: a Pr x Pc grid
+// of identical systolic arrays, each owning one rectangular slice of the
+// spatial space (Eq. 5) and each fed by its own share of the chip's SRAM
+// (the paper's Fig. 11 setup divides the total SRAM budget evenly among
+// partitions). Partitions run in parallel; the layer's runtime is the
+// slowest partition's runtime (Eq. 6) and the DRAM interface carries the
+// sum of all partitions' traffic — including the replicated fetches that
+// partitioning introduces, which is exactly the bandwidth cost the paper
+// quantifies.
+package partition
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"scalesim/internal/analytical"
+	"scalesim/internal/config"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/energy"
+	"scalesim/internal/memory"
+	"scalesim/internal/noc"
+	"scalesim/internal/systolic"
+	"scalesim/internal/topology"
+)
+
+// Spec describes a scale-out system: the partition grid and the per-array
+// shape. Parts 1x1 describes a monolithic (scale-up) run.
+type Spec struct {
+	Parts analytical.Partitioning
+	Shape analytical.Shape
+}
+
+// MACs returns the system's total MAC count.
+func (s Spec) MACs() int64 { return s.Parts.Count() * s.Shape.MACs() }
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s partitions of %s", s.Parts, s.Shape)
+}
+
+// Validate rejects non-positive dimensions.
+func (s Spec) Validate() error {
+	if s.Parts.Pr < 1 || s.Parts.Pc < 1 {
+		return fmt.Errorf("partition: invalid grid %s", s.Parts)
+	}
+	if s.Shape.R < 1 || s.Shape.C < 1 {
+		return fmt.Errorf("partition: invalid array shape %s", s.Shape)
+	}
+	return nil
+}
+
+// Result summarizes a scale-out run of one layer.
+type Result struct {
+	// Layer and Spec identify the run.
+	Layer topology.Layer
+	Spec  Spec
+	// Cycles is the runtime of the slowest partition.
+	Cycles int64
+	// MACs is the total useful work (invariant across partitionings).
+	MACs int64
+	// ActivePartitions counts partitions that received work; trailing
+	// partitions of an over-partitioned workload may have none.
+	ActivePartitions int64
+	// SRAMReads and SRAMWrites are summed word accesses across partitions.
+	SRAMReads, SRAMWrites int64
+	// DRAMReads and DRAMWrites are summed interface words across partitions.
+	DRAMReads, DRAMWrites int64
+	// AvgDRAMReadBW / AvgDRAMWriteBW are bytes per cycle over the layer
+	// runtime, aggregated over all partitions running concurrently.
+	AvgDRAMReadBW, AvgDRAMWriteBW float64
+	// PeakDRAMBW sums the partitions' peak windowed demands (bytes/cycle).
+	PeakDRAMBW float64
+	// Energy is the run's energy breakdown under the supplied model.
+	Energy energy.Breakdown
+	// NoC is the interconnect analysis, set when Options.NoC is provided.
+	NoC *noc.Report
+}
+
+// AvgDRAMBW returns the combined average interface bandwidth.
+func (r Result) AvgDRAMBW() float64 { return r.AvgDRAMReadBW + r.AvgDRAMWriteBW }
+
+// Options tunes a scale-out run.
+type Options struct {
+	// Memory forwards to the per-partition memory systems.
+	Memory memory.Options
+	// Energy is the energy model (zero value: energy.Eyeriss()).
+	Energy energy.Model
+	// NoC, when non-nil, routes every partition's DRAM traffic over a mesh
+	// interconnect and adds the transport cost to the result.
+	NoC *noc.Config
+	// MulticastFraction (0..1) models tree multicast of operands shared by
+	// a column of partitions; only meaningful with NoC set.
+	MulticastFraction float64
+	// Parallel is the number of partitions simulated concurrently
+	// (default: GOMAXPROCS). Partitions are independent, so results are
+	// deterministic regardless of the value.
+	Parallel int
+}
+
+// Run executes the layer on the scale-out system described by spec. The
+// base configuration supplies the dataflow, the total SRAM budget (divided
+// evenly among partitions, minimum 1 KiB each), offsets and word size; its
+// array dimensions are replaced by spec.Shape.
+func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := l.Validate(); err != nil {
+		return Result{}, err
+	}
+	em := opt.Energy
+	if em == (energy.Model{}) {
+		em = energy.Eyeriss()
+	}
+	if err := em.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	// Per-partition configuration: array shape and SRAM share.
+	cfg := base.WithArray(int(spec.Shape.R), int(spec.Shape.C))
+	p := spec.Parts.Count()
+	cfg.IfmapSRAMKB = sramShare(base.IfmapSRAMKB, p)
+	cfg.FilterSRAMKB = sramShare(base.FilterSRAMKB, p)
+	cfg.OfmapSRAMKB = sramShare(base.OfmapSRAMKB, p)
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	m := dataflow.Map(l, cfg.Dataflow)
+	srPer := ceilDiv(m.Sr, spec.Parts.Pr)
+	scPer := ceilDiv(m.Sc, spec.Parts.Pc)
+
+	// Enumerate the partitions that receive work.
+	type task struct {
+		pi, pj int64
+		win    systolic.Window
+	}
+	var tasks []task
+	for pi := int64(0); pi < spec.Parts.Pr; pi++ {
+		srOff := pi * srPer
+		if srOff >= m.Sr {
+			continue
+		}
+		for pj := int64(0); pj < spec.Parts.Pc; pj++ {
+			scOff := pj * scPer
+			if scOff >= m.Sc {
+				continue
+			}
+			tasks = append(tasks, task{pi: pi, pj: pj, win: systolic.Window{
+				SrOff: srOff, ScOff: scOff,
+				SrLen: min64(srPer, m.Sr-srOff),
+				ScLen: min64(scPer, m.Sc-scOff),
+			}})
+		}
+	}
+	if len(tasks) == 0 {
+		return Result{}, fmt.Errorf("partition: no partition received work for %s", spec)
+	}
+
+	// Simulate partitions independently, optionally in parallel.
+	type outcome struct {
+		comp systolic.Result
+		mem  memory.Report
+		err  error
+	}
+	outcomes := make([]outcome, len(tasks))
+	runOne := func(i int) {
+		t := tasks[i]
+		sys, err := memory.NewSystem(cfg, opt.Memory)
+		if err != nil {
+			outcomes[i].err = err
+			return
+		}
+		sys.SetRegions(
+			cfg.IfmapOffset, l.IfmapWords(),
+			cfg.FilterOffset, l.FilterWords(),
+			cfg.OfmapOffset, l.OfmapWords(),
+		)
+		comp, err := systolic.RunWindow(l, cfg, t.win, systolic.Sinks{
+			IfmapRead:  sys.Ifmap,
+			FilterRead: sys.Filter,
+			OfmapWrite: sys.Ofmap,
+		})
+		if err != nil {
+			outcomes[i].err = err
+			return
+		}
+		sys.Ofmap.Flush(comp.Cycles)
+		outcomes[i] = outcome{comp: comp, mem: sys.Report(comp.Cycles)}
+	}
+	workers := opt.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for i := range tasks {
+			runOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range tasks {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	res := Result{Layer: l, Spec: spec}
+	traffic := make([]noc.Traffic, 0, len(tasks))
+	for i, o := range outcomes {
+		if o.err != nil {
+			return Result{}, o.err
+		}
+		res.ActivePartitions++
+		res.MACs += o.comp.MACs
+		if o.comp.Cycles > res.Cycles {
+			res.Cycles = o.comp.Cycles
+		}
+		res.SRAMReads += o.mem.IfmapSRAMReads + o.mem.FilterSRAMReads
+		res.SRAMWrites += o.mem.OfmapSRAMWrites
+		res.DRAMReads += o.mem.DRAMReads()
+		res.DRAMWrites += o.mem.OfmapDRAMWrites
+		res.PeakDRAMBW += o.mem.PeakIfmapBW + o.mem.PeakFilterBW + o.mem.PeakOfmapBW
+		traffic = append(traffic, noc.Traffic{
+			Pi: tasks[i].pi, Pj: tasks[i].pj,
+			Words: o.mem.DRAMAccesses(),
+		})
+	}
+
+	wordBytes := float64(cfg.WordBytes)
+	cyc := float64(res.Cycles)
+	res.AvgDRAMReadBW = float64(res.DRAMReads) * wordBytes / cyc
+	res.AvgDRAMWriteBW = float64(res.DRAMWrites) * wordBytes / cyc
+	res.Energy = em.Compute(
+		spec.MACs(), res.Cycles,
+		res.SRAMReads+res.SRAMWrites,
+		res.DRAMReads+res.DRAMWrites,
+	)
+	if opt.NoC != nil {
+		rep, err := noc.AnalyzeMulticast(spec.Parts.Pr, spec.Parts.Pc, traffic,
+			opt.MulticastFraction, *opt.NoC)
+		if err != nil {
+			return Result{}, err
+		}
+		res.NoC = &rep
+		res.Energy.NoC = rep.Energy
+	}
+	return res, nil
+}
+
+// Sweep runs the layer over a list of partition counts for a fixed total
+// MAC budget, choosing for each count the square-ish grid and the
+// analytically best per-partition array shape. It returns one Result per
+// feasible partition count, in input order. minDim bounds the per-array
+// dimensions (the paper uses 8).
+func Sweep(l topology.Layer, base config.Config, totalMACs int64, partCounts []int64, minDim int64, opt Options) ([]Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	m := dataflow.Map(l, base.Dataflow)
+	var out []Result
+	for _, p := range partCounts {
+		spec, ok := BestSpec(m, totalMACs, p, minDim)
+		if !ok {
+			continue
+		}
+		res, err := Run(l, base, spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("partition: no feasible partitioning of %d MACs (minDim %d)", totalMACs, minDim)
+	}
+	return out, nil
+}
+
+// BestSpec picks, for a fixed number of partitions, the grid and per-array
+// shape that minimize the analytical runtime of the mapping.
+func BestSpec(m dataflow.Mapping, totalMACs, parts, minDim int64) (Spec, bool) {
+	if parts < 1 || totalMACs%parts != 0 {
+		return Spec{}, false
+	}
+	perPart := totalMACs / parts
+	shapes := analytical.Shapes(perPart, minDim)
+	if len(shapes) == 0 {
+		return Spec{}, false
+	}
+	var best Spec
+	var bestCycles int64 = -1
+	for _, pr := range analytical.Divisors(parts) {
+		grid := analytical.Partitioning{Pr: pr, Pc: parts / pr}
+		for _, s := range shapes {
+			cycles := analytical.ScaleOutRuntime(m, grid.Pr, grid.Pc, s.R, s.C)
+			if bestCycles < 0 || cycles < bestCycles {
+				bestCycles = cycles
+				best = Spec{Parts: grid, Shape: s}
+			}
+		}
+	}
+	return best, true
+}
+
+// sramShare divides a KiB budget among p partitions, at least 1 KiB each.
+func sramShare(totalKB int, p int64) int {
+	share := int(int64(totalKB) / p)
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package partition
+
+import (
+	"testing"
+
+	"scalesim/internal/analytical"
+	"scalesim/internal/config"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/systolic"
+	"scalesim/internal/topology"
+)
+
+func testLayer() topology.Layer {
+	return topology.Layer{Name: "conv", IfmapH: 14, IfmapW: 14, FilterH: 3,
+		FilterW: 3, Channels: 8, NumFilters: 24, Stride: 1}
+}
+
+func spec(pr, pc, r, c int64) Spec {
+	return Spec{Parts: analytical.Partitioning{Pr: pr, Pc: pc}, Shape: analytical.Shape{R: r, C: c}}
+}
+
+func TestMonolithicMatchesSystolic(t *testing.T) {
+	l := testLayer()
+	base := config.New().WithSRAM(16, 16, 8)
+	res, err := Run(l, base, spec(1, 1, 16, 16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := systolic.Estimate(l, base.WithArray(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != direct.Cycles {
+		t.Errorf("monolithic Cycles = %d, want %d", res.Cycles, direct.Cycles)
+	}
+	if res.MACs != direct.MACs {
+		t.Errorf("MACs = %d, want %d", res.MACs, direct.MACs)
+	}
+	if res.SRAMReads != direct.IfmapReads+direct.FilterReads {
+		t.Errorf("SRAMReads = %d, want %d", res.SRAMReads, direct.IfmapReads+direct.FilterReads)
+	}
+	if res.SRAMWrites != direct.OfmapWrites {
+		t.Errorf("SRAMWrites = %d", res.SRAMWrites)
+	}
+	if res.ActivePartitions != 1 {
+		t.Errorf("ActivePartitions = %d", res.ActivePartitions)
+	}
+}
+
+// TestPartitioningSpeedsUpAndCostsBandwidth is Fig. 11's shape as a test:
+// with equal MACs, more partitions reduce runtime but increase DRAM traffic.
+func TestPartitioningSpeedsUpAndCostsBandwidth(t *testing.T) {
+	l := testLayer()
+	base := config.New().WithSRAM(4, 4, 2) // small SRAM so reuse loss shows
+	mono, err := Run(l, base, spec(1, 1, 32, 32), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := Run(l, base, spec(2, 2, 16, 16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Cycles >= mono.Cycles {
+		t.Errorf("partitioned %d cycles not faster than monolithic %d", part.Cycles, mono.Cycles)
+	}
+	if part.MACs != mono.MACs {
+		t.Errorf("useful work changed: %d vs %d", part.MACs, mono.MACs)
+	}
+	if part.DRAMReads < mono.DRAMReads {
+		t.Errorf("partitioned DRAM reads %d below monolithic %d (reuse should be lost)",
+			part.DRAMReads, mono.DRAMReads)
+	}
+	if part.AvgDRAMBW() <= mono.AvgDRAMBW() {
+		t.Errorf("partitioned BW %v not above monolithic %v", part.AvgDRAMBW(), mono.AvgDRAMBW())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	l := testLayer()
+	base := config.New()
+	cases := []Spec{
+		spec(0, 1, 8, 8),
+		spec(1, 0, 8, 8),
+		spec(1, 1, 0, 8),
+		spec(1, 1, 8, -1),
+	}
+	for _, s := range cases {
+		if _, err := Run(l, base, s, Options{}); err == nil {
+			t.Errorf("Run accepted %v", s)
+		}
+	}
+	bad := l
+	bad.Channels = 0
+	if _, err := Run(bad, base, spec(1, 1, 8, 8), Options{}); err == nil {
+		t.Error("Run accepted invalid layer")
+	}
+}
+
+func TestOverPartitioningSkipsIdleParts(t *testing.T) {
+	// GEMM with Sc=2 but 4 column partitions: half the grid has no work.
+	l := topology.FromGEMM("g", 64, 16, 2)
+	base := config.New().WithSRAM(2, 2, 2)
+	res, err := Run(l, base, spec(1, 4, 8, 8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActivePartitions != 2 {
+		t.Errorf("ActivePartitions = %d, want 2", res.ActivePartitions)
+	}
+	if res.MACs != l.MACOps() {
+		t.Errorf("MACs = %d, want %d", res.MACs, l.MACOps())
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	l := testLayer()
+	base := config.New().WithSRAM(8, 8, 4)
+	res, err := Run(l, base, spec(2, 2, 8, 8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Array energy = spec MACs x cycles with the default model.
+	wantArray := float64(res.Spec.MACs()) * float64(res.Cycles)
+	if res.Energy.Array != wantArray {
+		t.Errorf("Energy.Array = %v, want %v", res.Energy.Array, wantArray)
+	}
+	if res.Energy.SRAM != float64(res.SRAMReads+res.SRAMWrites)*6 {
+		t.Errorf("Energy.SRAM = %v", res.Energy.SRAM)
+	}
+	if res.Energy.DRAM != float64(res.DRAMReads+res.DRAMWrites)*200 {
+		t.Errorf("Energy.DRAM = %v", res.Energy.DRAM)
+	}
+}
+
+func TestBestSpec(t *testing.T) {
+	m := dataflow.Mapping{Dataflow: config.OutputStationary, Sr: 1000, Sc: 64, T: 50}
+	s, ok := BestSpec(m, 1024, 4, 8)
+	if !ok {
+		t.Fatal("no spec")
+	}
+	if s.MACs() != 1024 || s.Parts.Count() != 4 {
+		t.Errorf("spec = %v", s)
+	}
+	// Exhaustive optimality check.
+	best := analytical.ScaleOutRuntime(m, s.Parts.Pr, s.Parts.Pc, s.Shape.R, s.Shape.C)
+	for _, pr := range analytical.Divisors(4) {
+		for _, sh := range analytical.Shapes(256, 8) {
+			cy := analytical.ScaleOutRuntime(m, pr, 4/pr, sh.R, sh.C)
+			if cy < best {
+				t.Errorf("(%d parts, %v) beats BestSpec", pr, sh)
+			}
+		}
+	}
+	if _, ok := BestSpec(m, 1024, 3, 8); ok {
+		t.Error("BestSpec accepted non-dividing partition count")
+	}
+	if _, ok := BestSpec(m, 64, 4, 8); ok {
+		t.Error("BestSpec accepted infeasible minDim")
+	}
+	if _, ok := BestSpec(m, 64, 0, 8); ok {
+		t.Error("BestSpec accepted zero partitions")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	l := testLayer()
+	base := config.New().WithSRAM(8, 8, 4)
+	results, err := Sweep(l, base, 1024, []int64{1, 2, 4, 8, 16, 3}, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 does not divide 1024; 16 partitions of 64 MACs = 8x8 works.
+	if len(results) != 5 {
+		t.Fatalf("len(results) = %d, want 5", len(results))
+	}
+	// Runtime must be non-increasing with partitions for this layer.
+	for i := 1; i < len(results); i++ {
+		if results[i].Cycles > results[i-1].Cycles {
+			t.Errorf("sweep runtime increased at %v: %d > %d",
+				results[i].Spec, results[i].Cycles, results[i-1].Cycles)
+		}
+	}
+	if _, err := Sweep(l, base, 64, []int64{4}, 8, Options{}); err == nil {
+		t.Error("Sweep succeeded with no feasible point")
+	}
+	bad := l
+	bad.Stride = 0
+	if _, err := Sweep(bad, base, 1024, []int64{1}, 8, Options{}); err == nil {
+		t.Error("Sweep accepted invalid layer")
+	}
+}
+
+// TestSRAMShareDivides: partition SRAM is the budget divided by P with a
+// 1 KiB floor.
+func TestSRAMShareDivides(t *testing.T) {
+	if got := sramShare(512, 4); got != 128 {
+		t.Errorf("sramShare(512,4) = %d", got)
+	}
+	if got := sramShare(2, 8); got != 1 {
+		t.Errorf("sramShare(2,8) = %d, want floor 1", got)
+	}
+}

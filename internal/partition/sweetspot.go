@@ -1,0 +1,55 @@
+package partition
+
+import (
+	"fmt"
+
+	"scalesim/internal/config"
+	"scalesim/internal/topology"
+)
+
+// SweetSpot is the paper's bottom-line decision procedure (Sec. IV-A,
+// Fig. 11): among the partitionings of a fixed MAC budget, pick the fastest
+// configuration whose average DRAM bandwidth demand stays within the
+// platform's budget. The paper identifies the sweet spot as the
+// intersection of the falling runtime curve and the rising bandwidth curve;
+// bounding average demand by the available bandwidth is the operational
+// form of that intersection.
+//
+// It returns the chosen result, the full sweep (for reporting), and an
+// error if no feasible point exists under the budget — in which case the
+// caller should scale up instead or provision more SRAM.
+func SweetSpot(l topology.Layer, base config.Config, totalMACs int64, partCounts []int64, minDim int64, bwBudgetBytesPerCycle float64, opt Options) (Result, []Result, error) {
+	if bwBudgetBytesPerCycle <= 0 {
+		return Result{}, nil, fmt.Errorf("partition: bandwidth budget %v must be positive", bwBudgetBytesPerCycle)
+	}
+	sweep, err := Sweep(l, base, totalMACs, partCounts, minDim, opt)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	var best *Result
+	for i := range sweep {
+		r := &sweep[i]
+		if r.AvgDRAMBW() > bwBudgetBytesPerCycle {
+			continue
+		}
+		if best == nil || r.Cycles < best.Cycles {
+			best = r
+		}
+	}
+	if best == nil {
+		return Result{}, sweep, fmt.Errorf(
+			"partition: no configuration of %d MACs meets %.1f bytes/cycle for %s (min demand %.1f)",
+			totalMACs, bwBudgetBytesPerCycle, l.Name, minSweepBW(sweep))
+	}
+	return *best, sweep, nil
+}
+
+func minSweepBW(sweep []Result) float64 {
+	min := sweep[0].AvgDRAMBW()
+	for _, r := range sweep[1:] {
+		if bw := r.AvgDRAMBW(); bw < min {
+			min = bw
+		}
+	}
+	return min
+}

@@ -1,0 +1,66 @@
+package partition
+
+import (
+	"testing"
+
+	"scalesim/internal/config"
+)
+
+func TestSweetSpotPicksFastestWithinBudget(t *testing.T) {
+	l := testLayer()
+	base := config.New().WithSRAM(4, 4, 2)
+	parts := []int64{1, 4, 16}
+
+	// A generous budget admits everything: the pick is the global fastest.
+	best, sweep, err := SweetSpot(l, base, 1024, parts, 8, 1e9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 3 {
+		t.Fatalf("sweep = %d points", len(sweep))
+	}
+	for _, r := range sweep {
+		if r.Cycles < best.Cycles {
+			t.Errorf("%v beats the unconstrained pick", r.Spec)
+		}
+	}
+
+	// A budget between the monolithic demand and the most-partitioned
+	// demand forces a middle pick.
+	mono, most := sweep[0], sweep[len(sweep)-1]
+	if mono.AvgDRAMBW() >= most.AvgDRAMBW() {
+		t.Fatalf("sweep BW not rising: %v .. %v", mono.AvgDRAMBW(), most.AvgDRAMBW())
+	}
+	budget := (sweep[1].AvgDRAMBW() + most.AvgDRAMBW()) / 2
+	constrained, _, err := SweetSpot(l, base, 1024, parts, 8, budget, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.AvgDRAMBW() > budget {
+		t.Errorf("pick %v exceeds budget %v", constrained.AvgDRAMBW(), budget)
+	}
+	if constrained.Cycles < best.Cycles {
+		t.Errorf("constrained pick faster than unconstrained best")
+	}
+
+	// An impossible budget errors but still returns the sweep for
+	// diagnosis.
+	_, sweep2, err := SweetSpot(l, base, 1024, parts, 8, 1e-9, Options{})
+	if err == nil {
+		t.Error("impossible budget accepted")
+	}
+	if len(sweep2) != 3 {
+		t.Errorf("diagnostic sweep missing: %d points", len(sweep2))
+	}
+}
+
+func TestSweetSpotValidation(t *testing.T) {
+	l := testLayer()
+	base := config.New()
+	if _, _, err := SweetSpot(l, base, 1024, []int64{1}, 8, 0, Options{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, _, err := SweetSpot(l, base, 64, []int64{4}, 8, 10, Options{}); err == nil {
+		t.Error("infeasible sweep accepted")
+	}
+}

@@ -1,0 +1,335 @@
+// Package pipeline studies cell-level parallelism on scale-out systems.
+// SCALE-Sim "serializes the execution of such layers" — the parallel
+// branches of a DNN cell (Sec. II-E cites exactly this structure) run one
+// after another even though they are data-independent. On a partitioned
+// accelerator the alternative is natural: give each branch its own group
+// of partitions and run the branches concurrently; the cell then costs the
+// slowest branch instead of the sum. This package quantifies that choice
+// with the analytical model.
+package pipeline
+
+import (
+	"fmt"
+
+	"scalesim/internal/analytical"
+	"scalesim/internal/config"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/topology"
+)
+
+// Stage is one step of a network: either a single layer (Cell == nil) or a
+// cell of parallel branches, each branch a chain of layers.
+type Stage struct {
+	// Layer is the sequential layer when the stage is not a cell.
+	Layer *topology.Layer
+	// Cell holds the parallel branches otherwise.
+	Cell [][]topology.Layer
+	// Name tags the stage for reports.
+	Name string
+}
+
+// Network is an ordered list of stages.
+type Network struct {
+	Name   string
+	Stages []Stage
+}
+
+// FromTopology builds a Network from a flat topology plus a cell map: for
+// each named cell, the branch chains given as layer names. Layers not
+// covered by any cell become sequential stages, in topology order; a cell
+// is placed at the position of its first layer.
+func FromTopology(t topology.Topology, cells map[string][][]string) (Network, error) {
+	if err := t.Validate(); err != nil {
+		return Network{}, err
+	}
+	// Map layer name -> cell name, and validate the chains.
+	inCell := make(map[string]string)
+	for cellName, branches := range cells {
+		if len(branches) < 2 {
+			return Network{}, fmt.Errorf("pipeline: cell %q has %d branches; need >= 2", cellName, len(branches))
+		}
+		for _, chain := range branches {
+			if len(chain) == 0 {
+				return Network{}, fmt.Errorf("pipeline: cell %q has an empty branch", cellName)
+			}
+			for _, name := range chain {
+				if _, ok := t.Layer(name); !ok {
+					return Network{}, fmt.Errorf("pipeline: cell %q references unknown layer %q", cellName, name)
+				}
+				if prev, dup := inCell[name]; dup {
+					return Network{}, fmt.Errorf("pipeline: layer %q in both %q and %q", name, prev, cellName)
+				}
+				inCell[name] = cellName
+			}
+		}
+	}
+
+	net := Network{Name: t.Name}
+	emitted := make(map[string]bool)
+	for _, l := range t.Layers {
+		cellName, ok := inCell[l.Name]
+		if !ok {
+			layer := l
+			net.Stages = append(net.Stages, Stage{Name: l.Name, Layer: &layer})
+			continue
+		}
+		if emitted[cellName] {
+			continue
+		}
+		emitted[cellName] = true
+		var cell [][]topology.Layer
+		for _, chain := range cells[cellName] {
+			var branch []topology.Layer
+			for _, name := range chain {
+				layer, _ := t.Layer(name)
+				branch = append(branch, layer)
+			}
+			cell = append(cell, branch)
+		}
+		net.Stages = append(net.Stages, Stage{Name: cellName, Cell: cell})
+	}
+	return net, nil
+}
+
+// quantum is the partition-allocation granularity in MACs: branches receive
+// multiples of one minimum 8x8 array.
+const quantum = 64
+
+// Result compares serialized and cell-parallel execution.
+type Result struct {
+	// SerialCycles runs every layer on the full system in order.
+	SerialCycles int64
+	// ParallelCycles runs each cell's branches concurrently on MAC shares
+	// proportional to branch work.
+	ParallelCycles int64
+	// PerStage holds each stage's serialized and parallel cycles.
+	PerStage []StageCycles
+}
+
+// StageCycles is one stage's contribution.
+type StageCycles struct {
+	Stage    string
+	Serial   int64
+	Parallel int64
+}
+
+// Speedup returns SerialCycles / ParallelCycles.
+func (r Result) Speedup() float64 {
+	if r.ParallelCycles == 0 {
+		return 1
+	}
+	return float64(r.SerialCycles) / float64(r.ParallelCycles)
+}
+
+// Evaluate schedules the network on a scale-out system of totalMACs under
+// the dataflow, with per-array dimensions at least minDim. Layer runtimes
+// use the analytical best configuration for whatever MAC share the layer
+// gets (Eq. 6); minDim bounds per-array dimensions.
+func Evaluate(net Network, totalMACs int64, df config.Dataflow, minDim int64) (Result, error) {
+	if len(net.Stages) == 0 {
+		return Result{}, fmt.Errorf("pipeline: empty network")
+	}
+	bestCycles := func(l topology.Layer, macs int64) (int64, error) {
+		m := dataflow.Map(l, df)
+		eval, ok := analytical.BestOverall(m, macs, minDim, 0)
+		if !ok {
+			return 0, fmt.Errorf("pipeline: no configuration of %d MACs (minDim %d) for %s", macs, minDim, l.Name)
+		}
+		return eval.Cycles, nil
+	}
+	chainCycles := func(chain []topology.Layer, macs int64) (int64, error) {
+		var total int64
+		for _, l := range chain {
+			c, err := bestCycles(l, macs)
+			if err != nil {
+				return 0, err
+			}
+			total += c
+		}
+		return total, nil
+	}
+
+	var res Result
+	for _, st := range net.Stages {
+		sc := StageCycles{Stage: st.Name}
+		if st.Layer != nil {
+			c, err := bestCycles(*st.Layer, totalMACs)
+			if err != nil {
+				return Result{}, err
+			}
+			sc.Serial, sc.Parallel = c, c
+		} else {
+			// Serial: each branch layer gets the whole system.
+			for _, chain := range st.Cell {
+				c, err := chainCycles(chain, totalMACs)
+				if err != nil {
+					return Result{}, err
+				}
+				sc.Serial += c
+			}
+			// Parallel: allocate MAC quanta across branches to minimize the
+			// makespan (greedy: always feed the currently slowest branch).
+			par, err := makespan(st.Cell, totalMACs, chainCycles)
+			if err != nil {
+				return Result{}, err
+			}
+			// A real scheduler serializes when concurrency does not pay
+			// (runtime is not proportional to MACs at poor utilization, so
+			// splitting a small cell can lose).
+			sc.Parallel = par
+			if sc.Serial < sc.Parallel {
+				sc.Parallel = sc.Serial
+			}
+		}
+		res.SerialCycles += sc.Serial
+		res.ParallelCycles += sc.Parallel
+		res.PerStage = append(res.PerStage, sc)
+	}
+	return res, nil
+}
+
+// splitBudget divides totalMACs across branches proportionally to their MAC
+// counts, in multiples of quantum, every branch getting at least one
+// quantum; leftovers go to the largest branches (largest-remainder). It is
+// the starting allocation for the makespan refinement.
+func splitBudget(cell [][]topology.Layer, totalMACs int64) ([]int64, error) {
+	n := int64(len(cell))
+	tiles := totalMACs / quantum
+	if tiles < n {
+		return nil, fmt.Errorf("pipeline: %d MACs cannot host %d parallel branches (quantum %d)", totalMACs, n, quantum)
+	}
+	work := make([]int64, len(cell))
+	var totalWork int64
+	for i, chain := range cell {
+		for _, l := range chain {
+			work[i] += l.MACOps()
+		}
+		totalWork += work[i]
+	}
+	shares := make([]int64, len(cell))
+	var used int64
+	for i := range cell {
+		shares[i] = tiles * work[i] / totalWork
+		if shares[i] < 1 {
+			shares[i] = 1
+		}
+		used += shares[i]
+	}
+	// Distribute the remainder to (or reclaim the excess from) the largest
+	// branches; reclaiming only touches branches above the one-quantum
+	// floor.
+	for used < tiles {
+		idx := 0
+		for i := range shares {
+			if work[i] > work[idx] {
+				idx = i
+			}
+		}
+		shares[idx]++
+		used++
+	}
+	for used > tiles {
+		idx := -1
+		for i := range shares {
+			if shares[i] > 1 && (idx < 0 || work[i] > work[idx]) {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			break // every branch at the floor; slight over-allocation stands
+		}
+		shares[idx]--
+		used--
+	}
+	for i := range shares {
+		shares[i] *= quantum
+	}
+	return shares, nil
+}
+
+// makespan refines the proportional allocation: repeatedly move one quantum
+// from the fastest branch to the slowest while that reduces the cell's
+// makespan. Runtime is not monotone in a branch's share (utilization
+// effects), so the refinement is a local search with a bounded step count.
+func makespan(cell [][]topology.Layer, totalMACs int64, chainCycles func([]topology.Layer, int64) (int64, error)) (int64, error) {
+	shares, err := splitBudget(cell, totalMACs)
+	if err != nil {
+		return 0, err
+	}
+	times := make([]int64, len(cell))
+	eval := func(i int) error {
+		t, err := chainCycles(cell[i], shares[i])
+		if err != nil {
+			return err
+		}
+		times[i] = t
+		return nil
+	}
+	for i := range cell {
+		if err := eval(i); err != nil {
+			return 0, err
+		}
+	}
+	current := maxOf(times)
+	for step := 0; step < 64; step++ {
+		slow, fast := argMax(times), argMin(times)
+		if slow == fast || shares[fast] <= quantum {
+			break
+		}
+		// Tentatively move one quantum from fast to slow.
+		shares[fast] -= quantum
+		shares[slow] += quantum
+		if err := eval(fast); err != nil {
+			return 0, err
+		}
+		if err := eval(slow); err != nil {
+			return 0, err
+		}
+		next := maxOf(times)
+		if next >= current {
+			// Undo and stop: the move did not help.
+			shares[fast] += quantum
+			shares[slow] -= quantum
+			if err := eval(fast); err != nil {
+				return 0, err
+			}
+			if err := eval(slow); err != nil {
+				return 0, err
+			}
+			break
+		}
+		current = next
+	}
+	return current, nil
+}
+
+func maxOf(v []int64) int64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func argMax(v []int64) int {
+	idx := 0
+	for i, x := range v {
+		if x > v[idx] {
+			idx = i
+		}
+	}
+	_ = v[idx]
+	return idx
+}
+
+func argMin(v []int64) int {
+	idx := 0
+	for i, x := range v {
+		if x < v[idx] {
+			idx = i
+		}
+	}
+	return idx
+}

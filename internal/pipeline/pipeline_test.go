@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/topology"
+)
+
+func googNet(t *testing.T) Network {
+	t.Helper()
+	net, err := FromTopology(topology.GoogLeNet(), topology.GoogLeNetCellBranches())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestFromTopologyStructure(t *testing.T) {
+	net := googNet(t)
+	// 3 stem + 9 cells + 1 FC = 13 stages.
+	if len(net.Stages) != 13 {
+		t.Fatalf("stages = %d, want 13", len(net.Stages))
+	}
+	var cells, layers int
+	for _, st := range net.Stages {
+		if st.Cell != nil {
+			cells++
+			if len(st.Cell) != 4 {
+				t.Errorf("%s: %d branches", st.Name, len(st.Cell))
+			}
+		} else {
+			layers++
+			if st.Layer == nil {
+				t.Errorf("%s: stage with neither layer nor cell", st.Name)
+			}
+		}
+	}
+	if cells != 9 || layers != 4 {
+		t.Errorf("cells/layers = %d/%d", cells, layers)
+	}
+	// Stage order: stem first, then inc3a.
+	if net.Stages[0].Name != "conv1" || net.Stages[3].Name != "inc3a" {
+		t.Errorf("order: %s, %s", net.Stages[0].Name, net.Stages[3].Name)
+	}
+}
+
+func TestFromTopologyErrors(t *testing.T) {
+	topo := topology.GoogLeNet()
+	cases := map[string]map[string][][]string{
+		"unknown layer":  {"c": {{"nope"}, {"conv1"}}},
+		"single branch":  {"c": {{"conv1"}}},
+		"empty branch":   {"c": {{}, {"conv1"}}},
+		"duplicate cell": {"c": {{"conv1"}, {"conv1"}}},
+	}
+	for name, cells := range cases {
+		if _, err := FromTopology(topo, cells); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := FromTopology(topology.Topology{Name: "e"}, nil); err == nil {
+		t.Error("empty topology accepted")
+	}
+}
+
+// TestCellParallelismHelps is the extension's headline property: running
+// inception branches concurrently on partition groups beats serializing
+// them on the full system, and never loses.
+func TestCellParallelismHelps(t *testing.T) {
+	net := googNet(t)
+	budgets := []int64{1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	var speedups []float64
+	for _, macs := range budgets {
+		res, err := Evaluate(net, macs, config.OutputStationary, 8)
+		if err != nil {
+			t.Fatalf("macs %d: %v", macs, err)
+		}
+		if res.ParallelCycles > res.SerialCycles {
+			t.Errorf("macs %d: parallel %d slower than serial %d",
+				macs, res.ParallelCycles, res.SerialCycles)
+		}
+		speedups = append(speedups, res.Speedup())
+		// Per-stage accounting adds up.
+		var serial, parallel int64
+		for _, st := range res.PerStage {
+			serial += st.Serial
+			parallel += st.Parallel
+			if st.Parallel > st.Serial {
+				t.Errorf("stage %s: parallel %d > serial %d", st.Stage, st.Parallel, st.Serial)
+			}
+		}
+		if serial != res.SerialCycles || parallel != res.ParallelCycles {
+			t.Errorf("stage sums %d/%d != totals %d/%d",
+				serial, parallel, res.SerialCycles, res.ParallelCycles)
+		}
+	}
+	// The scale-out story: cell parallelism matters more as the system
+	// grows (measured 1.03x at 2^12 up to 2.0x at 2^18).
+	for i := 1; i < len(speedups); i++ {
+		if speedups[i] < speedups[i-1] {
+			t.Errorf("speedup fell with scale: %v", speedups)
+			break
+		}
+	}
+	if speedups[len(speedups)-1] < 1.5 {
+		t.Errorf("speedup at 2^18 MACs only %.2fx; cells should help at scale", speedups[len(speedups)-1])
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(Network{}, 1024, config.OutputStationary, 8); err == nil {
+		t.Error("empty network accepted")
+	}
+	net := googNet(t)
+	// 128 MACs = 2 quanta cannot host 4 branches.
+	if _, err := Evaluate(net, 128, config.OutputStationary, 8); err == nil {
+		t.Error("undersized budget accepted")
+	}
+}
+
+func TestSplitBudgetProportional(t *testing.T) {
+	big := topology.FromGEMM("big", 1000, 100, 100)   // 10M MACs
+	small := topology.FromGEMM("small", 100, 100, 10) // 0.1M MACs
+	cell := [][]topology.Layer{{big}, {small}}
+	shares, err := splitBudget(cell, 64*100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0]+shares[1] != 64*100 {
+		t.Errorf("shares %v do not sum to the budget", shares)
+	}
+	if shares[0] <= shares[1] {
+		t.Errorf("larger branch got smaller share: %v", shares)
+	}
+	if shares[1] < 64 {
+		t.Errorf("floor violated: %v", shares)
+	}
+	if _, err := splitBudget(cell, 64); err == nil {
+		t.Error("budget below branch count accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/core"
+	"scalesim/internal/topology"
+)
+
+func tinyRun(t *testing.T) core.RunResult {
+	t.Helper()
+	sim, err := core.New(config.New().WithArray(8, 8).WithSRAM(2, 2, 1), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.Simulate(topology.TinyNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestReportsContainEveryLayer(t *testing.T) {
+	run := tinyRun(t)
+	writers := map[string]func(*bytes.Buffer) error{
+		"cycles":    func(b *bytes.Buffer) error { return WriteCycles(b, run) },
+		"bandwidth": func(b *bytes.Buffer) error { return WriteBandwidth(b, run) },
+		"detail":    func(b *bytes.Buffer) error { return WriteDetail(b, run) },
+	}
+	for name, write := range writers {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		if len(lines) != 1+len(run.Layers) {
+			t.Errorf("%s: %d lines, want %d", name, len(lines), 1+len(run.Layers))
+		}
+		for _, l := range run.Topology.Layers {
+			if !strings.Contains(out, l.Name+",") {
+				t.Errorf("%s: missing layer %s", name, l.Name)
+			}
+		}
+		// Every line has the header's column count.
+		cols := strings.Count(lines[0], ",")
+		for i, line := range lines {
+			if strings.Count(line, ",") != cols {
+				t.Errorf("%s line %d: column mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestSummaryFields(t *testing.T) {
+	run := tinyRun(t)
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"Topology,TinyNet", "TotalCycles,", "EnergyTotal,", "AvgBandwidth,"} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("summary missing %q:\n%s", field, buf.String())
+		}
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n--
+	if f.n < 0 {
+		return 0, errors.New("full")
+	}
+	return len(p), nil
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	run := tinyRun(t)
+	for _, allow := range []int{0, 1} {
+		if err := WriteCycles(&failWriter{n: allow}, run); err == nil {
+			t.Errorf("WriteCycles(n=%d) no error", allow)
+		}
+		if err := WriteBandwidth(&failWriter{n: allow}, run); err == nil {
+			t.Errorf("WriteBandwidth(n=%d) no error", allow)
+		}
+		if err := WriteDetail(&failWriter{n: allow}, run); err == nil {
+			t.Errorf("WriteDetail(n=%d) no error", allow)
+		}
+	}
+	if err := WriteSummary(&failWriter{}, run); err == nil {
+		t.Error("WriteSummary no error")
+	}
+}

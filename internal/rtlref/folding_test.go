@@ -1,0 +1,117 @@
+package rtlref
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFoldedOSNumerics verifies the simulator's fold decomposition is
+// mathematically sound: executing a GEMM larger than the array as the
+// sequence of OS folds the trace engine schedules (tiles of the output
+// space, each reducing the full T dimension) reassembles into exactly the
+// direct matrix product.
+func TestFoldedOSNumerics(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		m := 3 + rng.Intn(20)
+		k := 1 + rng.Intn(12)
+		n := 3 + rng.Intn(20)
+		R := 1 + rng.Intn(6)
+		C := 1 + rng.Intn(6)
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+
+		out := make([][]float64, m)
+		for i := range out {
+			out[i] = make([]float64, n)
+		}
+		var totalCycles, totalMACs int64
+		for fr := 0; fr < m; fr += R {
+			rows := min(R, m-fr)
+			for fc := 0; fc < n; fc += C {
+				cols := min(C, n-fc)
+				subA := make([][]float64, rows)
+				for i := range subA {
+					subA[i] = a[fr+i]
+				}
+				subB := make([][]float64, k)
+				for t0 := range subB {
+					subB[t0] = b[t0][fc : fc+cols]
+				}
+				res, err := RunOS(subA, subB, R, C)
+				if err != nil {
+					t.Fatal(err)
+				}
+				totalCycles += res.Cycles
+				totalMACs += res.MACs
+				for i := 0; i < rows; i++ {
+					copy(out[fr+i][fc:fc+cols], res.Product[i])
+				}
+			}
+		}
+		want := MatMul(a, b)
+		if !matEqual(out, want) {
+			t.Fatalf("trial %d: folded product differs (m=%d k=%d n=%d array %dx%d)",
+				trial, m, k, n, R, C)
+		}
+		if totalMACs != int64(m)*int64(k)*int64(n) {
+			t.Fatalf("trial %d: folded MACs %d, want %d", trial, totalMACs, m*k*n)
+		}
+	}
+}
+
+// TestFoldedWSNumerics verifies the WS fold decomposition: folding along
+// the reduction dimension (S_R) produces partial sums per fold that must be
+// accumulated — exactly why the simulator's WS dataflow re-writes each
+// output once per row fold.
+func TestFoldedWSNumerics(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.Intn(12) // T (output rows)
+		k := 3 + rng.Intn(16) // Sr (reduction)
+		n := 3 + rng.Intn(16) // Sc (filters)
+		R := 1 + rng.Intn(5)
+		C := 1 + rng.Intn(5)
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+
+		out := make([][]float64, m)
+		for i := range out {
+			out[i] = make([]float64, n)
+		}
+		for fr := 0; fr < k; fr += R { // reduction folds -> partial sums
+			rows := min(R, k-fr)
+			for fc := 0; fc < n; fc += C {
+				cols := min(C, n-fc)
+				subA := make([][]float64, m)
+				for t0 := range subA {
+					subA[t0] = a[t0][fr : fr+rows]
+				}
+				subB := make([][]float64, rows)
+				for i := range subB {
+					subB[i] = b[fr+i][fc : fc+cols]
+				}
+				res, err := RunWS(subA, subB, R, C)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for t0 := 0; t0 < m; t0++ {
+					for j := 0; j < cols; j++ {
+						out[t0][fc+j] += res.Product[t0][j] // accumulate partials
+					}
+				}
+			}
+		}
+		if !matEqual(out, MatMul(a, b)) {
+			t.Fatalf("trial %d: WS folded product differs (m=%d k=%d n=%d array %dx%d)",
+				trial, m, k, n, R, C)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

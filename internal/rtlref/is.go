@@ -1,0 +1,28 @@
+package rtlref
+
+import "fmt"
+
+// RunIS executes the input-stationary dataflow on the reference grid: A's
+// elements (the IFMAP windows) are pre-filled into the array — column j
+// holds window j, row i its i-th element — while B (the filters) streams in
+// from the left edge, one filter per temporal step, and partial sums reduce
+// down each column exactly as in WS (Fig. 6's third mapping; the paper
+// shows the same Eq. 1 covers it).
+//
+// Operand shapes mirror RunWS with the roles swapped: the stationary
+// operand `a` is Sr x Sc (window element i of window j at a[i][j]) and the
+// streaming operand `b` is T x Sr (filter t's element i at b[t][i]). The
+// product is T x Sc: output[t][j] = sum_i b[t][i] * a[i][j].
+func RunIS(b, a [][]float64, rows, cols int) (Result, error) {
+	if len(a) == 0 || len(a[0]) == 0 {
+		return Result{}, fmt.Errorf("rtlref: empty stationary operand")
+	}
+	sr := len(a)
+	if len(b) == 0 || len(b[0]) != sr {
+		return Result{}, fmt.Errorf("rtlref: streaming operand must be T x %d", sr)
+	}
+	// IS is WS with the operand roles interchanged; the register-level
+	// schedule is identical, so reuse the WS engine with `b` streaming
+	// against stationary `a`.
+	return RunWS(b, a, rows, cols)
+}

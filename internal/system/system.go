@@ -1,0 +1,250 @@
+// Package system models the accelerator's integration into a host system,
+// following Sec. II-B and Fig. 1 of the paper: the accelerator hangs off the
+// system interconnect as a slave device with memory-mapped registers; the
+// CPU (bus master) writes a task descriptor and rings a doorbell, context
+// switches away, and is notified on completion, after which it reads back
+// result registers. The cost of integration shows up as bus transactions
+// and as the accelerator's DRAM-interface traffic.
+package system
+
+import (
+	"fmt"
+
+	"scalesim/internal/core"
+	"scalesim/internal/topology"
+)
+
+// Register offsets of the accelerator's memory-mapped register file.
+const (
+	// RegCtrl: writing CtrlStart launches the job described by RegLayer.
+	RegCtrl = 0x00
+	// RegStatus: StatusIdle, StatusBusy or StatusDone.
+	RegStatus = 0x04
+	// RegLayer selects the topology layer index of the next job.
+	RegLayer = 0x08
+	// RegIntAck: writing 1 acknowledges the completion interrupt.
+	RegIntAck = 0x0C
+	// RegCyclesLo / RegCyclesHi report the last job's runtime.
+	RegCyclesLo = 0x10
+	RegCyclesHi = 0x14
+)
+
+// Control and status values.
+const (
+	CtrlStart  = 1
+	StatusIdle = 0
+	StatusBusy = 1
+	StatusDone = 2
+)
+
+// Slave is a device addressable over the bus.
+type Slave interface {
+	ReadReg(offset uint32) uint32
+	WriteReg(offset uint32, value uint32)
+}
+
+// Bus is the system interconnect: a single master reaching one slave range,
+// with a fixed cycle cost per register transaction. It keeps the system
+// clock.
+type Bus struct {
+	slave            Slave
+	transactionCost  int64
+	clock            int64
+	transactionCount int64
+}
+
+// NewBus connects a slave with the given per-transaction cycle cost.
+func NewBus(slave Slave, transactionCost int64) (*Bus, error) {
+	if slave == nil {
+		return nil, fmt.Errorf("system: nil slave")
+	}
+	if transactionCost < 1 {
+		return nil, fmt.Errorf("system: transaction cost %d must be >= 1", transactionCost)
+	}
+	return &Bus{slave: slave, transactionCost: transactionCost}, nil
+}
+
+// Read performs a register read, advancing the clock.
+func (b *Bus) Read(offset uint32) uint32 {
+	b.clock += b.transactionCost
+	b.transactionCount++
+	return b.slave.ReadReg(offset)
+}
+
+// Write performs a register write, advancing the clock.
+func (b *Bus) Write(offset, value uint32) {
+	b.clock += b.transactionCost
+	b.transactionCount++
+	b.slave.WriteReg(offset, value)
+}
+
+// Advance moves the clock forward (the CPU doing other work, or waiting).
+func (b *Bus) Advance(cycles int64) {
+	if cycles > 0 {
+		b.clock += cycles
+	}
+}
+
+// Clock returns the current cycle.
+func (b *Bus) Clock() int64 { return b.clock }
+
+// Transactions returns the number of register transactions so far.
+func (b *Bus) Transactions() int64 { return b.transactionCount }
+
+// Accelerator is the simulated device: a register file in front of the
+// cycle-accurate simulator. Jobs run when the doorbell is rung; completion
+// raises the interrupt line.
+type Accelerator struct {
+	sim  *core.Simulator
+	topo topology.Topology
+
+	status     uint32
+	layerIndex uint32
+	interrupt  bool
+	lastCycles int64
+	lastErr    error
+	results    []core.LayerResult
+}
+
+// NewAccelerator wraps a simulator and a topology as a bus slave.
+func NewAccelerator(sim *core.Simulator, topo topology.Topology) (*Accelerator, error) {
+	if sim == nil {
+		return nil, fmt.Errorf("system: nil simulator")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accelerator{sim: sim, topo: topo}, nil
+}
+
+// ReadReg implements Slave.
+func (a *Accelerator) ReadReg(offset uint32) uint32 {
+	switch offset {
+	case RegStatus:
+		return a.status
+	case RegLayer:
+		return a.layerIndex
+	case RegCyclesLo:
+		return uint32(a.lastCycles)
+	case RegCyclesHi:
+		return uint32(a.lastCycles >> 32)
+	}
+	return 0
+}
+
+// WriteReg implements Slave. Writing CtrlStart to RegCtrl runs the selected
+// layer to completion (the accelerator is autonomous once kicked; the bus
+// master sees the passage of time via Interrupt and WaitCycles).
+func (a *Accelerator) WriteReg(offset, value uint32) {
+	switch offset {
+	case RegLayer:
+		a.layerIndex = value
+	case RegIntAck:
+		if value != 0 {
+			a.interrupt = false
+			a.status = StatusIdle
+		}
+	case RegCtrl:
+		if value != CtrlStart {
+			return
+		}
+		a.run()
+	}
+}
+
+func (a *Accelerator) run() {
+	if int(a.layerIndex) >= len(a.topo.Layers) {
+		a.lastErr = fmt.Errorf("system: layer index %d out of range", a.layerIndex)
+		a.status = StatusIdle
+		return
+	}
+	a.status = StatusBusy
+	lr, err := a.sim.SimulateLayer(a.topo.Layers[a.layerIndex])
+	if err != nil {
+		a.lastErr = err
+		a.status = StatusIdle
+		return
+	}
+	a.results = append(a.results, lr)
+	a.lastCycles = lr.Compute.Cycles
+	a.status = StatusDone
+	a.interrupt = true
+}
+
+// Interrupt reports whether the completion line is raised.
+func (a *Accelerator) Interrupt() bool { return a.interrupt }
+
+// Err returns the last job submission error, if any.
+func (a *Accelerator) Err() error { return a.lastErr }
+
+// Results returns the completed jobs' results in completion order.
+func (a *Accelerator) Results() []core.LayerResult { return a.results }
+
+// TaskRecord is the host-visible account of one offloaded job.
+type TaskRecord struct {
+	// Layer is the layer name.
+	Layer string
+	// SubmitCycle is the bus clock when the doorbell was rung.
+	SubmitCycle int64
+	// CompleteCycle is the bus clock when the CPU observed completion.
+	CompleteCycle int64
+	// AccelCycles is the accelerator's reported runtime.
+	AccelCycles int64
+	// DRAMWords is the interface traffic the job generated.
+	DRAMWords int64
+}
+
+// Host is the bus master running the offload loop.
+type Host struct {
+	bus   *Bus
+	accel *Accelerator
+}
+
+// NewHost wires a CPU to an accelerator over a new bus.
+func NewHost(accel *Accelerator, busCost int64) (*Host, error) {
+	bus, err := NewBus(accel, busCost)
+	if err != nil {
+		return nil, err
+	}
+	return &Host{bus: bus, accel: accel}, nil
+}
+
+// Bus exposes the interconnect (for clock and transaction queries).
+func (h *Host) Bus() *Bus { return h.bus }
+
+// OffloadAll runs every layer of the accelerator's topology through the
+// offload protocol and returns one record per task.
+func (h *Host) OffloadAll() ([]TaskRecord, error) {
+	records := make([]TaskRecord, 0, len(h.accel.topo.Layers))
+	for i, l := range h.accel.topo.Layers {
+		// Program the descriptor and ring the doorbell.
+		h.bus.Write(RegLayer, uint32(i))
+		submit := h.bus.Clock()
+		h.bus.Write(RegCtrl, CtrlStart)
+		if err := h.accel.Err(); err != nil {
+			return nil, err
+		}
+		// The accelerator computed for lastCycles while the CPU was away.
+		h.bus.Advance(h.accel.lastCycles)
+		if !h.accel.Interrupt() {
+			return nil, fmt.Errorf("system: no completion interrupt for %q", l.Name)
+		}
+		// Interrupt service: read status and runtime, then acknowledge.
+		if st := h.bus.Read(RegStatus); st != StatusDone {
+			return nil, fmt.Errorf("system: status %d after interrupt", st)
+		}
+		lo := int64(h.bus.Read(RegCyclesLo))
+		hi := int64(h.bus.Read(RegCyclesHi))
+		h.bus.Write(RegIntAck, 1)
+
+		res := h.accel.Results()[len(h.accel.Results())-1]
+		records = append(records, TaskRecord{
+			Layer:         l.Name,
+			SubmitCycle:   submit,
+			CompleteCycle: h.bus.Clock(),
+			AccelCycles:   hi<<32 | lo,
+			DRAMWords:     res.Memory.DRAMAccesses(),
+		})
+	}
+	return records, nil
+}

@@ -1,0 +1,152 @@
+package system
+
+import (
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/core"
+	"scalesim/internal/topology"
+)
+
+func newAccel(t *testing.T) *Accelerator {
+	t.Helper()
+	sim, err := core.New(config.New().WithArray(8, 8).WithSRAM(2, 2, 1), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAccelerator(sim, topology.TinyNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewBus(nil, 1); err == nil {
+		t.Error("NewBus accepted nil slave")
+	}
+	a := newAccel(t)
+	if _, err := NewBus(a, 0); err == nil {
+		t.Error("NewBus accepted zero cost")
+	}
+	if _, err := NewAccelerator(nil, topology.TinyNet()); err == nil {
+		t.Error("NewAccelerator accepted nil simulator")
+	}
+	sim, _ := core.New(config.New(), core.Options{})
+	if _, err := NewAccelerator(sim, topology.Topology{Name: "e"}); err == nil {
+		t.Error("NewAccelerator accepted empty topology")
+	}
+}
+
+func TestBusAccounting(t *testing.T) {
+	a := newAccel(t)
+	bus, err := NewBus(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus.Read(RegStatus) != StatusIdle {
+		t.Error("initial status not idle")
+	}
+	bus.Write(RegLayer, 1)
+	if got := bus.Read(RegLayer); got != 1 {
+		t.Errorf("RegLayer = %d", got)
+	}
+	if bus.Transactions() != 3 || bus.Clock() != 9 {
+		t.Errorf("transactions/clock = %d/%d", bus.Transactions(), bus.Clock())
+	}
+	bus.Advance(100)
+	bus.Advance(-5) // ignored
+	if bus.Clock() != 109 {
+		t.Errorf("Clock = %d", bus.Clock())
+	}
+	if bus.Read(0xFF) != 0 {
+		t.Error("unknown register read nonzero")
+	}
+}
+
+func TestOffloadProtocol(t *testing.T) {
+	a := newAccel(t)
+	host, err := NewHost(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := host.OffloadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.TinyNet()
+	if len(records) != len(topo.Layers) {
+		t.Fatalf("records = %d", len(records))
+	}
+	var prevComplete int64
+	for i, r := range records {
+		if r.Layer != topo.Layers[i].Name {
+			t.Errorf("record %d layer %q", i, r.Layer)
+		}
+		if r.SubmitCycle < prevComplete {
+			t.Errorf("task %d submitted before previous completed", i)
+		}
+		if r.CompleteCycle <= r.SubmitCycle {
+			t.Errorf("task %d: complete %d <= submit %d", i, r.CompleteCycle, r.SubmitCycle)
+		}
+		// The offload wall time covers at least the accelerator runtime.
+		if r.CompleteCycle-r.SubmitCycle < r.AccelCycles {
+			t.Errorf("task %d: wall %d < accel %d", i, r.CompleteCycle-r.SubmitCycle, r.AccelCycles)
+		}
+		if r.AccelCycles <= 0 || r.DRAMWords <= 0 {
+			t.Errorf("task %d: empty metrics %+v", i, r)
+		}
+		prevComplete = r.CompleteCycle
+	}
+	// Accelerator runtimes must match a direct simulation.
+	sim, _ := core.New(config.New().WithArray(8, 8).WithSRAM(2, 2, 1), core.Options{})
+	run, err := sim.Simulate(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range records {
+		if r.AccelCycles != run.Layers[i].Compute.Cycles {
+			t.Errorf("task %d: accel cycles %d != direct %d",
+				i, r.AccelCycles, run.Layers[i].Compute.Cycles)
+		}
+	}
+	if a.Interrupt() {
+		t.Error("interrupt still raised after ack")
+	}
+	if len(a.Results()) != len(topo.Layers) {
+		t.Errorf("accelerator kept %d results", len(a.Results()))
+	}
+}
+
+func TestBadLayerIndex(t *testing.T) {
+	a := newAccel(t)
+	bus, _ := NewBus(a, 1)
+	bus.Write(RegLayer, 99)
+	bus.Write(RegCtrl, CtrlStart)
+	if a.Err() == nil {
+		t.Error("no error for out-of-range layer")
+	}
+	if bus.Read(RegStatus) != StatusIdle {
+		t.Error("status not idle after failed start")
+	}
+}
+
+func TestNonStartCtrlIgnored(t *testing.T) {
+	a := newAccel(t)
+	bus, _ := NewBus(a, 1)
+	bus.Write(RegCtrl, 42)
+	if bus.Read(RegStatus) != StatusIdle || a.Interrupt() {
+		t.Error("non-start control value had an effect")
+	}
+}
+
+func TestCycleRegistersSplit64(t *testing.T) {
+	a := newAccel(t)
+	a.lastCycles = (3 << 32) | 7
+	if a.ReadReg(RegCyclesLo) != 7 {
+		t.Errorf("lo = %d", a.ReadReg(RegCyclesLo))
+	}
+	if a.ReadReg(RegCyclesHi) != 3 {
+		t.Errorf("hi = %d", a.ReadReg(RegCyclesHi))
+	}
+}

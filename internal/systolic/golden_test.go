@@ -1,0 +1,79 @@
+package systolic
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/topology"
+	"scalesim/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden trace files")
+
+// goldenCase is the fixed scenario the golden traces pin down: a 4x4 conv
+// layer on a 3x3 array, one per dataflow. Any change to the trace schedule
+// (skew, drain order, fold order, addressing) shows up as a diff.
+func goldenCase() (topology.Layer, config.Config) {
+	l := topology.Layer{Name: "golden", IfmapH: 5, IfmapW: 4, FilterH: 2,
+		FilterW: 2, Channels: 2, NumFilters: 3, Stride: 1}
+	cfg := config.New().WithArray(3, 3)
+	return l, cfg
+}
+
+func renderTraces(t *testing.T, df config.Dataflow) []byte {
+	t.Helper()
+	l, cfg := goldenCase()
+	cfg = cfg.WithDataflow(df)
+	var buf bytes.Buffer
+	for _, stream := range []string{"ifmap_read", "filter_read", "ofmap_write"} {
+		buf.WriteString("# " + stream + "\n")
+		w := trace.NewCSVWriter(&buf)
+		sinks := Sinks{}
+		switch stream {
+		case "ifmap_read":
+			sinks.IfmapRead = w
+		case "filter_read":
+			sinks.FilterRead = w
+		case "ofmap_write":
+			sinks.OfmapWrite = w
+		}
+		if _, err := Run(l, cfg, sinks); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraces compares the full cycle-by-cycle trace of each dataflow
+// against the checked-in golden files. Regenerate deliberately with
+// `go test ./internal/systolic -run TestGoldenTraces -update-golden`.
+func TestGoldenTraces(t *testing.T) {
+	for _, df := range config.Dataflows {
+		path := filepath.Join("testdata", "golden_"+df.String()+".csv")
+		got := renderTraces(t, df)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update-golden to create)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: trace schedule changed; diff against %s (use -update-golden only if the change is intended)",
+				df, path)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package systolic is the cycle-accurate core of the simulator: it plays a
+// layer's dataflow over an R x C systolic array and emits the resulting SRAM
+// read and write traces, exactly in the inside-out style of the original
+// SCALE-Sim (Sec. II-C): the array is assumed never to stall, addresses are
+// generated for the data the edges must receive each cycle for that to hold,
+// and runtime falls out of the trace itself.
+//
+// The workload is tiled into folds over the spatial dimensions
+// (F_R = ceil(S_R/R), F_C = ceil(S_C/C), Eq. 2); each fold occupies the
+// array for 2R + C + T - 2 cycles (Eq. 3) and folds execute back to back,
+// so the simulated runtime matches the paper's analytical model (Eq. 4)
+// exactly. An optional edge-trim mode charges partial folds only for the
+// rows and columns they map.
+package systolic
+
+import (
+	"fmt"
+
+	"scalesim/internal/config"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/topology"
+	"scalesim/internal/trace"
+)
+
+// Sinks receive the three SRAM trace streams of a run. Nil members discard
+// their stream.
+type Sinks struct {
+	// IfmapRead receives IFMAP SRAM read events.
+	IfmapRead trace.Consumer
+	// FilterRead receives filter SRAM read events.
+	FilterRead trace.Consumer
+	// OfmapWrite receives OFMAP SRAM write events.
+	OfmapWrite trace.Consumer
+}
+
+func (s Sinks) normalized() Sinks {
+	if s.IfmapRead == nil {
+		s.IfmapRead = trace.Null
+	}
+	if s.FilterRead == nil {
+		s.FilterRead = trace.Null
+	}
+	if s.OfmapWrite == nil {
+		s.OfmapWrite = trace.Null
+	}
+	return s
+}
+
+// Result aggregates one layer's simulation.
+type Result struct {
+	// Layer is the simulated layer.
+	Layer topology.Layer
+	// Dataflow used for the run.
+	Dataflow config.Dataflow
+	// Mapping is the layer's spatio-temporal shape under the dataflow.
+	Mapping dataflow.Mapping
+	// Rows and Cols are the array dimensions.
+	Rows, Cols int
+	// FoldsR and FoldsC are the fold counts along each spatial dimension.
+	FoldsR, FoldsC int64
+	// Cycles is the total stall-free runtime in cycles.
+	Cycles int64
+	// MACs is the number of multiply-accumulate operations performed.
+	MACs int64
+	// IfmapReads, FilterReads and OfmapWrites count SRAM word accesses.
+	IfmapReads, FilterReads, OfmapWrites int64
+	// MappingUtilization is the average fraction of PEs with work mapped,
+	// over folds (the "array utilization" of Fig. 9).
+	MappingUtilization float64
+	// ComputeUtilization is MACs / (R*C*Cycles): the fraction of MAC-cycles
+	// doing useful work including fill/drain overheads.
+	ComputeUtilization float64
+}
+
+// Window selects a rectangular slice of a mapping's spatial space: the
+// portion of S_R x S_C one scale-out partition is responsible for (Eq. 5).
+// The zero value selects the full space.
+type Window struct {
+	// SrOff and ScOff are the slice origin.
+	SrOff, ScOff int64
+	// SrLen and ScLen are the slice extents; zero means "to the end".
+	SrLen, ScLen int64
+}
+
+// resolve clamps the window to the mapping and applies defaults.
+func (w Window) resolve(m dataflow.Mapping) (Window, error) {
+	if w.SrLen == 0 {
+		w.SrLen = m.Sr - w.SrOff
+	}
+	if w.ScLen == 0 {
+		w.ScLen = m.Sc - w.ScOff
+	}
+	if w.SrOff < 0 || w.ScOff < 0 || w.SrLen < 1 || w.ScLen < 1 ||
+		w.SrOff+w.SrLen > m.Sr || w.ScOff+w.ScLen > m.Sc {
+		return Window{}, fmt.Errorf("systolic: window %+v outside mapping %dx%d", w, m.Sr, m.Sc)
+	}
+	return w, nil
+}
+
+// Run simulates one layer on the configured array and streams the traces to
+// sinks. It validates the configuration and layer first.
+func Run(l topology.Layer, cfg config.Config, sinks Sinks) (Result, error) {
+	return RunWindow(l, cfg, Window{}, sinks)
+}
+
+// RunWindow simulates only the given spatial slice of the layer: the
+// workload of one scale-out partition. Trace addresses remain global, so
+// replicated fetches across partitions are visible to the memory system.
+func RunWindow(l topology.Layer, cfg config.Config, win Window, sinks Sinks) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := l.Validate(); err != nil {
+		return Result{}, err
+	}
+	mp := dataflow.NewMapper(l, cfg.Dataflow, dataflow.OffsetsFromConfig(cfg))
+	win, err := win.resolve(mp.Mapping())
+	if err != nil {
+		return Result{}, err
+	}
+	sim := &sim{
+		cfg:   cfg,
+		mp:    mp,
+		m:     mp.Mapping(),
+		win:   win,
+		sinks: sinks.normalized(),
+	}
+	return sim.run(l)
+}
+
+// sim carries one run's state.
+type sim struct {
+	cfg   config.Config
+	mp    *dataflow.Mapper
+	m     dataflow.Mapping
+	win   Window
+	sinks Sinks
+	buf   []int64 // reusable batch buffer
+}
+
+// batch returns a zero-length buffer with capacity >= n.
+func (s *sim) batch(n int) []int64 {
+	if cap(s.buf) < n {
+		s.buf = make([]int64, 0, n)
+	}
+	return s.buf[:0]
+}
+
+func (s *sim) run(l topology.Layer) (Result, error) {
+	R, C := int64(s.cfg.ArrayHeight), int64(s.cfg.ArrayWidth)
+	srLen, scLen := s.win.SrLen, s.win.ScLen
+	foldsR := ceilDiv(srLen, R)
+	foldsC := ceilDiv(scLen, C)
+
+	res := Result{
+		Layer:    l,
+		Dataflow: s.cfg.Dataflow,
+		Mapping:  dataflow.Mapping{Dataflow: s.m.Dataflow, Sr: srLen, Sc: scLen, T: s.m.T},
+		Rows:     s.cfg.ArrayHeight,
+		Cols:     s.cfg.ArrayWidth,
+		FoldsR:   foldsR,
+		FoldsC:   foldsC,
+		MACs:     srLen * scLen * s.m.T,
+	}
+
+	var base int64
+	var mappedPE, totalPE int64
+	for fr := int64(0); fr < foldsR; fr++ {
+		rows := min64(R, srLen-fr*R)
+		for fc := int64(0); fc < foldsC; fc++ {
+			cols := min64(C, scLen-fc*C)
+			f := fold{
+				base:   base,
+				rowOff: s.win.SrOff + fr*R,
+				colOff: s.win.ScOff + fc*C,
+				rows:   rows,
+				cols:   cols,
+				T:      s.m.T,
+			}
+			switch s.cfg.Dataflow {
+			case config.OutputStationary:
+				s.foldOS(f)
+			case config.WeightStationary:
+				s.foldWS(f)
+			case config.InputStationary:
+				s.foldIS(f)
+			default:
+				return Result{}, fmt.Errorf("systolic: unknown dataflow %v", s.cfg.Dataflow)
+			}
+			dur := foldCycles(R, C, rows, cols, s.m.T, s.cfg.EdgeTrim)
+			base += dur
+			mappedPE += rows * cols
+			totalPE += R * C
+		}
+	}
+	res.Cycles = base
+	res.MappingUtilization = float64(mappedPE) / float64(totalPE)
+	res.ComputeUtilization = float64(res.MACs) / (float64(R*C) * float64(res.Cycles))
+	res.IfmapReads, res.FilterReads, res.OfmapWrites =
+		accessCounts(s.cfg.Dataflow, srLen, scLen, s.m.T, R, C)
+	return res, nil
+}
+
+// foldCycles returns the duration of one fold: Eq. 3 with the full array
+// dimensions, or with the mapped rows/cols under edge trimming.
+func foldCycles(R, C, rows, cols, T int64, edgeTrim bool) int64 {
+	if edgeTrim {
+		return 2*rows + cols + T - 2
+	}
+	return 2*R + C + T - 2
+}
+
+// fold describes one tile of the spatial space mapped onto the array.
+type fold struct {
+	base       int64 // starting cycle
+	rowOff     int64 // global spatial row of array row 0
+	colOff     int64 // global spatial column of array column 0
+	rows, cols int64 // mapped rows and columns (<= R, C)
+	T          int64
+}
+
+// foldOS emits the OS-dataflow trace of one fold.
+//
+// Feed: array row i receives the ifmap operand for temporal step t at cycle
+// base+i+t (skewed); column j receives the filter operand for step t at
+// base+j+t. Drain: all outputs shift out of the bottom edge after the last
+// PE finishes at base+rows+cols+T-3; each column emits one output per cycle
+// for rows cycles.
+func (s *sim) foldOS(f fold) {
+	// Left edge: ifmap. Wavefront over u = i + t.
+	for u := int64(0); u <= f.rows-1+f.T-1; u++ {
+		lo := max64(0, u-f.T+1)
+		hi := min64(f.rows-1, u)
+		addrs := s.batch(int(hi - lo + 1))
+		for i := lo; i <= hi; i++ {
+			addrs = append(addrs, s.mp.RowStream(f.rowOff+i, u-i))
+		}
+		s.sinks.IfmapRead.Consume(f.base+u, addrs)
+		s.buf = addrs
+	}
+	// Top edge: filter.
+	for u := int64(0); u <= f.cols-1+f.T-1; u++ {
+		lo := max64(0, u-f.T+1)
+		hi := min64(f.cols-1, u)
+		addrs := s.batch(int(hi - lo + 1))
+		for j := lo; j <= hi; j++ {
+			addrs = append(addrs, s.mp.ColStream(f.colOff+j, u-j))
+		}
+		s.sinks.FilterRead.Consume(f.base+u, addrs)
+		s.buf = addrs
+	}
+	// Drain: after the bottom-right mapped PE finishes.
+	finish := f.base + f.rows + f.cols + f.T - 3
+	for k := int64(1); k <= f.rows; k++ {
+		i := f.rows - k
+		addrs := s.batch(int(f.cols))
+		for j := int64(0); j < f.cols; j++ {
+			addrs = append(addrs, s.mp.Output(f.rowOff+i, f.colOff+j))
+		}
+		s.sinks.OfmapWrite.Consume(finish+k, addrs)
+		s.buf = addrs
+	}
+}
+
+// foldWS emits the WS-dataflow trace of one fold.
+//
+// Fill: one array row of weights per cycle for rows cycles. Stream: array
+// row i receives the ifmap operand for step t at cycle base+rows+i+t.
+// Outputs: column j's output for step t is written at base+2*rows+t+j-1.
+func (s *sim) foldWS(f fold) {
+	// Fill phase: stationary filter elements, one row per cycle.
+	for i := int64(0); i < f.rows; i++ {
+		addrs := s.batch(int(f.cols))
+		for j := int64(0); j < f.cols; j++ {
+			addrs = append(addrs, s.mp.Stationary(f.rowOff+i, f.colOff+j))
+		}
+		s.sinks.FilterRead.Consume(f.base+i, addrs)
+		s.buf = addrs
+	}
+	s.streamAndDrain(f, s.sinks.IfmapRead)
+}
+
+// foldIS emits the IS-dataflow trace of one fold: identical schedule to WS
+// with the operand roles swapped (ifmap stationary, filters streaming).
+func (s *sim) foldIS(f fold) {
+	for i := int64(0); i < f.rows; i++ {
+		addrs := s.batch(int(f.cols))
+		for j := int64(0); j < f.cols; j++ {
+			addrs = append(addrs, s.mp.Stationary(f.rowOff+i, f.colOff+j))
+		}
+		s.sinks.IfmapRead.Consume(f.base+i, addrs)
+		s.buf = addrs
+	}
+	s.streamAndDrain(f, s.sinks.FilterRead)
+}
+
+// streamAndDrain is the compute phase shared by the stationary dataflows:
+// the moving operand streams through the rows while results reduce down the
+// columns and exit from the bottom edge.
+func (s *sim) streamAndDrain(f fold, streamSink trace.Consumer) {
+	// Stream phase: wavefront over u = i + t, offset by the fill.
+	for u := int64(0); u <= f.rows-1+f.T-1; u++ {
+		lo := max64(0, u-f.T+1)
+		hi := min64(f.rows-1, u)
+		addrs := s.batch(int(hi - lo + 1))
+		for i := lo; i <= hi; i++ {
+			addrs = append(addrs, s.mp.RowStream(f.rowOff+i, u-i))
+		}
+		streamSink.Consume(f.base+f.rows+u, addrs)
+		s.buf = addrs
+	}
+	// Outputs: wavefront over v = t + j.
+	for v := int64(0); v <= f.T-1+f.cols-1; v++ {
+		lo := max64(0, v-f.T+1)
+		hi := min64(f.cols-1, v)
+		addrs := s.batch(int(hi - lo + 1))
+		for j := lo; j <= hi; j++ {
+			addrs = append(addrs, s.mp.Output(v-j, f.colOff+j))
+		}
+		s.sinks.OfmapWrite.Consume(f.base+2*f.rows+v-1, addrs)
+		s.buf = addrs
+	}
+}
+
+// accessCounts returns the closed-form SRAM access totals for an Sr x Sc x T
+// workload slice; the trace streams emit exactly these many addresses
+// (asserted by tests).
+func accessCounts(df config.Dataflow, Sr, Sc, T, R, C int64) (ifmap, filter, ofmap int64) {
+	foldsR := ceilDiv(Sr, R)
+	foldsC := ceilDiv(Sc, C)
+	// Sum over folds of mapped rows and cols; folds tile the space, so the
+	// sums equal the slice extents.
+	sumRows := foldSum(Sr, R, foldsR)
+	sumCols := foldSum(Sc, C, foldsC)
+	// Each row-fold is repeated for every column-fold and vice versa.
+	rowsTotal := sumRows * foldsC // sum of mapped rows over all folds
+	colsTotal := sumCols * foldsR
+	// Mapped PEs over all folds: sum_r sum_c rows(fr)*cols(fc).
+	mappedPE := sumRows * sumCols
+
+	switch df {
+	case config.OutputStationary:
+		return rowsTotal * T, colsTotal * T, mappedPE
+	case config.WeightStationary:
+		return rowsTotal * T, mappedPE, colsTotal * T
+	case config.InputStationary:
+		return mappedPE, rowsTotal * T, colsTotal * T
+	}
+	return 0, 0, 0
+}
+
+// foldSum returns sum over folds of min(size, S - f*size).
+func foldSum(S, size, folds int64) int64 {
+	if folds == 0 {
+		return 0
+	}
+	last := S - (folds-1)*size
+	return (folds-1)*size + last
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

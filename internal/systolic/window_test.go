@@ -1,0 +1,134 @@
+package systolic
+
+import (
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/topology"
+	"scalesim/internal/trace"
+)
+
+// TestWindowTilingConservation: tiling the spatial space with a partition
+// grid of windows performs the same MACs and produces the same outputs as
+// the full run, with replicated input reads visible as extra traffic.
+func TestWindowTilingConservation(t *testing.T) {
+	l := testLayer()
+	for _, df := range config.Dataflows {
+		cfg := smallCfg(df, 4, 3)
+		full, err := Run(l, cfg, Sinks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := dataflow.Map(l, df)
+		for _, grid := range []struct{ pr, pc int64 }{{2, 1}, {1, 2}, {2, 2}, {3, 2}} {
+			var macs, maxCycles int64
+			ofm := &trace.Recorder{}
+			srPer := (m.Sr + grid.pr - 1) / grid.pr
+			scPer := (m.Sc + grid.pc - 1) / grid.pc
+			for pi := int64(0); pi < grid.pr; pi++ {
+				for pj := int64(0); pj < grid.pc; pj++ {
+					srOff, scOff := pi*srPer, pj*scPer
+					if srOff >= m.Sr || scOff >= m.Sc {
+						continue
+					}
+					win := Window{
+						SrOff: srOff, ScOff: scOff,
+						SrLen: min64(srPer, m.Sr-srOff),
+						ScLen: min64(scPer, m.Sc-scOff),
+					}
+					res, err := RunWindow(l, cfg, win, Sinks{OfmapWrite: ofm})
+					if err != nil {
+						t.Fatalf("%v grid %+v: %v", df, grid, err)
+					}
+					macs += res.MACs
+					if res.Cycles > maxCycles {
+						maxCycles = res.Cycles
+					}
+				}
+			}
+			if macs != full.MACs {
+				t.Errorf("%v grid %+v: MACs %d != full %d", df, grid, macs, full.MACs)
+			}
+			if maxCycles > full.Cycles {
+				t.Errorf("%v grid %+v: slowest partition %d slower than monolithic %d",
+					df, grid, maxCycles, full.Cycles)
+			}
+			if got := int64(ofm.Distinct()); got != l.OfmapWords() {
+				t.Errorf("%v grid %+v: distinct outputs %d, want %d", df, grid, got, l.OfmapWords())
+			}
+		}
+	}
+}
+
+// TestWindowMatchesEstimateWindow checks Run/Estimate agreement on slices.
+func TestWindowMatchesEstimateWindow(t *testing.T) {
+	l := testLayer()
+	for _, df := range config.Dataflows {
+		cfg := smallCfg(df, 4, 3)
+		m := dataflow.Map(l, df)
+		win := Window{SrOff: 1, SrLen: m.Sr / 2, ScOff: 1, ScLen: m.Sc - 1}
+		got, err := RunWindow(l, cfg, win, Sinks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := EstimateWindow(l, cfg, win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%v:\n run %+v\n est %+v", df, got, want)
+		}
+	}
+}
+
+// TestWindowScaleOutMatchesEq6: a partition window's runtime equals the
+// analytical Eq. 6 (runtime of the slowest partition's slice).
+func TestWindowScaleOutMatchesEq6(t *testing.T) {
+	l := topology.FromGEMM("g", 100, 30, 60)
+	cfg := smallCfg(config.OutputStationary, 8, 8)
+	m := dataflow.Map(l, cfg.Dataflow)
+	// 2x2 partitions: first slice is ceil(Sr/2) x ceil(Sc/2) = 50x30.
+	win := Window{SrLen: (m.Sr + 1) / 2, ScLen: (m.Sc + 1) / 2}
+	res, err := RunWindow(l, cfg, win, Sinks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2*8 + 8 + m.T - 2) * ((win.SrLen + 7) / 8) * ((win.ScLen + 7) / 8)
+	if res.Cycles != want {
+		t.Errorf("Cycles = %d, want Eq.6 %d", res.Cycles, want)
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	l := testLayer()
+	cfg := smallCfg(config.OutputStationary, 4, 4)
+	m := dataflow.Map(l, cfg.Dataflow)
+	bad := []Window{
+		{SrOff: -1},
+		{ScOff: -1},
+		{SrOff: m.Sr},
+		{SrLen: m.Sr + 1},
+		{ScOff: 1, ScLen: m.Sc},
+	}
+	for _, w := range bad {
+		if _, err := RunWindow(l, cfg, w, Sinks{}); err == nil {
+			t.Errorf("RunWindow accepted %+v", w)
+		}
+		if _, err := EstimateWindow(l, cfg, w); err == nil {
+			t.Errorf("EstimateWindow accepted %+v", w)
+		}
+	}
+}
+
+func TestEstimateWindowValidates(t *testing.T) {
+	l := testLayer()
+	if _, err := EstimateWindow(l, config.New().WithArray(0, 1), Window{}); err == nil {
+		t.Error("EstimateWindow accepted bad config")
+	}
+	bad := l
+	bad.Stride = 0
+	if _, err := EstimateWindow(bad, config.New(), Window{}); err == nil {
+		t.Error("EstimateWindow accepted bad layer")
+	}
+}

@@ -1,0 +1,139 @@
+package topology
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// CSVHeader is the canonical header row of a SCALE-Sim topology file
+// (Table II of the paper).
+var CSVHeader = []string{
+	"Layer name", "IFMAP Height", "IFMAP Width",
+	"Filter Height", "Filter Width", "Channels", "Num Filter", "Strides",
+}
+
+// ParseCSV reads a topology in the SCALE-Sim CSV dialect: one layer per row,
+// eight columns per Table II, an optional header row, optional trailing empty
+// column (the original files end rows with a comma), and blank lines ignored.
+func ParseCSV(name string, r io.Reader) (Topology, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	topo := Topology{Name: name}
+	row := 0
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Topology{}, fmt.Errorf("topology: row %d: %w", row+1, err)
+		}
+		row++
+		record = trimRecord(record)
+		if len(record) == 0 {
+			continue
+		}
+		if row == 1 && isHeader(record) {
+			continue
+		}
+		layer, err := parseRow(record)
+		if err != nil {
+			return Topology{}, fmt.Errorf("topology: row %d: %w", row, err)
+		}
+		topo.Layers = append(topo.Layers, layer)
+	}
+	if err := topo.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return topo, nil
+}
+
+// trimRecord drops trailing empty fields and trims whitespace.
+func trimRecord(record []string) []string {
+	for i := range record {
+		record[i] = strings.TrimSpace(record[i])
+	}
+	for len(record) > 0 && record[len(record)-1] == "" {
+		record = record[:len(record)-1]
+	}
+	return record
+}
+
+// isHeader reports whether the record looks like a header row: the second
+// column is not an integer.
+func isHeader(record []string) bool {
+	if len(record) < 2 {
+		return false
+	}
+	_, err := strconv.Atoi(record[1])
+	return err != nil
+}
+
+func parseRow(record []string) (Layer, error) {
+	if len(record) != len(CSVHeader) {
+		return Layer{}, fmt.Errorf("expected %d columns (%s), got %d",
+			len(CSVHeader), strings.Join(CSVHeader, ", "), len(record))
+	}
+	ints := make([]int, 7)
+	for i := 1; i < len(record); i++ {
+		n, err := strconv.Atoi(record[i])
+		if err != nil {
+			return Layer{}, fmt.Errorf("column %q: %w", CSVHeader[i], err)
+		}
+		ints[i-1] = n
+	}
+	l := Layer{
+		Name:       record[0],
+		IfmapH:     ints[0],
+		IfmapW:     ints[1],
+		FilterH:    ints[2],
+		FilterW:    ints[3],
+		Channels:   ints[4],
+		NumFilters: ints[5],
+		Stride:     ints[6],
+	}
+	return l, l.Validate()
+}
+
+// LoadCSV reads a topology file from disk; the topology name is the file's
+// base name without extension.
+func LoadCSV(path string) (Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Topology{}, fmt.Errorf("topology: %w", err)
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	name := strings.TrimSuffix(base, filepath.Ext(base))
+	return ParseCSV(name, f)
+}
+
+// WriteCSV serializes the topology in the dialect accepted by ParseCSV,
+// including the header row and the original tool's trailing comma.
+func WriteCSV(w io.Writer, t Topology) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append(append([]string{}, CSVHeader...), "")); err != nil {
+		return err
+	}
+	for _, l := range t.Layers {
+		record := []string{
+			l.Name,
+			strconv.Itoa(l.IfmapH), strconv.Itoa(l.IfmapW),
+			strconv.Itoa(l.FilterH), strconv.Itoa(l.FilterW),
+			strconv.Itoa(l.Channels), strconv.Itoa(l.NumFilters),
+			strconv.Itoa(l.Stride),
+			"",
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,107 @@
+package topology
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,
+Conv1, 227, 227, 11, 11, 3, 96, 4,
+Conv2, 31, 31, 5, 5, 96, 256, 1,
+
+FC, 1, 1, 1, 1, 256, 10, 1,
+`
+
+func TestParseCSV(t *testing.T) {
+	topo, err := ParseCSV("sample", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatalf("ParseCSV: %v", err)
+	}
+	if topo.Name != "sample" {
+		t.Errorf("Name = %q", topo.Name)
+	}
+	if len(topo.Layers) != 3 {
+		t.Fatalf("len(Layers) = %d, want 3", len(topo.Layers))
+	}
+	want := Layer{Name: "Conv1", IfmapH: 227, IfmapW: 227, FilterH: 11,
+		FilterW: 11, Channels: 3, NumFilters: 96, Stride: 4}
+	if !reflect.DeepEqual(topo.Layers[0], want) {
+		t.Errorf("Layers[0] = %+v, want %+v", topo.Layers[0], want)
+	}
+}
+
+func TestParseCSVNoHeader(t *testing.T) {
+	in := "Conv1, 8, 8, 3, 3, 1, 4, 1,\n"
+	topo, err := ParseCSV("nh", strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseCSV: %v", err)
+	}
+	if len(topo.Layers) != 1 || topo.Layers[0].Name != "Conv1" {
+		t.Errorf("layers = %+v", topo.Layers)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty file", ""},
+		{"short row", "Conv1, 8, 8, 3,\n"},
+		{"long row", "Conv1, 8, 8, 3, 3, 1, 4, 1, 9,\n"},
+		{"bad int", "Conv1, 8, eight, 3, 3, 1, 4, 1,\n"},
+		{"invalid layer", "Conv1, 2, 2, 3, 3, 1, 4, 1,\n"},
+		{"duplicate names", "C, 8, 8, 3, 3, 1, 4, 1,\nC, 8, 8, 3, 3, 1, 4, 1,\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseCSV("x", strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: ParseCSV accepted %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestCSVRoundTripBuiltIns(t *testing.T) {
+	for _, name := range BuiltInNames() {
+		topo, _ := BuiltIn(name)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, topo); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", name, err)
+		}
+		got, err := ParseCSV(topo.Name, &buf)
+		if err != nil {
+			t.Fatalf("%s: ParseCSV(WriteCSV): %v", name, err)
+		}
+		if !reflect.DeepEqual(got, topo) {
+			t.Errorf("%s: round trip mismatch", name)
+		}
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "alex_net.csv")
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, AlexNet()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := LoadCSV(path)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if topo.Name != "alex_net" {
+		t.Errorf("Name = %q, want alex_net", topo.Name)
+	}
+	if len(topo.Layers) != len(AlexNet().Layers) {
+		t.Errorf("len = %d", len(topo.Layers))
+	}
+	if _, err := LoadCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("LoadCSV of missing file succeeded")
+	}
+}

@@ -1,0 +1,53 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV checks the topology parser never panics and that accepted
+// topologies survive a write/parse round trip.
+func FuzzParseCSV(f *testing.F) {
+	f.Add(sampleCSV)
+	f.Add("conv, 8, 8, 3, 3, 2, 4, 1,\n")
+	f.Add("Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,\n")
+	f.Add("")
+	f.Add("a,b,c\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		topo, err := ParseCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("ParseCSV returned invalid topology: %v", err)
+		}
+		for _, l := range topo.Layers {
+			// Derived quantities must stay consistent on anything accepted.
+			if l.MACOps() <= 0 || l.OfmapH() < 1 || l.OfmapW() < 1 {
+				t.Fatalf("degenerate derived dims for %+v", l)
+			}
+			m, k, n := l.GEMM()
+			if m*k*n != l.MACOps() {
+				t.Fatalf("GEMM reduction inconsistent for %+v", l)
+			}
+		}
+		// Names with quotes/commas/newlines are out of the dialect.
+		for _, l := range topo.Layers {
+			if strings.ContainsAny(l.Name, ",\"\n\r") || strings.TrimSpace(l.Name) != l.Name {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, topo); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		got, err := ParseCSV("fuzz", &buf)
+		if err != nil {
+			t.Fatalf("re-ParseCSV: %v", err)
+		}
+		if len(got.Layers) != len(topo.Layers) {
+			t.Fatalf("round trip changed layer count")
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package topology
+
+import "fmt"
+
+// This file embeds the workloads the paper evaluates: the convolution and
+// fully-connected layers of ResNet50 (Sec. IV, Figs. 10-14) and the
+// language-model GEMM layers of Table IV (GNMT, DeepSpeech2, Transformer,
+// neural collaborative filtering). AlexNet and a tiny synthetic network are
+// provided for examples and tests.
+
+// ResNet50 returns the convolution and FC layers of ResNet50 in execution
+// order, generated from the published block structure (He et al., CVPR 2016)
+// with SCALE-Sim style layer names: Conv1, CB<stage><block>_<conv> for the
+// three convolutions of each bottleneck block, CB<stage>a_sc for the
+// stride-matched projection shortcut of each stage's first block, and
+// FC1000 for the classifier.
+//
+// The paper's figures reference layers by these names ("CB2a_1"; the text's
+// "CBa_3" is stage 2's "CB2a_3").
+func ResNet50() Topology {
+	t := Topology{Name: "Resnet50"}
+	add := func(l Layer) { t.Layers = append(t.Layers, l) }
+
+	// Conv1: 7x7, 64 filters, stride 2 over the 224x224x3 input.
+	add(Layer{Name: "Conv1", IfmapH: 224, IfmapW: 224, FilterH: 7, FilterW: 7,
+		Channels: 3, NumFilters: 64, Stride: 2})
+
+	// Bottleneck stages. After the stride-2 max pool the tensor entering
+	// stage 2 is 56x56x64. Each stage's first block projects the shortcut;
+	// stages 3-5 downsample with stride 2 on the block's first 1x1 conv and
+	// on the projection (ResNet v1).
+	type stage struct {
+		id       int
+		blocks   int
+		inSize   int // spatial size of the stage input
+		inCh     int // channels entering the stage
+		midCh    int // 1x1 and 3x3 width
+		outCh    int // block output width
+		downsamp bool
+	}
+	stages := []stage{
+		{id: 2, blocks: 3, inSize: 56, inCh: 64, midCh: 64, outCh: 256},
+		{id: 3, blocks: 4, inSize: 56, inCh: 256, midCh: 128, outCh: 512, downsamp: true},
+		{id: 4, blocks: 6, inSize: 28, inCh: 512, midCh: 256, outCh: 1024, downsamp: true},
+		{id: 5, blocks: 3, inSize: 14, inCh: 1024, midCh: 512, outCh: 2048, downsamp: true},
+	}
+	for _, s := range stages {
+		size := s.inSize
+		inCh := s.inCh
+		for b := 0; b < s.blocks; b++ {
+			blockName := fmt.Sprintf("CB%d%c", s.id, 'a'+b)
+			stride1 := 1
+			if b == 0 && s.downsamp {
+				stride1 = 2
+			}
+			outSize := size / stride1
+			add(Layer{Name: blockName + "_1", IfmapH: size, IfmapW: size,
+				FilterH: 1, FilterW: 1, Channels: inCh, NumFilters: s.midCh, Stride: stride1})
+			// 3x3 convs use padding 1 in the network; SCALE-Sim topologies
+			// express the padded input directly.
+			add(Layer{Name: blockName + "_2", IfmapH: outSize + 2, IfmapW: outSize + 2,
+				FilterH: 3, FilterW: 3, Channels: s.midCh, NumFilters: s.midCh, Stride: 1})
+			add(Layer{Name: blockName + "_3", IfmapH: outSize, IfmapW: outSize,
+				FilterH: 1, FilterW: 1, Channels: s.midCh, NumFilters: s.outCh, Stride: 1})
+			if b == 0 {
+				add(Layer{Name: blockName + "_sc", IfmapH: size, IfmapW: size,
+					FilterH: 1, FilterW: 1, Channels: inCh, NumFilters: s.outCh, Stride: stride1})
+			}
+			size = outSize
+			inCh = s.outCh
+		}
+	}
+
+	// Classifier: 2048 -> 1000 fully connected, a 1x2048 by 2048x1000 GEMM.
+	add(FromGEMM("FC1000", 1, 2048, 1000))
+	return t
+}
+
+// LanguageModels returns the Table IV language-model workloads: GEMM layers
+// from GNMT, DeepSpeech2 (DB), Transformer (TF) and neural collaborative
+// filtering (NCF), with the paper's (S_R, T, S_C) = (M, K, N) dimensions.
+func LanguageModels() Topology {
+	dims := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"GNMT0", 128, 4096, 2048},
+		{"GNMT1", 320, 4096, 3072},
+		{"GNMT2", 1632, 1024, 36548},
+		{"GNMT3", 2048, 32, 4096},
+		{"DB0", 1024, 50000, 16},
+		{"DB1", 35, 2560, 4096},
+		{"TF0", 31999, 84, 1024},
+		{"TF1", 84, 4096, 1024},
+		{"NCF0", 2048, 128, 1},
+		{"NCF1", 256, 2048, 256},
+	}
+	t := Topology{Name: "LanguageModels"}
+	for _, d := range dims {
+		t.Layers = append(t.Layers, FromGEMM(d.name, d.m, d.k, d.n))
+	}
+	return t
+}
+
+// AlexNet returns the five convolution and three FC layers of AlexNet, a
+// classic small workload useful for quick runs and examples.
+func AlexNet() Topology {
+	return Topology{Name: "AlexNet", Layers: []Layer{
+		{Name: "Conv1", IfmapH: 227, IfmapW: 227, FilterH: 11, FilterW: 11, Channels: 3, NumFilters: 96, Stride: 4},
+		{Name: "Conv2", IfmapH: 31, IfmapW: 31, FilterH: 5, FilterW: 5, Channels: 96, NumFilters: 256, Stride: 1},
+		{Name: "Conv3", IfmapH: 15, IfmapW: 15, FilterH: 3, FilterW: 3, Channels: 256, NumFilters: 384, Stride: 1},
+		{Name: "Conv4", IfmapH: 15, IfmapW: 15, FilterH: 3, FilterW: 3, Channels: 384, NumFilters: 384, Stride: 1},
+		{Name: "Conv5", IfmapH: 15, IfmapW: 15, FilterH: 3, FilterW: 3, Channels: 384, NumFilters: 256, Stride: 1},
+		FromGEMM("FC6", 1, 9216, 4096),
+		FromGEMM("FC7", 1, 4096, 4096),
+		FromGEMM("FC8", 1, 4096, 1000),
+	}}
+}
+
+// YoloTiny returns the nine convolution layers of Tiny-YOLO v2, a compact
+// detection workload with a long chain of 3x3 convolutions (the original
+// SCALE-Sim repository ships the same network). The 3x3 layers carry the
+// +2 padding rows like the ResNet topology.
+func YoloTiny() Topology {
+	conv := func(name string, size, ch, nf, stride int) Layer {
+		return Layer{Name: name, IfmapH: size + 2, IfmapW: size + 2,
+			FilterH: 3, FilterW: 3, Channels: ch, NumFilters: nf, Stride: stride}
+	}
+	return Topology{Name: "YoloTiny", Layers: []Layer{
+		conv("Conv1", 416, 3, 16, 1),
+		conv("Conv2", 208, 16, 32, 1),
+		conv("Conv3", 104, 32, 64, 1),
+		conv("Conv4", 52, 64, 128, 1),
+		conv("Conv5", 26, 128, 256, 1),
+		conv("Conv6", 13, 256, 512, 1),
+		conv("Conv7", 13, 512, 1024, 1),
+		conv("Conv8", 13, 1024, 1024, 1),
+		{Name: "Conv9", IfmapH: 13, IfmapW: 13, FilterH: 1, FilterW: 1,
+			Channels: 1024, NumFilters: 125, Stride: 1},
+	}}
+}
+
+// inceptionChannels parameterizes one GoogLeNet inception module: the
+// input channel count and the six branch widths (1x1; 3x3 reduce, 3x3;
+// 5x5 reduce, 5x5; pool projection).
+type inceptionChannels struct {
+	name                           string
+	size                           int // spatial size of the module input
+	in, c1, c3r, c3, c5r, c5, pool int
+}
+
+// googLeNetModules lists the nine inception modules of GoogLeNet
+// (Szegedy et al., CVPR 2015), with the standard channel table.
+var googLeNetModules = []inceptionChannels{
+	{"3a", 28, 192, 64, 96, 128, 16, 32, 32},
+	{"3b", 28, 256, 128, 128, 192, 32, 96, 64},
+	{"4a", 14, 480, 192, 96, 208, 16, 48, 64},
+	{"4b", 14, 512, 160, 112, 224, 24, 64, 64},
+	{"4c", 14, 512, 128, 128, 256, 24, 64, 64},
+	{"4d", 14, 512, 112, 144, 288, 32, 64, 64},
+	{"4e", 14, 528, 256, 160, 320, 32, 128, 128},
+	{"5a", 7, 832, 256, 160, 320, 32, 128, 128},
+	{"5b", 7, 832, 384, 192, 384, 48, 128, 128},
+}
+
+// inceptionLayers expands one module into its six convolutions, named
+// inc<module>_<branch>: b1 (1x1), b2r/b2 (3x3 reduce + 3x3), b3r/b3
+// (5x5 reduce + 5x5) and b4 (pool projection). Padded inputs carry the +2
+// and +4 rows like the other topologies.
+func inceptionLayers(m inceptionChannels) []Layer {
+	s := m.size
+	p := "inc" + m.name + "_"
+	return []Layer{
+		{Name: p + "b1", IfmapH: s, IfmapW: s, FilterH: 1, FilterW: 1, Channels: m.in, NumFilters: m.c1, Stride: 1},
+		{Name: p + "b2r", IfmapH: s, IfmapW: s, FilterH: 1, FilterW: 1, Channels: m.in, NumFilters: m.c3r, Stride: 1},
+		{Name: p + "b2", IfmapH: s + 2, IfmapW: s + 2, FilterH: 3, FilterW: 3, Channels: m.c3r, NumFilters: m.c3, Stride: 1},
+		{Name: p + "b3r", IfmapH: s, IfmapW: s, FilterH: 1, FilterW: 1, Channels: m.in, NumFilters: m.c5r, Stride: 1},
+		{Name: p + "b3", IfmapH: s + 4, IfmapW: s + 4, FilterH: 5, FilterW: 5, Channels: m.c5r, NumFilters: m.c5, Stride: 1},
+		{Name: p + "b4", IfmapH: s, IfmapW: s, FilterH: 1, FilterW: 1, Channels: m.in, NumFilters: m.pool, Stride: 1},
+	}
+}
+
+// GoogLeNet returns the convolution and FC layers of GoogLeNet (Inception
+// v1) in execution order: the stem, the nine inception modules expanded
+// branch by branch (SCALE-Sim serializes parallel cells, Sec. II-E), and
+// the classifier. The paper calls out exactly this "cell" structure.
+func GoogLeNet() Topology {
+	t := Topology{Name: "GoogLeNet"}
+	t.Layers = append(t.Layers,
+		Layer{Name: "conv1", IfmapH: 224, IfmapW: 224, FilterH: 7, FilterW: 7, Channels: 3, NumFilters: 64, Stride: 2},
+		Layer{Name: "conv2r", IfmapH: 56, IfmapW: 56, FilterH: 1, FilterW: 1, Channels: 64, NumFilters: 64, Stride: 1},
+		Layer{Name: "conv2", IfmapH: 58, IfmapW: 58, FilterH: 3, FilterW: 3, Channels: 64, NumFilters: 192, Stride: 1},
+	)
+	for _, m := range googLeNetModules {
+		t.Layers = append(t.Layers, inceptionLayers(m)...)
+	}
+	t.Layers = append(t.Layers, FromGEMM("FC1000", 1, 1024, 1000))
+	return t
+}
+
+// GoogLeNetCellBranches returns, for each inception module, the layer-name
+// chains of its four parallel branches — the cell structure a
+// cell-parallel scheduler can exploit (package pipeline).
+func GoogLeNetCellBranches() map[string][][]string {
+	out := make(map[string][][]string, len(googLeNetModules))
+	for _, m := range googLeNetModules {
+		p := "inc" + m.name + "_"
+		out["inc"+m.name] = [][]string{
+			{p + "b1"},
+			{p + "b2r", p + "b2"},
+			{p + "b3r", p + "b3"},
+			{p + "b4"},
+		}
+	}
+	return out
+}
+
+// TinyNet returns a small three-layer network whose traces fit easily in
+// memory; it is used by tests and the quickstart example.
+func TinyNet() Topology {
+	return Topology{Name: "TinyNet", Layers: []Layer{
+		{Name: "conv1", IfmapH: 8, IfmapW: 8, FilterH: 3, FilterW: 3, Channels: 3, NumFilters: 8, Stride: 1},
+		{Name: "conv2", IfmapH: 6, IfmapW: 6, FilterH: 3, FilterW: 3, Channels: 8, NumFilters: 16, Stride: 1},
+		FromGEMM("fc1", 1, 256, 10),
+	}}
+}
+
+// BuiltIn returns a named built-in topology. Recognized names (case
+// sensitive): "Resnet50", "LanguageModels", "AlexNet", "GoogLeNet",
+// "YoloTiny", "TinyNet".
+func BuiltIn(name string) (Topology, bool) {
+	switch name {
+	case "Resnet50":
+		return ResNet50(), true
+	case "LanguageModels":
+		return LanguageModels(), true
+	case "AlexNet":
+		return AlexNet(), true
+	case "TinyNet":
+		return TinyNet(), true
+	case "YoloTiny":
+		return YoloTiny(), true
+	case "GoogLeNet":
+		return GoogLeNet(), true
+	}
+	return Topology{}, false
+}
+
+// BuiltInNames lists the names accepted by BuiltIn.
+func BuiltInNames() []string {
+	return []string{"Resnet50", "LanguageModels", "AlexNet", "GoogLeNet", "YoloTiny", "TinyNet"}
+}
+
+// ResNet50EdgeLayers returns the layers Figure 10(a) plots: the first five
+// and last five convolution layers of ResNet50 plus the FC layer.
+func ResNet50EdgeLayers() []Layer {
+	t := ResNet50()
+	conv := make([]Layer, 0, len(t.Layers))
+	var fc []Layer
+	for _, l := range t.Layers {
+		if l.IsGEMM() && l.IfmapH == 1 {
+			fc = append(fc, l)
+			continue
+		}
+		conv = append(conv, l)
+	}
+	out := append([]Layer{}, conv[:5]...)
+	out = append(out, conv[len(conv)-5:]...)
+	out = append(out, fc...)
+	return out
+}

@@ -1,0 +1,232 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResNet50Structure(t *testing.T) {
+	topo := ResNet50()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// 1 stem + 16 blocks x 3 convs + 4 projections + 1 FC = 54 layers.
+	if got := len(topo.Layers); got != 54 {
+		t.Fatalf("len(Layers) = %d, want 54", got)
+	}
+
+	conv1 := topo.Layers[0]
+	if conv1.Name != "Conv1" || conv1.IfmapH != 224 || conv1.FilterH != 7 ||
+		conv1.NumFilters != 64 || conv1.Stride != 2 {
+		t.Errorf("Conv1 = %+v", conv1)
+	}
+
+	// The paper's example layers exist with the expected shapes.
+	cb2a1, ok := topo.Layer("CB2a_1")
+	if !ok {
+		t.Fatal("CB2a_1 missing")
+	}
+	if cb2a1.IfmapH != 56 || cb2a1.Channels != 64 || cb2a1.NumFilters != 64 || cb2a1.Stride != 1 {
+		t.Errorf("CB2a_1 = %+v", cb2a1)
+	}
+	cb2a3, ok := topo.Layer("CB2a_3")
+	if !ok {
+		t.Fatal("CB2a_3 missing")
+	}
+	if cb2a3.Channels != 64 || cb2a3.NumFilters != 256 || cb2a3.OfmapH() != 56 {
+		t.Errorf("CB2a_3 = %+v", cb2a3)
+	}
+
+	// Downsampling stages: CB3a_1 has stride 2 and halves 56 -> 28.
+	cb3a1, _ := topo.Layer("CB3a_1")
+	if cb3a1.Stride != 2 || cb3a1.OfmapH() != 28 || cb3a1.Channels != 256 {
+		t.Errorf("CB3a_1 = %+v", cb3a1)
+	}
+	// Non-first blocks have no projection.
+	if _, ok := topo.Layer("CB3b_sc"); ok {
+		t.Error("CB3b_sc should not exist")
+	}
+	// Last conv layer of the trunk.
+	cb5c3, _ := topo.Layer("CB5c_3")
+	if cb5c3.OfmapH() != 7 || cb5c3.NumFilters != 2048 {
+		t.Errorf("CB5c_3 = %+v", cb5c3)
+	}
+	// 3x3 convs carry the +2 padding rows so output size matches the stage.
+	cb4c2, _ := topo.Layer("CB4c_2")
+	if cb4c2.IfmapH != 16 || cb4c2.OfmapH() != 14 {
+		t.Errorf("CB4c_2 = %+v", cb4c2)
+	}
+
+	fc, ok := topo.Layer("FC1000")
+	if !ok || !fc.IsGEMM() {
+		t.Fatalf("FC1000 = %+v, %v", fc, ok)
+	}
+	m, k, n := fc.GEMM()
+	if m != 1 || k != 2048 || n != 1000 {
+		t.Errorf("FC1000 GEMM = %d,%d,%d", m, k, n)
+	}
+
+	// ResNet50 is famously ~3.8 GMACs for 224x224 (conv+fc); with the
+	// padded-3x3 bookkeeping ours must land in the same ballpark.
+	gmacs := float64(topo.TotalMACOps()) / 1e9
+	if gmacs < 3.4 || gmacs > 4.4 {
+		t.Errorf("total GMACs = %.2f, want ~3.8", gmacs)
+	}
+}
+
+func TestLanguageModelsTableIV(t *testing.T) {
+	topo := LanguageModels()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := map[string][3]int64{
+		"GNMT0": {128, 4096, 2048},
+		"GNMT1": {320, 4096, 3072},
+		"GNMT2": {1632, 1024, 36548},
+		"GNMT3": {2048, 32, 4096},
+		"DB0":   {1024, 50000, 16},
+		"DB1":   {35, 2560, 4096},
+		"TF0":   {31999, 84, 1024},
+		"TF1":   {84, 4096, 1024},
+		"NCF0":  {2048, 128, 1},
+		"NCF1":  {256, 2048, 256},
+	}
+	if len(topo.Layers) != len(want) {
+		t.Fatalf("len(Layers) = %d, want %d", len(topo.Layers), len(want))
+	}
+	for name, dims := range want {
+		l, ok := topo.Layer(name)
+		if !ok {
+			t.Errorf("missing layer %s", name)
+			continue
+		}
+		m, k, n := l.GEMM()
+		if m != dims[0] || k != dims[1] || n != dims[2] {
+			t.Errorf("%s GEMM = %d,%d,%d, want %v", name, m, k, n, dims)
+		}
+	}
+}
+
+func TestAlexNetAndTinyNet(t *testing.T) {
+	for _, topo := range []Topology{AlexNet(), TinyNet()} {
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: %v", topo.Name, err)
+		}
+	}
+	a := AlexNet()
+	conv1, _ := a.Layer("Conv1")
+	if conv1.OfmapH() != 55 {
+		t.Errorf("AlexNet Conv1 OfmapH = %d, want 55", conv1.OfmapH())
+	}
+}
+
+func TestBuiltIn(t *testing.T) {
+	for _, name := range BuiltInNames() {
+		topo, ok := BuiltIn(name)
+		if !ok {
+			t.Errorf("BuiltIn(%q) not found", name)
+			continue
+		}
+		if topo.Name != name {
+			t.Errorf("BuiltIn(%q).Name = %q", name, topo.Name)
+		}
+	}
+	if _, ok := BuiltIn("NoSuchNet"); ok {
+		t.Error("BuiltIn accepted unknown name")
+	}
+}
+
+func TestResNet50EdgeLayers(t *testing.T) {
+	layers := ResNet50EdgeLayers()
+	if len(layers) != 11 {
+		t.Fatalf("len = %d, want 11 (5 first conv + 5 last conv + FC)", len(layers))
+	}
+	if layers[0].Name != "Conv1" {
+		t.Errorf("first = %s", layers[0].Name)
+	}
+	if layers[10].Name != "FC1000" {
+		t.Errorf("last = %s", layers[10].Name)
+	}
+	if !strings.HasPrefix(layers[9].Name, "CB5c") {
+		t.Errorf("layers[9] = %s, want a CB5c layer", layers[9].Name)
+	}
+}
+
+func TestYoloTiny(t *testing.T) {
+	topo := YoloTiny()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(topo.Layers) != 9 {
+		t.Fatalf("layers = %d, want 9", len(topo.Layers))
+	}
+	conv1 := topo.Layers[0]
+	if conv1.OfmapH() != 416 || conv1.NumFilters != 16 {
+		t.Errorf("Conv1 = %+v", conv1)
+	}
+	conv9, _ := topo.Layer("Conv9")
+	if conv9.OfmapH() != 13 || conv9.NumFilters != 125 {
+		t.Errorf("Conv9 = %+v", conv9)
+	}
+	// Tiny-YOLO is ~3.5 GMACs at 416x416 without maxpool halving modeled
+	// between layers; our serialized conv chain uses the published per-layer
+	// inputs, totalling ~5.5 GMACs.
+	gmacs := float64(topo.TotalMACOps()) / 1e9
+	if gmacs < 3 || gmacs > 8 {
+		t.Errorf("GMACs = %.2f", gmacs)
+	}
+}
+
+func TestGoogLeNet(t *testing.T) {
+	topo := GoogLeNet()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// 3 stem + 9 modules x 6 convs + 1 FC = 58 layers.
+	if got := len(topo.Layers); got != 58 {
+		t.Fatalf("layers = %d, want 58", got)
+	}
+	// Branch output channels of module 3a sum to the input of 3b.
+	var sum3a int
+	for _, name := range []string{"inc3a_b1", "inc3a_b2", "inc3a_b3", "inc3a_b4"} {
+		l, ok := topo.Layer(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		sum3a += l.NumFilters
+	}
+	b1, _ := topo.Layer("inc3b_b1")
+	if sum3a != b1.Channels {
+		t.Errorf("3a concat %d != 3b input channels %d", sum3a, b1.Channels)
+	}
+	// The 3x3 layers preserve spatial size via padding.
+	b2, _ := topo.Layer("inc4e_b2")
+	if b2.OfmapH() != 14 {
+		t.Errorf("inc4e_b2 OfmapH = %d", b2.OfmapH())
+	}
+	// GoogLeNet is ~1.5 GMACs at 224x224.
+	gmacs := float64(topo.TotalMACOps()) / 1e9
+	if gmacs < 1.0 || gmacs > 2.2 {
+		t.Errorf("GMACs = %.2f, want ~1.5", gmacs)
+	}
+}
+
+func TestGoogLeNetCellBranches(t *testing.T) {
+	topo := GoogLeNet()
+	cells := GoogLeNetCellBranches()
+	if len(cells) != 9 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for cell, branches := range cells {
+		if len(branches) != 4 {
+			t.Errorf("%s: %d branches", cell, len(branches))
+		}
+		for _, chain := range branches {
+			for _, name := range chain {
+				if _, ok := topo.Layer(name); !ok {
+					t.Errorf("%s references missing layer %s", cell, name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+// BandwidthMeter aggregates a trace into a bandwidth profile: the access
+// volume per fixed-size cycle window, from which average and peak demand
+// bandwidths are derived. The paper reports interface bandwidth in
+// words (or bytes) per cycle of stall-free operation.
+type BandwidthMeter struct {
+	// WindowCycles is the aggregation granularity.
+	WindowCycles int64
+	// WordBytes scales word counts into bytes.
+	WordBytes int64
+
+	windows map[int64]int64 // window index -> words
+	total   int64
+	last    int64
+	first   int64
+	seen    bool
+}
+
+// NewBandwidthMeter creates a meter with the given window size in cycles
+// (window <= 0 defaults to 1) and word size in bytes.
+func NewBandwidthMeter(windowCycles, wordBytes int64) *BandwidthMeter {
+	if windowCycles <= 0 {
+		windowCycles = 1
+	}
+	if wordBytes <= 0 {
+		wordBytes = 1
+	}
+	return &BandwidthMeter{
+		WindowCycles: windowCycles,
+		WordBytes:    wordBytes,
+		windows:      make(map[int64]int64),
+	}
+}
+
+// Consume implements Consumer.
+func (b *BandwidthMeter) Consume(cycle int64, addrs []int64) {
+	if len(addrs) == 0 {
+		return
+	}
+	b.Add(cycle, int64(len(addrs)))
+}
+
+// Add records n word accesses at the given cycle without materializing
+// addresses; producers that already aggregate use this directly.
+func (b *BandwidthMeter) Add(cycle, words int64) {
+	if words <= 0 {
+		return
+	}
+	b.windows[cycle/b.WindowCycles] += words
+	b.total += words
+	if !b.seen || cycle < b.first {
+		b.first = cycle
+	}
+	if !b.seen || cycle > b.last {
+		b.last = cycle
+	}
+	b.seen = true
+}
+
+// TotalWords returns the total accessed word count.
+func (b *BandwidthMeter) TotalWords() int64 { return b.total }
+
+// TotalBytes returns the total traffic in bytes.
+func (b *BandwidthMeter) TotalBytes() int64 { return b.total * b.WordBytes }
+
+// Span returns the active cycle span.
+func (b *BandwidthMeter) Span() int64 {
+	if !b.seen {
+		return 0
+	}
+	return b.last - b.first + 1
+}
+
+// AvgBytesPerCycle returns total bytes divided by the active span.
+func (b *BandwidthMeter) AvgBytesPerCycle() float64 {
+	span := b.Span()
+	if span == 0 {
+		return 0
+	}
+	return float64(b.TotalBytes()) / float64(span)
+}
+
+// PeakBytesPerCycle returns the highest per-window demand, normalized to
+// bytes per cycle.
+func (b *BandwidthMeter) PeakBytesPerCycle() float64 {
+	var peak int64
+	for _, w := range b.windows {
+		if w > peak {
+			peak = w
+		}
+	}
+	return float64(peak*b.WordBytes) / float64(b.WindowCycles)
+}
+
+// Windows returns the number of active windows.
+func (b *BandwidthMeter) Windows() int { return len(b.windows) }

@@ -1,0 +1,82 @@
+package trace
+
+import "math"
+
+// StallAnalyzer converts a DRAM demand trace into compute stalls under a
+// bounded memory link. The simulator's traces are stall-free *demand*
+// schedules: an access at cycle c must have been delivered by cycle c for
+// the array not to stall. With a link that moves WordsPerCycle words, the
+// earliest the first n words can be delivered is n/WordsPerCycle cycles, so
+// whenever cumulative demand runs ahead of the link, the difference is time
+// the compute must stall.
+//
+// The analyzer tracks max over events of (cumWords/WordsPerCycle - cycle);
+// that maximum is the total stall the layer suffers. Feeding both the read
+// and write traces into one analyzer models a shared bidirectional link.
+// Events from the two streams may interleave slightly out of cycle order;
+// since cumulative demand is order-insensitive and the lag bound is taken
+// per event, the result is exact for ordered streams and a tight upper
+// bound otherwise.
+type StallAnalyzer struct {
+	// WordsPerCycle is the link bandwidth.
+	WordsPerCycle float64
+
+	cumWords int64
+	maxLag   float64
+}
+
+// NewStallAnalyzer builds an analyzer for the given link bandwidth; a
+// non-positive bandwidth panics (an unbounded link needs no analyzer).
+func NewStallAnalyzer(wordsPerCycle float64) *StallAnalyzer {
+	if wordsPerCycle <= 0 {
+		panic("trace: stall analyzer needs positive bandwidth")
+	}
+	return &StallAnalyzer{WordsPerCycle: wordsPerCycle}
+}
+
+// Consume implements Consumer.
+func (s *StallAnalyzer) Consume(cycle int64, addrs []int64) {
+	if len(addrs) == 0 {
+		return
+	}
+	s.Add(cycle, int64(len(addrs)))
+}
+
+// Add records words of demand at the given cycle.
+func (s *StallAnalyzer) Add(cycle, words int64) {
+	if words <= 0 {
+		return
+	}
+	s.cumWords += words
+	// Delivery of the first cumWords words finishes at cumWords/BW; the
+	// demand wanted them by the end of `cycle` (i.e. cycle+1 cycle
+	// boundaries have passed).
+	lag := float64(s.cumWords)/s.WordsPerCycle - float64(cycle+1)
+	if lag > s.maxLag {
+		s.maxLag = lag
+	}
+}
+
+// TotalWords returns the cumulative demand.
+func (s *StallAnalyzer) TotalWords() int64 { return s.cumWords }
+
+// StallCycles returns the extra cycles the bounded link inflicts.
+func (s *StallAnalyzer) StallCycles() int64 {
+	if s.maxLag <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(s.maxLag))
+}
+
+// StalledRuntime returns the stall-free runtime plus the stalls.
+func (s *StallAnalyzer) StalledRuntime(stallFreeCycles int64) int64 {
+	return stallFreeCycles + s.StallCycles()
+}
+
+// Slowdown returns StalledRuntime / stall-free runtime.
+func (s *StallAnalyzer) Slowdown(stallFreeCycles int64) float64 {
+	if stallFreeCycles <= 0 {
+		return 1
+	}
+	return float64(s.StalledRuntime(stallFreeCycles)) / float64(stallFreeCycles)
+}

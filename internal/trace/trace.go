@@ -1,0 +1,271 @@
+// Package trace defines the streaming trace model shared by the simulator's
+// components. A trace is a sequence of events, each an SRAM (or DRAM) access
+// batch: one cycle plus the word addresses touched in that cycle. The
+// cycle-accurate core produces traces; consumers aggregate them into the
+// reports the original SCALE-Sim tool emits (access counts, bandwidths) or
+// persist them as CSV.
+//
+// Traces can be very large (one event per array edge per cycle), so the
+// package is built around streaming: producers push batches into Consumers
+// and nothing is retained unless a consumer chooses to.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Consumer receives trace events. Cycles arrive in non-decreasing order
+// within one trace stream. The addrs slice is only valid for the duration of
+// the call; implementations that retain addresses must copy them.
+type Consumer interface {
+	Consume(cycle int64, addrs []int64)
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(cycle int64, addrs []int64)
+
+// Consume calls f.
+func (f ConsumerFunc) Consume(cycle int64, addrs []int64) { f(cycle, addrs) }
+
+// Null discards all events.
+var Null Consumer = ConsumerFunc(func(int64, []int64) {})
+
+// Tee fans events out to every consumer in order.
+func Tee(consumers ...Consumer) Consumer {
+	return ConsumerFunc(func(cycle int64, addrs []int64) {
+		for _, c := range consumers {
+			c.Consume(cycle, addrs)
+		}
+	})
+}
+
+// Stats accumulates the aggregate measurements reports are built from.
+type Stats struct {
+	// Events counts Consume calls (distinct active cycles if the producer
+	// batches per cycle).
+	Events int64
+	// Accesses counts individual word accesses.
+	Accesses int64
+	// FirstCycle and LastCycle bound the active cycles seen. FirstCycle is
+	// -1 until the first event arrives.
+	FirstCycle, LastCycle int64
+	// MaxPerCycle is the largest single batch.
+	MaxPerCycle int
+}
+
+// NewStats returns an empty Stats accumulator.
+func NewStats() *Stats { return &Stats{FirstCycle: -1} }
+
+// Consume implements Consumer.
+func (s *Stats) Consume(cycle int64, addrs []int64) {
+	if len(addrs) == 0 {
+		return
+	}
+	s.Events++
+	s.Accesses += int64(len(addrs))
+	if s.FirstCycle < 0 {
+		s.FirstCycle = cycle
+	}
+	if cycle > s.LastCycle {
+		s.LastCycle = cycle
+	}
+	if len(addrs) > s.MaxPerCycle {
+		s.MaxPerCycle = len(addrs)
+	}
+}
+
+// Span returns the number of cycles between the first and last access,
+// inclusive; zero if no events arrived.
+func (s *Stats) Span() int64 {
+	if s.FirstCycle < 0 {
+		return 0
+	}
+	return s.LastCycle - s.FirstCycle + 1
+}
+
+// AvgPerCycle returns the average accesses per active-span cycle.
+func (s *Stats) AvgPerCycle() float64 {
+	span := s.Span()
+	if span == 0 {
+		return 0
+	}
+	return float64(s.Accesses) / float64(span)
+}
+
+// Recorder retains every event; intended for tests and small traces.
+type Recorder struct {
+	Entries []Entry
+}
+
+// Entry is one recorded trace row.
+type Entry struct {
+	Cycle int64
+	Addrs []int64
+}
+
+// Consume implements Consumer, copying the batch.
+func (r *Recorder) Consume(cycle int64, addrs []int64) {
+	if len(addrs) == 0 {
+		return
+	}
+	cp := make([]int64, len(addrs))
+	copy(cp, addrs)
+	r.Entries = append(r.Entries, Entry{Cycle: cycle, Addrs: cp})
+}
+
+// Accesses returns the total recorded access count.
+func (r *Recorder) Accesses() int64 {
+	var n int64
+	for _, e := range r.Entries {
+		n += int64(len(e.Addrs))
+	}
+	return n
+}
+
+// Addresses returns all recorded addresses in arrival order.
+func (r *Recorder) Addresses() []int64 {
+	out := make([]int64, 0, r.Accesses())
+	for _, e := range r.Entries {
+		out = append(out, e.Addrs...)
+	}
+	return out
+}
+
+// Distinct returns the number of distinct addresses recorded.
+func (r *Recorder) Distinct() int {
+	seen := make(map[int64]struct{})
+	for _, e := range r.Entries {
+		for _, a := range e.Addrs {
+			seen[a] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// SortedDistinct returns the distinct recorded addresses in ascending order.
+func (r *Recorder) SortedDistinct() []int64 {
+	seen := make(map[int64]struct{})
+	for _, e := range r.Entries {
+		for _, a := range e.Addrs {
+			seen[a] = struct{}{}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CSVWriter streams events as SCALE-Sim style trace CSV: each row is
+// "cycle, addr, addr, ...". It buffers internally; call Flush when done.
+type CSVWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewCSVWriter wraps w in a streaming trace writer.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Consume implements Consumer.
+func (c *CSVWriter) Consume(cycle int64, addrs []int64) {
+	if c.err != nil || len(addrs) == 0 {
+		return
+	}
+	buf := strconv.AppendInt(nil, cycle, 10)
+	for _, a := range addrs {
+		buf = append(buf, ',', ' ')
+		buf = strconv.AppendInt(buf, a, 10)
+	}
+	buf = append(buf, '\n')
+	_, c.err = c.w.Write(buf)
+}
+
+// Flush drains buffered rows and returns the first write error.
+func (c *CSVWriter) Flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.w.Flush()
+}
+
+// ParseCSV reads a trace written by CSVWriter back into a Recorder, for
+// tooling and tests. For traces too large to hold, use ScanCSV.
+func ParseCSV(r io.Reader) (*Recorder, error) {
+	rec := &Recorder{}
+	if err := ScanCSV(r, rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ScanCSV streams a trace CSV into a consumer row by row without
+// materializing it; the batch slice is reused between rows.
+func ScanCSV(r io.Reader, c Consumer) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	var addrs []int64
+	for scanner.Scan() {
+		line++
+		text := scanner.Text()
+		if text == "" {
+			continue
+		}
+		var cycle int64
+		addrs = addrs[:0]
+		first := true
+		for len(text) > 0 {
+			var field string
+			if i := indexByte(text, ','); i >= 0 {
+				field, text = text[:i], text[i+1:]
+			} else {
+				field, text = text, ""
+			}
+			v, err := strconv.ParseInt(trimSpace(field), 10, 64)
+			if err != nil {
+				return fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			if first {
+				cycle = v
+				first = false
+			} else {
+				addrs = append(addrs, v)
+			}
+		}
+		if len(addrs) == 0 {
+			return fmt.Errorf("trace: line %d: no addresses", line)
+		}
+		c.Consume(cycle, addrs)
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}

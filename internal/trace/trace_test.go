@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStats(t *testing.T) {
+	s := NewStats()
+	if s.Span() != 0 || s.AvgPerCycle() != 0 {
+		t.Error("empty stats should report zero span and rate")
+	}
+	s.Consume(10, []int64{1, 2, 3})
+	s.Consume(11, nil) // empty batches are ignored
+	s.Consume(12, []int64{4})
+	s.Consume(19, []int64{5, 6})
+	if s.Events != 3 {
+		t.Errorf("Events = %d, want 3", s.Events)
+	}
+	if s.Accesses != 6 {
+		t.Errorf("Accesses = %d, want 6", s.Accesses)
+	}
+	if s.FirstCycle != 10 || s.LastCycle != 19 {
+		t.Errorf("cycle bounds = [%d,%d]", s.FirstCycle, s.LastCycle)
+	}
+	if s.Span() != 10 {
+		t.Errorf("Span = %d, want 10", s.Span())
+	}
+	if s.MaxPerCycle != 3 {
+		t.Errorf("MaxPerCycle = %d, want 3", s.MaxPerCycle)
+	}
+	if got := s.AvgPerCycle(); got != 0.6 {
+		t.Errorf("AvgPerCycle = %v, want 0.6", got)
+	}
+}
+
+func TestTeeAndNull(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	tee := Tee(a, b, Null)
+	tee.Consume(1, []int64{7, 8})
+	if a.Accesses != 2 || b.Accesses != 2 {
+		t.Errorf("tee delivered %d/%d accesses", a.Accesses, b.Accesses)
+	}
+}
+
+func TestRecorderCopiesBatches(t *testing.T) {
+	r := &Recorder{}
+	buf := []int64{1, 2}
+	r.Consume(0, buf)
+	buf[0] = 99 // producer reuses its buffer
+	r.Consume(1, buf)
+	if r.Entries[0].Addrs[0] != 1 {
+		t.Error("Recorder aliased the producer's buffer")
+	}
+	if r.Accesses() != 4 {
+		t.Errorf("Accesses = %d", r.Accesses())
+	}
+	if got := r.Addresses(); !reflect.DeepEqual(got, []int64{1, 2, 99, 2}) {
+		t.Errorf("Addresses = %v", got)
+	}
+	if r.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", r.Distinct())
+	}
+	if got := r.SortedDistinct(); !reflect.DeepEqual(got, []int64{1, 2, 99}) {
+		t.Errorf("SortedDistinct = %v", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	w.Consume(0, []int64{5})
+	w.Consume(3, []int64{1, 2, 3})
+	w.Consume(4, nil)
+	w.Consume(10, []int64{42})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rec, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatalf("ParseCSV: %v", err)
+	}
+	want := []Entry{
+		{0, []int64{5}},
+		{3, []int64{1, 2, 3}},
+		{10, []int64{42}},
+	}
+	if !reflect.DeepEqual(rec.Entries, want) {
+		t.Errorf("entries = %+v, want %+v", rec.Entries, want)
+	}
+}
+
+func TestCSVRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		in := &Recorder{}
+		cycle := int64(0)
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			cycle += int64(rng.Intn(5))
+			n := 1 + rng.Intn(6)
+			addrs := make([]int64, n)
+			for j := range addrs {
+				addrs[j] = int64(rng.Intn(1000))
+			}
+			in.Consume(cycle, addrs)
+			cycle++
+		}
+		var buf bytes.Buffer
+		w := NewCSVWriter(&buf)
+		for _, e := range in.Entries {
+			w.Consume(e.Cycle, e.Addrs)
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		out, err := ParseCSV(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(out.Entries, in.Entries)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"1, two\n",
+		"notanumber\n",
+		"7\n", // cycle with no addresses
+	}
+	for _, in := range cases {
+		if _, err := ParseCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseCSV accepted %q", in)
+		}
+	}
+	// Blank lines are fine.
+	rec, err := ParseCSV(strings.NewReader("\n1, 2\n\n"))
+	if err != nil || len(rec.Entries) != 1 {
+		t.Errorf("blank-line parse: %v, %d entries", err, len(rec.Entries))
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestCSVWriterPropagatesError(t *testing.T) {
+	w := NewCSVWriter(failingWriter{})
+	for i := 0; i < 20_000; i++ { // exceed the internal buffer to force a write
+		w.Consume(int64(i), []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("Flush did not report the write error")
+	}
+}
+
+func TestBandwidthMeter(t *testing.T) {
+	b := NewBandwidthMeter(10, 2)
+	if b.AvgBytesPerCycle() != 0 || b.PeakBytesPerCycle() != 0 {
+		t.Error("empty meter should report zero")
+	}
+	b.Consume(0, []int64{1, 2, 3, 4, 5}) // window 0: 5 words
+	b.Add(9, 5)                          // window 0: 10 words total
+	b.Add(10, 2)                         // window 1: 2 words
+	b.Add(25, 8)                         // window 2: 8 words
+	if b.TotalWords() != 20 {
+		t.Errorf("TotalWords = %d", b.TotalWords())
+	}
+	if b.TotalBytes() != 40 {
+		t.Errorf("TotalBytes = %d", b.TotalBytes())
+	}
+	if b.Span() != 26 {
+		t.Errorf("Span = %d, want 26", b.Span())
+	}
+	if got := b.AvgBytesPerCycle(); got != 40.0/26.0 {
+		t.Errorf("AvgBytesPerCycle = %v", got)
+	}
+	// Peak window is window 0 with 10 words = 20 bytes over 10 cycles.
+	if got := b.PeakBytesPerCycle(); got != 2.0 {
+		t.Errorf("PeakBytesPerCycle = %v, want 2", got)
+	}
+	if b.Windows() != 3 {
+		t.Errorf("Windows = %d, want 3", b.Windows())
+	}
+	// Zero/negative additions are ignored.
+	b.Add(30, 0)
+	b.Add(30, -5)
+	if b.TotalWords() != 20 {
+		t.Error("non-positive Add changed the meter")
+	}
+}
+
+func TestBandwidthMeterDefaults(t *testing.T) {
+	b := NewBandwidthMeter(0, 0)
+	if b.WindowCycles != 1 || b.WordBytes != 1 {
+		t.Errorf("defaults = %d/%d, want 1/1", b.WindowCycles, b.WordBytes)
+	}
+}
+
+// TestBandwidthMeterPeakAtLeastAvg: the peak windowed demand can never be
+// below the overall average when windows tile the span.
+func TestBandwidthMeterPeakAtLeastAvg(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		b := NewBandwidthMeter(int64(1+rng.Intn(20)), int64(1+rng.Intn(4)))
+		for i := 0; i < 100; i++ {
+			b.Add(int64(rng.Intn(500)), int64(1+rng.Intn(10)))
+		}
+		if b.PeakBytesPerCycle() < b.AvgBytesPerCycle()-1e-9 {
+			t.Fatalf("peak %v < avg %v", b.PeakBytesPerCycle(), b.AvgBytesPerCycle())
+		}
+	}
+}
+
+func TestConsumerFunc(t *testing.T) {
+	var got int64
+	c := ConsumerFunc(func(cycle int64, addrs []int64) { got = cycle + int64(len(addrs)) })
+	c.Consume(5, []int64{1, 2})
+	if got != 7 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestScanCSVStreams(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	w.Consume(1, []int64{10, 11})
+	w.Consume(5, []int64{12})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var events int
+	var total int64
+	err := ScanCSV(&buf, ConsumerFunc(func(cycle int64, addrs []int64) {
+		events++
+		total += int64(len(addrs))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 2 || total != 3 {
+		t.Errorf("events/total = %d/%d", events, total)
+	}
+	if err := ScanCSV(strings.NewReader("7\n"), Null); err == nil {
+		t.Error("row without addresses accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Package viz renders small ASCII charts for the command-line tools, so a
+// sweep's shape (runtime falling, bandwidth rising, the energy bowl) is
+// visible directly in a terminal without exporting the CSV.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers assigned to series in order.
+var markers = []byte{'*', 'o', 'x', '+', '#', '@'}
+
+// Chart describes the plot geometry.
+type Chart struct {
+	// Width and Height are the plot area in characters (defaults 60x16).
+	Width, Height int
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// LogX and LogY select logarithmic axes (all values must be > 0).
+	LogX, LogY bool
+}
+
+// Render draws the series into a multi-line string.
+func (c Chart) Render(series ...Series) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("viz: no series")
+	}
+	if len(series) > len(markers) {
+		return "", fmt.Errorf("viz: at most %d series", len(markers))
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	var points int
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("viz: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y, err := c.transform(s.X[i], s.Y[i])
+			if err != nil {
+				return "", fmt.Errorf("viz: series %q: %w", s.Name, err)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+			points++
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("viz: no points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := markers[si]
+		for i := range s.X {
+			x, y, _ := c.transform(s.X[i], s.Y[i])
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(h-1)))
+			grid[row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	topLabel := c.fmtY(ymax)
+	botLabel := c.fmtY(ymin)
+	pad := len(topLabel)
+	if len(botLabel) > pad {
+		pad = len(botLabel)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, topLabel)
+		case h - 1:
+			label = fmt.Sprintf("%*s", pad, botLabel)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", pad), w-len(c.fmtX(xmax)), c.fmtX(xmin), c.fmtX(xmax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", pad), c.XLabel, c.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", pad), markers[si], s.Name)
+	}
+	return b.String(), nil
+}
+
+func (c Chart) transform(x, y float64) (float64, float64, error) {
+	if c.LogX {
+		if x <= 0 {
+			return 0, 0, fmt.Errorf("non-positive x %v on log axis", x)
+		}
+		x = math.Log10(x)
+	}
+	if c.LogY {
+		if y <= 0 {
+			return 0, 0, fmt.Errorf("non-positive y %v on log axis", y)
+		}
+		y = math.Log10(y)
+	}
+	if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+		return 0, 0, fmt.Errorf("non-finite point (%v, %v)", x, y)
+	}
+	return x, y, nil
+}
+
+func (c Chart) fmtY(v float64) string {
+	if c.LogY {
+		return compact(math.Pow(10, v))
+	}
+	return compact(v)
+}
+
+func (c Chart) fmtX(v float64) string {
+	if c.LogX {
+		return compact(math.Pow(10, v))
+	}
+	return compact(v)
+}
+
+// compact formats numbers tersely (1.2e+06 style for big magnitudes).
+func compact(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av != 0 && (av >= 1e5 || av < 1e-2):
+		return fmt.Sprintf("%.2g", v)
+	case av >= 100 || av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

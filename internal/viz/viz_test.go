@@ -1,0 +1,138 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	s := Series{Name: "runtime", X: []float64{1, 2, 4, 8}, Y: []float64{100, 50, 25, 12}}
+	out, err := (Chart{Title: "sweep", Width: 40, Height: 10, XLabel: "parts", YLabel: "cycles"}).Render(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "sweep\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* runtime") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "x: parts   y: cycles") {
+		t.Error("missing axis labels")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 plot rows + axis + xlabels + labels + 1 legend = 15
+	if len(lines) != 15 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	if strings.Count(out, "*") != 4+1 { // 4 points + legend marker
+		t.Errorf("marker count wrong:\n%s", out)
+	}
+	// Min/max y labels appear.
+	if !strings.Contains(out, "100") || !strings.Contains(out, "12") {
+		t.Errorf("y labels missing:\n%s", out)
+	}
+}
+
+func TestRenderMonotoneMapping(t *testing.T) {
+	// A decreasing series must render its first point above its last.
+	s := Series{Name: "d", X: []float64{0, 1}, Y: []float64{10, 0}}
+	out, err := (Chart{Width: 21, Height: 5}).Render(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for r, line := range lines {
+		idx := strings.IndexByte(line, '*')
+		if idx < 0 {
+			continue
+		}
+		if strings.Contains(line[idx:], "* d") {
+			continue // legend
+		}
+		if firstRow < 0 {
+			firstRow = r
+		}
+		lastRow = r
+	}
+	if firstRow < 0 || firstRow >= lastRow {
+		t.Errorf("high point not above low point:\n%s", out)
+	}
+}
+
+func TestRenderMultiSeries(t *testing.T) {
+	a := Series{Name: "a", X: []float64{1, 2}, Y: []float64{1, 2}}
+	b := Series{Name: "b", X: []float64{1, 2}, Y: []float64{2, 1}}
+	out, err := (Chart{}).Render(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("legend:\n%s", out)
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	s := Series{Name: "l", X: []float64{1, 10, 100}, Y: []float64{1, 100, 10000}}
+	out, err := (Chart{LogX: true, LogY: true, Width: 31, Height: 7}).Render(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On log-log a power law is a straight line: the three markers occupy
+	// three distinct rows and columns.
+	rows := map[int]bool{}
+	for r, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '*'); i >= 0 && !strings.Contains(line, "* l") {
+			rows[r] = true
+		}
+	}
+	if len(rows) != 3 {
+		t.Errorf("log-log rows = %d:\n%s", len(rows), out)
+	}
+	if _, err := (Chart{LogY: true}).Render(Series{Name: "bad", X: []float64{1}, Y: []float64{0}}); err == nil {
+		t.Error("log axis accepted zero")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (Chart{}).Render(); err == nil {
+		t.Error("no series accepted")
+	}
+	if _, err := (Chart{}).Render(Series{Name: "m", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	if _, err := (Chart{}).Render(Series{Name: "e"}); err == nil {
+		t.Error("empty series accepted")
+	}
+	many := make([]Series, 7)
+	for i := range many {
+		many[i] = Series{Name: "s", X: []float64{1}, Y: []float64{1}}
+	}
+	if _, err := (Chart{}).Render(many...); err == nil {
+		t.Error("too many series accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := Series{Name: "c", X: []float64{5, 5}, Y: []float64{3, 3}}
+	if _, err := (Chart{}).Render(s); err != nil {
+		t.Errorf("constant series: %v", err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1.2e+06",
+		0.001:   "0.001",
+		42:      "42",
+		3.14159: "3.14",
+		150.4:   "150",
+	}
+	for in, want := range cases {
+		if got := compact(in); got != want {
+			t.Errorf("compact(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package scalesim is a Go implementation of SCALE-Sim — the SystoliC
+// AcceLErator SIMulator of Samajdar et al. (ISPASS 2020) — together with
+// the paper's analytical runtime model and its scale-up versus scale-out
+// methodology.
+//
+// The package is a façade over the internal implementation:
+//
+//   - Config / Topology describe the hardware (Table I) and the workload
+//     (Table II); both parse the original tool's file formats and both can
+//     be built programmatically. Built-in workloads include ResNet50 and
+//     the paper's Table IV language-model GEMMs.
+//   - Simulator runs layers cycle-accurately: a stall-free systolic array
+//     (OS, WS or IS dataflow) in front of three double-buffered SRAMs,
+//     producing SRAM/DRAM traces, bandwidth profiles and energy estimates.
+//   - The analytical entry points (Runtime, BestScaleUp, BestScaleOut,
+//     ParetoSearch) implement Eqs. 1-6 for fast design-space exploration.
+//   - RunScaleOut executes a partitioned (multi-array) system
+//     cycle-accurately, reproducing the paper's runtime/bandwidth/energy
+//     trade-off study.
+//
+// A minimal session:
+//
+//	cfg := scalesim.NewConfig()                  // 32x32, OS, 512/512/256 KiB
+//	topo, _ := scalesim.BuiltInTopology("TinyNet")
+//	sim, _ := scalesim.NewSimulator(cfg, scalesim.Options{})
+//	run, _ := sim.Simulate(topo)
+//	fmt.Println(run.TotalCycles, run.AvgBandwidth())
+package scalesim
+
+import (
+	"scalesim/internal/analytical"
+	"scalesim/internal/config"
+	"scalesim/internal/core"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/dram"
+	"scalesim/internal/energy"
+	"scalesim/internal/memory"
+	"scalesim/internal/noc"
+	"scalesim/internal/partition"
+	"scalesim/internal/topology"
+)
+
+// Core configuration and workload types.
+type (
+	// Config is the hardware description (Table I).
+	Config = config.Config
+	// Dataflow selects OS, WS or IS mapping.
+	Dataflow = config.Dataflow
+	// Layer is one network layer (one topology CSV row, Table II).
+	Layer = topology.Layer
+	// Topology is an ordered list of layers.
+	Topology = topology.Topology
+)
+
+// Dataflow values.
+const (
+	OutputStationary = config.OutputStationary
+	WeightStationary = config.WeightStationary
+	InputStationary  = config.InputStationary
+)
+
+// Simulation types.
+type (
+	// Simulator executes topologies cycle-accurately.
+	Simulator = core.Simulator
+	// Options tunes tracing, memory, DRAM-timing and energy modeling.
+	Options = core.Options
+	// LayerResult is one layer's simulation outcome.
+	LayerResult = core.LayerResult
+	// RunResult aggregates a topology run.
+	RunResult = core.RunResult
+	// MemoryOptions tunes the SRAM/DRAM memory system.
+	MemoryOptions = memory.Options
+	// DRAMConfig parameterizes the DRAM timing substrate.
+	DRAMConfig = dram.Config
+	// EnergyModel holds per-event energy costs.
+	EnergyModel = energy.Model
+	// EnergyBreakdown is an energy result split by component.
+	EnergyBreakdown = energy.Breakdown
+)
+
+// Analytical-model types.
+type (
+	// Mapping is a workload's spatio-temporal shape (S_R, S_C, T).
+	Mapping = dataflow.Mapping
+	// Shape is a systolic array's dimensions.
+	Shape = analytical.Shape
+	// Partitioning is a scale-out grid.
+	Partitioning = analytical.Partitioning
+	// SystemConfig is one point of the scaling design space.
+	SystemConfig = analytical.SystemConfig
+	// Eval is an analytically evaluated configuration.
+	Eval = analytical.Eval
+	// Workload names a mapping for multi-workload optimization.
+	Workload = analytical.Workload
+	// ParetoResult is the Sec. IV-B selection outcome.
+	ParetoResult = analytical.ParetoResult
+	// ScaleOutSpec describes a partitioned system for cycle-accurate runs.
+	ScaleOutSpec = partition.Spec
+	// ScaleOutResult is a cycle-accurate scale-out run summary.
+	ScaleOutResult = partition.Result
+	// ScaleOutOptions tunes cycle-accurate scale-out runs.
+	ScaleOutOptions = partition.Options
+	// NoCConfig parameterizes the scale-out mesh interconnect model.
+	NoCConfig = noc.Config
+	// NoCReport is the interconnect analysis of a scale-out run.
+	NoCReport = noc.Report
+)
+
+// NewConfig returns the default configuration (32x32 array, OS dataflow,
+// 512/512/256 KiB SRAM).
+func NewConfig() Config { return config.New() }
+
+// LoadConfig reads a SCALE-Sim configuration file.
+func LoadConfig(path string) (Config, error) { return config.Load(path) }
+
+// ParseDataflow converts "os", "ws" or "is" to a Dataflow.
+func ParseDataflow(s string) (Dataflow, error) { return config.ParseDataflow(s) }
+
+// LoadTopology reads a topology CSV file.
+func LoadTopology(path string) (Topology, error) { return topology.LoadCSV(path) }
+
+// BuiltInTopology returns a bundled workload: "Resnet50",
+// "LanguageModels", "AlexNet", "GoogLeNet", "YoloTiny" or "TinyNet".
+func BuiltInTopology(name string) (Topology, bool) { return topology.BuiltIn(name) }
+
+// BuiltInTopologyNames lists the names BuiltInTopology accepts.
+func BuiltInTopologyNames() []string { return topology.BuiltInNames() }
+
+// GEMMLayer expresses an M x K by K x N matrix multiplication as a layer.
+func GEMMLayer(name string, m, k, n int) Layer { return topology.FromGEMM(name, m, k, n) }
+
+// GoogLeNetCells returns the parallel-branch structure of GoogLeNet's nine
+// inception modules, for cell-level schedulers (package pipeline).
+func GoogLeNetCells() map[string][][]string { return topology.GoogLeNetCellBranches() }
+
+// NewSimulator builds a cycle-accurate simulator for the configuration.
+func NewSimulator(cfg Config, opt Options) (*Simulator, error) { return core.New(cfg, opt) }
+
+// DDR3 returns the default DRAM timing parameters.
+func DDR3() DRAMConfig { return dram.DDR3() }
+
+// EyerissEnergy returns the default normalized energy model (1/6/200).
+func EyerissEnergy() EnergyModel { return energy.Eyeriss() }
+
+// DefaultNoC returns the default mesh interconnect cost model (one word
+// per cycle per link, unit hop energy).
+func DefaultNoC() NoCConfig { return noc.Default() }
+
+// Map computes a layer's (S_R, S_C, T) under a dataflow (Table III).
+func Map(l Layer, df Dataflow) Mapping { return dataflow.Map(l, df) }
+
+// Runtime is Eq. 4: the stall-free runtime of a mapping on an R x C array.
+func Runtime(m Mapping, r, c int64) int64 { return analytical.Runtime(m, r, c) }
+
+// ScaleOutRuntime is Eq. 6: the runtime of a Pr x Pc grid of R x C arrays.
+func ScaleOutRuntime(m Mapping, pr, pc, r, c int64) int64 {
+	return analytical.ScaleOutRuntime(m, pr, pc, r, c)
+}
+
+// BestScaleUp finds the fastest monolithic array shape for a MAC budget.
+func BestScaleUp(m Mapping, macs, minDim int64) (Eval, bool) {
+	return analytical.BestScaleUp(m, macs, minDim)
+}
+
+// BestScaleOut finds the fastest partitioned configuration for a MAC budget.
+func BestScaleOut(m Mapping, macs, minDim, maxParts int64) (Eval, bool) {
+	return analytical.BestScaleOut(m, macs, minDim, maxParts)
+}
+
+// ParetoSearch picks the configuration minimizing total runtime across
+// workloads (Sec. IV-B).
+func ParetoSearch(ws []Workload, macs, minDim, maxParts int64, scaleOut bool) (ParetoResult, error) {
+	return analytical.ParetoSearch(ws, macs, minDim, maxParts, scaleOut)
+}
+
+// RunScaleOut executes a layer cycle-accurately on a partitioned system.
+func RunScaleOut(l Layer, base Config, spec ScaleOutSpec, opt ScaleOutOptions) (ScaleOutResult, error) {
+	return partition.Run(l, base, spec, opt)
+}
+
+// ScaleOutSweep runs a layer across several partition counts of one MAC
+// budget, picking the best grid and array shape for each count.
+func ScaleOutSweep(l Layer, base Config, totalMACs int64, partCounts []int64, minDim int64, opt ScaleOutOptions) ([]ScaleOutResult, error) {
+	return partition.Sweep(l, base, totalMACs, partCounts, minDim, opt)
+}
+
+// SweetSpot picks the fastest partitioning of a MAC budget whose average
+// DRAM bandwidth demand fits the given budget (bytes/cycle) — the paper's
+// "sweet spot" at the intersection of the runtime and bandwidth curves. The
+// full sweep is returned alongside for reporting.
+func SweetSpot(l Layer, base Config, totalMACs int64, partCounts []int64, minDim int64, bwBudget float64, opt ScaleOutOptions) (ScaleOutResult, []ScaleOutResult, error) {
+	return partition.SweetSpot(l, base, totalMACs, partCounts, minDim, bwBudget, opt)
+}

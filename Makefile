@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz figures examples clean
+.PHONY: all build vet test race bench smoke fuzz figures examples clean
 
 all: build vet test
 
@@ -15,10 +15,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/batch/ ./internal/partition/
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+smoke:
+	$(GO) test -run XXX -bench=BenchmarkTableIV -benchtime=1x .
 
 fuzz:
 	$(GO) test ./internal/config/ -fuzz FuzzParse -fuzztime 30s

@@ -7,6 +7,7 @@
 package scalesim_test
 
 import (
+	"runtime"
 	"testing"
 
 	"scalesim"
@@ -352,6 +353,34 @@ func BenchmarkSimulateTinyNet(b *testing.B) {
 		if _, err := sim.Simulate(topo); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineParallel measures the layer-execution engine's scaling:
+// the same ResNet50 simulation at one worker and at GOMAXPROCS workers.
+// Layers are independent, so on a machine with 4+ cores the parallel
+// sub-benchmark should run at least 2x faster than workers=1.
+func BenchmarkEngineParallel(b *testing.B) {
+	cfg := scalesim.NewConfig()
+	topo, _ := scalesim.BuiltInTopology("Resnet50")
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=max", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			sim, err := scalesim.NewSimulator(cfg, scalesim.Options{Workers: bench.workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Simulate(topo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	scalesim -config scale.cfg [-topology net.csv] [-outdir out] [-traces] [-dram]
-//	scalesim -net Resnet50 -array 128x128 -dataflow ws
+//	scalesim -net Resnet50 -array 128x128 -dataflow ws [-workers 4]
 //
 // Either -config or the individual flags describe the hardware; -topology
 // overrides the config's topology path and -net selects a built-in network.
@@ -45,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 		useDRAM  = fs.Bool("dram", false, "replay DRAM traces through the DDR3 timing model")
 		asJSON   = fs.Bool("json", false, "emit the full result as JSON instead of the summary")
 		partsArg = fs.String("parts", "", "run scale-out: partition grid as PrxPc (e.g. 2x4); -array sets the per-partition shape")
+		workers  = fs.Int("workers", 0, "layers simulated concurrently (0 = number of CPUs, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,7 +93,7 @@ func run(args []string, stdout io.Writer) error {
 		return runScaleOut(stdout, cfg, topo, pr, pc)
 	}
 
-	opt := scalesim.Options{}
+	opt := scalesim.Options{Workers: *workers}
 	if *traces {
 		if *outDir == "" {
 			return fmt.Errorf("-traces requires -outdir")

@@ -64,7 +64,7 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "accesses: %d over %d active cycles ([%d, %d])\n",
 		stats.Accesses, stats.Span(), stats.FirstCycle, stats.LastCycle)
 	fmt.Fprintf(stdout, "distinct addresses: %d (%.1f%% of accesses are reuse)\n",
-		prof.Distinct(), 100*(1-float64(prof.Distinct())/float64(max64(stats.Accesses, 1))))
+		prof.Distinct(), 100*(1-float64(prof.Distinct())/float64(max(stats.Accesses, 1))))
 	fmt.Fprintf(stdout, "bandwidth: avg %.3f peak %.3f words/cycle (window %d)\n",
 		meter.AvgBytesPerCycle(), meter.PeakBytesPerCycle(), *window)
 
@@ -112,11 +112,4 @@ func parseInts(s string) ([]int64, error) {
 		return nil, fmt.Errorf("empty capacity list %q", s)
 	}
 	return out, nil
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

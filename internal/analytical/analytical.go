@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"scalesim/internal/dataflow"
+	"scalesim/internal/mathutil"
 )
 
 // MinRuntime returns Eq. 1: the fastest possible execution of a mapping,
@@ -28,7 +29,7 @@ func FoldRuntime(r, c, t int64) int64 { return 2*r + c + t - 2 }
 // Runtime returns Eq. 4: stall-free runtime of a mapping on an R x C array,
 // (2R + C + T - 2) * ceil(Sr/R) * ceil(Sc/C).
 func Runtime(m dataflow.Mapping, r, c int64) int64 {
-	return FoldRuntime(r, c, m.T) * ceilDiv(m.Sr, r) * ceilDiv(m.Sc, c)
+	return FoldRuntime(r, c, m.T) * mathutil.CeilDiv(m.Sr, r) * mathutil.CeilDiv(m.Sc, c)
 }
 
 // PartitionWorkload returns Eq. 5: the per-partition workload of a Pr x Pc
@@ -37,8 +38,8 @@ func Runtime(m dataflow.Mapping, r, c int64) int64 {
 func PartitionWorkload(m dataflow.Mapping, pr, pc int64) dataflow.Mapping {
 	return dataflow.Mapping{
 		Dataflow: m.Dataflow,
-		Sr:       ceilDiv(m.Sr, pr),
-		Sc:       ceilDiv(m.Sc, pc),
+		Sr:       mathutil.CeilDiv(m.Sr, pr),
+		Sc:       mathutil.CeilDiv(m.Sc, pc),
 		T:        m.T,
 	}
 }
@@ -106,8 +107,8 @@ type Eval struct {
 func Evaluate(m dataflow.Mapping, c SystemConfig) Eval {
 	part := PartitionWorkload(m, c.Parts.Pr, c.Parts.Pc)
 	cycles := Runtime(part, c.Shape.R, c.Shape.C)
-	foldsR := ceilDiv(part.Sr, c.Shape.R)
-	foldsC := ceilDiv(part.Sc, c.Shape.C)
+	foldsR := mathutil.CeilDiv(part.Sr, c.Shape.R)
+	foldsC := mathutil.CeilDiv(part.Sc, c.Shape.C)
 	mapped := float64(part.Sr*part.Sc) /
 		float64(c.Shape.R*c.Shape.C*foldsR*foldsC)
 	return Eval{
@@ -239,5 +240,3 @@ func BestOverall(m dataflow.Mapping, macs, minDim, maxParts int64) (Eval, bool) 
 func SortEvals(evals []Eval) {
 	sort.Slice(evals, func(i, j int) bool { return better(evals[i], evals[j]) })
 }
-
-func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,17 +1,16 @@
 // Package batch runs declarative grids of simulations: the cartesian
 // product of array shapes, dataflows, SRAM provisions and workloads, each
-// point a full cycle-accurate run, executed by a worker pool. This is the
-// "quickly iterate over and validate upcoming designs" workflow the paper
-// positions SCALE-Sim for, packaged as one command.
+// point a full cycle-accurate run, executed on the shared engine's worker
+// pool. This is the "quickly iterate over and validate upcoming designs"
+// workflow the paper positions SCALE-Sim for, packaged as one command.
 package batch
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"scalesim/internal/config"
 	"scalesim/internal/core"
+	"scalesim/internal/engine"
 	"scalesim/internal/topology"
 )
 
@@ -83,47 +82,22 @@ func (s Spec) Points() []Point {
 	return out
 }
 
-// Run executes every grid point and returns rows in grid order.
+// Run executes every grid point on the shared engine's worker pool and
+// returns rows in grid order.
 func Run(spec Spec) ([]Row, error) {
 	if len(spec.Topologies) == 0 {
 		return nil, fmt.Errorf("batch: no topologies")
 	}
 	points := spec.Points()
-	rows := make([]Row, len(points))
-	errs := make([]error, len(points))
-
-	workers := spec.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(points) {
-		workers = len(points)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				rows[i], errs[i] = runPoint(spec.Base, points[i])
-			}
-		}()
-	}
-	for i := range points {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	for i, err := range errs {
+	return engine.Run(spec.Parallel, len(points), func(i int) (Row, error) {
+		p := points[i]
+		row, err := runPoint(spec.Base, p)
 		if err != nil {
-			p := points[i]
-			return nil, fmt.Errorf("batch: %s on %dx%d %v: %w",
+			return Row{}, fmt.Errorf("batch: %s on %dx%d %v: %w",
 				p.Topology.Name, p.Array[0], p.Array[1], p.Dataflow, err)
 		}
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func runPoint(base config.Config, p Point) (Row, error) {
@@ -131,7 +105,9 @@ func runPoint(base config.Config, p Point) (Row, error) {
 		WithArray(p.Array[0], p.Array[1]).
 		WithDataflow(p.Dataflow).
 		WithSRAM(p.SRAM[0], p.SRAM[1], p.SRAM[2])
-	sim, err := core.New(cfg, core.Options{})
+	// Grid points already saturate the worker pool; keep each point's
+	// layer execution sequential rather than multiplying the two levels.
+	sim, err := core.New(cfg, core.Options{Workers: 1})
 	if err != nil {
 		return Row{}, err
 	}

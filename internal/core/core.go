@@ -1,20 +1,27 @@
 // Package core is the top of the simulator stack: it wires the
 // cycle-accurate systolic engine, the SRAM/DRAM memory system, the optional
 // DRAM timing model and the energy model into a single Simulator that
-// executes whole network topologies layer by layer (the original tool's
-// behaviour: one CSV row at a time, serialized in file order) and collects
-// per-layer and whole-network results.
+// executes whole network topologies and collects per-layer and
+// whole-network results.
+//
+// Layers model hardware that executes them serially (the original tool's
+// behaviour: one CSV row at a time, in file order), but their simulations
+// are independent, so Simulate fans them out over engine.Run's bounded
+// worker pool and joins the results — including the serialized cycle
+// offsets — in layer order. Output is bit-identical for every worker
+// count. Per-layer consumers (trace files, the DRAM timing model, the
+// stall analyzer, caller-supplied sinks) are wired through an
+// engine.Registry of sink factories, so every layer gets fresh consumers
+// and nothing is shared across worker goroutines.
 package core
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 
 	"scalesim/internal/config"
 	"scalesim/internal/dram"
 	"scalesim/internal/energy"
+	"scalesim/internal/engine"
 	"scalesim/internal/memory"
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
@@ -23,21 +30,34 @@ import (
 
 // Options tunes a Simulator beyond the architecture configuration.
 type Options struct {
-	// Memory forwards to the per-layer memory system.
+	// Memory forwards to the per-layer memory system. The DRAMRead and
+	// DRAMWrite consumers, when set, are shared across layers; see Workers.
 	Memory memory.Options
 	// Energy is the energy model; the zero value selects energy.Eyeriss().
 	Energy energy.Model
 	// TraceDir, when non-empty, receives per-layer SRAM and DRAM trace CSVs
 	// named <run>_<layer>_<stream>.csv.
 	TraceDir string
-	// DRAM, when non-nil, replays the DRAM read trace through the timing
-	// model and records its statistics per layer.
+	// DRAM, when non-nil, replays each layer's DRAM traces through the
+	// timing model and records its statistics per layer.
 	DRAM *dram.Config
 	// DRAMBandwidth bounds the memory link in words per cycle; when
 	// positive, each layer's stall cycles under that link are computed
 	// from the demand traces (LayerResult.StallCycles). Zero means an
 	// unbounded link, the paper's stall-free operating point.
 	DRAMBandwidth float64
+	// Workers bounds how many layers Simulate executes concurrently. Zero
+	// picks GOMAXPROCS — unless Memory.DRAMRead or Memory.DRAMWrite is set,
+	// in which case layers serialize so the shared consumer never observes
+	// two layers at once. Results are identical for every value; set 1 to
+	// force the fully sequential original behaviour, or an explicit N > 1
+	// together with shared consumers that are safe for concurrent use.
+	Workers int
+	// Sinks appends caller-supplied per-layer sink factories to the
+	// built-in ones (trace files, DRAM timing, stall analysis). Each
+	// factory runs once per layer, possibly from concurrent worker
+	// goroutines, and must wire fresh consumers each time.
+	Sinks engine.Registry
 }
 
 // LayerResult is everything the simulator learns about one layer.
@@ -53,6 +73,10 @@ type LayerResult struct {
 	// StallCycles is the extra runtime a bounded DRAM link inflicts; only
 	// computed when Options.DRAMBandwidth is positive.
 	StallCycles int64
+	// StartCycle is the layer's cumulative cycle offset in the serialized
+	// execution order; Simulate fills it in after joining the per-layer
+	// results (zero for a lone SimulateLayer call).
+	StartCycle int64
 }
 
 // StalledCycles returns the runtime including memory stalls.
@@ -106,7 +130,15 @@ type Simulator struct {
 	cfg config.Config
 	opt Options
 	em  energy.Model
+	reg engine.Registry
 }
+
+// SinkSet value keys the built-in factories deposit their per-layer probes
+// under.
+const (
+	dramProbeKey  = "core.dram"
+	stallProbeKey = "core.stall"
+)
 
 // New validates the configuration and builds a Simulator.
 func New(cfg config.Config, opt Options) (*Simulator, error) {
@@ -128,60 +160,70 @@ func New(cfg config.Config, opt Options) (*Simulator, error) {
 			return nil, err
 		}
 	}
-	return &Simulator{cfg: cfg, opt: opt, em: em}, nil
+
+	var reg engine.Registry
+	if opt.TraceDir != "" {
+		reg = append(reg, engine.CSVTrace(opt.TraceDir))
+	}
+	if opt.DRAM != nil {
+		reg = append(reg, dramSink(*opt.DRAM))
+	}
+	if opt.DRAMBandwidth > 0 {
+		reg = append(reg, stallSink(opt.DRAMBandwidth))
+	}
+	reg = append(reg, opt.Sinks...)
+	return &Simulator{cfg: cfg, opt: opt, em: em, reg: reg}, nil
 }
 
 // Config returns the simulator's architecture configuration.
 func (s *Simulator) Config() config.Config { return s.cfg }
 
+// dramSink builds a fresh DRAM timing model per layer, replays both DRAM
+// streams through it and deposits it for stats collection.
+func dramSink(cfg dram.Config) engine.Factory {
+	return func(job engine.Job, set *engine.SinkSet) error {
+		m, err := dram.New(cfg)
+		if err != nil {
+			return err
+		}
+		set.Attach(engine.DRAMRead, m)
+		set.Attach(engine.DRAMWrite, m)
+		set.Put(dramProbeKey, m)
+		return nil
+	}
+}
+
+// stallSink builds a fresh bounded-link stall analyzer per layer over both
+// DRAM streams.
+func stallSink(wordsPerCycle float64) engine.Factory {
+	return func(job engine.Job, set *engine.SinkSet) error {
+		a := trace.NewStallAnalyzer(wordsPerCycle)
+		set.Attach(engine.DRAMRead, a)
+		set.Attach(engine.DRAMWrite, a)
+		set.Put(stallProbeKey, a)
+		return nil
+	}
+}
+
 // SimulateLayer runs one layer through compute, memory, optional DRAM
 // timing, and energy accounting.
 func (s *Simulator) SimulateLayer(l topology.Layer) (LayerResult, error) {
+	return s.simulateLayer(0, l)
+}
+
+func (s *Simulator) simulateLayer(index int, l topology.Layer) (LayerResult, error) {
 	if err := l.Validate(); err != nil {
 		return LayerResult{}, err
 	}
-	var files []*tracedFile
-	defer func() {
-		for _, f := range files {
-			f.close()
-		}
-	}()
-	openTrace := func(stream string) (trace.Consumer, error) {
-		if s.opt.TraceDir == "" {
-			return nil, nil
-		}
-		f, err := newTracedFile(s.opt.TraceDir, s.cfg.RunName, l.Name, stream)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-		return f.csv, nil
+	set, err := s.reg.NewSinkSet(engine.Job{Index: index, Run: s.cfg.RunName, Layer: l.Name})
+	if err != nil {
+		return LayerResult{}, err
 	}
-
-	var stalls *trace.StallAnalyzer
-	if s.opt.DRAMBandwidth > 0 {
-		stalls = trace.NewStallAnalyzer(s.opt.DRAMBandwidth)
-	}
-	var dramModel *dram.Model
-	if s.opt.DRAM != nil {
-		var err error
-		dramModel, err = dram.New(*s.opt.DRAM)
-		if err != nil {
-			return LayerResult{}, err
-		}
-	}
+	defer set.Close()
 
 	memOpt := s.opt.Memory
-	readTrace, err := openTrace("dram_read")
-	if err != nil {
-		return LayerResult{}, err
-	}
-	writeTrace, err := openTrace("dram_write")
-	if err != nil {
-		return LayerResult{}, err
-	}
-	memOpt.DRAMRead = combine(memOpt.DRAMRead, readTrace, dramConsumer(dramModel), stallConsumer(stalls))
-	memOpt.DRAMWrite = combine(memOpt.DRAMWrite, writeTrace, dramConsumer(dramModel), stallConsumer(stalls))
+	memOpt.DRAMRead = set.Tap(engine.DRAMRead, memOpt.DRAMRead)
+	memOpt.DRAMWrite = set.Tap(engine.DRAMWrite, memOpt.DRAMWrite)
 
 	sys, err := memory.NewSystem(s.cfg, memOpt)
 	if err != nil {
@@ -193,29 +235,11 @@ func (s *Simulator) SimulateLayer(l topology.Layer) (LayerResult, error) {
 		s.cfg.OfmapOffset, l.OfmapWords(),
 	)
 
-	sinks := systolic.Sinks{
-		IfmapRead:  trace.Consumer(sys.Ifmap),
-		FilterRead: trace.Consumer(sys.Filter),
-		OfmapWrite: trace.Consumer(sys.Ofmap),
-	}
-	for _, tap := range []struct {
-		stream string
-		sink   *trace.Consumer
-	}{
-		{"sram_read_ifmap", &sinks.IfmapRead},
-		{"sram_read_filter", &sinks.FilterRead},
-		{"sram_write_ofmap", &sinks.OfmapWrite},
-	} {
-		t, err := openTrace(tap.stream)
-		if err != nil {
-			return LayerResult{}, err
-		}
-		if t != nil {
-			*tap.sink = trace.Tee(*tap.sink, t)
-		}
-	}
-
-	comp, err := systolic.Run(l, s.cfg, sinks)
+	comp, err := systolic.Run(l, s.cfg, systolic.Sinks{
+		IfmapRead:  set.Tap(engine.SRAMReadIfmap, sys.Ifmap),
+		FilterRead: set.Tap(engine.SRAMReadFilter, sys.Filter),
+		OfmapWrite: set.Tap(engine.SRAMWriteOfmap, sys.Ofmap),
+	})
 	if err != nil {
 		return LayerResult{}, err
 	}
@@ -231,108 +255,58 @@ func (s *Simulator) SimulateLayer(l topology.Layer) (LayerResult, error) {
 			mrep.DRAMAccesses(),
 		),
 	}
-	if dramModel != nil {
-		stats := dramModel.Stats()
+	if m, ok := set.Value(dramProbeKey).(*dram.Model); ok {
+		stats := m.Stats()
 		res.DRAMStats = &stats
 	}
-	if stalls != nil {
-		res.StallCycles = stalls.StallCycles()
+	if a, ok := set.Value(stallProbeKey).(*trace.StallAnalyzer); ok {
+		res.StallCycles = a.StallCycles()
 	}
-	for _, f := range files {
-		if err := f.flush(); err != nil {
-			return LayerResult{}, err
-		}
+	if err := set.Finish(); err != nil {
+		return LayerResult{}, err
 	}
 	return res, nil
 }
 
-// Simulate runs every layer of the topology in order.
+// workers resolves the effective layer-level parallelism; see
+// Options.Workers.
+func (s *Simulator) workers() int {
+	if s.opt.Workers != 0 {
+		return s.opt.Workers
+	}
+	if s.opt.Memory.DRAMRead != nil || s.opt.Memory.DRAMWrite != nil {
+		return 1
+	}
+	return 0
+}
+
+// Simulate runs every layer of the topology — concurrently up to
+// Options.Workers, with results joined in layer order — and aggregates the
+// serialized execution totals.
 func (s *Simulator) Simulate(topo topology.Topology) (RunResult, error) {
 	if err := topo.Validate(); err != nil {
 		return RunResult{}, err
 	}
-	run := RunResult{Config: s.cfg, Topology: topo}
-	for _, l := range topo.Layers {
-		lr, err := s.SimulateLayer(l)
+	layers, err := engine.Run(s.workers(), len(topo.Layers), func(i int) (LayerResult, error) {
+		lr, err := s.simulateLayer(i, topo.Layers[i])
 		if err != nil {
-			return RunResult{}, fmt.Errorf("core: layer %q: %w", l.Name, err)
+			return LayerResult{}, fmt.Errorf("core: layer %q: %w", topo.Layers[i].Name, err)
 		}
-		run.Layers = append(run.Layers, lr)
+		return lr, nil
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	run := RunResult{Config: s.cfg, Topology: topo, Layers: layers}
+	// The modeled hardware executes layers serially: cumulative cycle
+	// offsets and totals are computed after the parallel join, in layer
+	// order, so they match a sequential run exactly.
+	for i := range run.Layers {
+		lr := &run.Layers[i]
+		lr.StartCycle = run.TotalCycles
 		run.TotalCycles += lr.Compute.Cycles
 		run.TotalMACs += lr.Compute.MACs
 		run.TotalEnergy = run.TotalEnergy.Add(lr.Energy)
 	}
 	return run, nil
-}
-
-// combine merges optional consumers, dropping nils.
-func combine(consumers ...trace.Consumer) trace.Consumer {
-	var live []trace.Consumer
-	for _, c := range consumers {
-		if c != nil {
-			live = append(live, c)
-		}
-	}
-	switch len(live) {
-	case 0:
-		return nil
-	case 1:
-		return live[0]
-	}
-	return trace.Tee(live...)
-}
-
-// dramConsumer adapts a nil-able model to a consumer.
-func dramConsumer(m *dram.Model) trace.Consumer {
-	if m == nil {
-		return nil
-	}
-	return m
-}
-
-// stallConsumer adapts a nil-able stall analyzer to a consumer.
-func stallConsumer(s *trace.StallAnalyzer) trace.Consumer {
-	if s == nil {
-		return nil
-	}
-	return s
-}
-
-// tracedFile is one per-layer trace CSV on disk.
-type tracedFile struct {
-	f   *os.File
-	csv *trace.CSVWriter
-}
-
-func newTracedFile(dir, run, layer, stream string) (*tracedFile, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	name := fmt.Sprintf("%s_%s_%s.csv", sanitize(run), sanitize(layer), stream)
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	return &tracedFile{f: f, csv: trace.NewCSVWriter(f)}, nil
-}
-
-func (t *tracedFile) flush() error {
-	if err := t.csv.Flush(); err != nil {
-		return fmt.Errorf("core: writing trace %s: %w", t.f.Name(), err)
-	}
-	return nil
-}
-
-func (t *tracedFile) close() { _ = t.f.Close() }
-
-// sanitize makes a string safe as a file-name component.
-func sanitize(s string) string {
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
-			r == '-', r == '_', r == '.':
-			return r
-		}
-		return '_'
-	}, s)
 }

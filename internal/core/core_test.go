@@ -3,11 +3,15 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"reflect"
+	"sync"
 	"testing"
 
 	"scalesim/internal/config"
 	"scalesim/internal/dram"
 	"scalesim/internal/energy"
+	"scalesim/internal/engine"
+	"scalesim/internal/memory"
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
@@ -188,9 +192,95 @@ func TestTraceDirFailure(t *testing.T) {
 	}
 }
 
-func TestSanitize(t *testing.T) {
-	if got := sanitize("a b/c:d.e-f_g"); got != "a_b_c_d.e-f_g" {
-		t.Errorf("sanitize = %q", got)
+// TestSimulateWorkersEquivalence: any worker count yields the exact
+// RunResult of the sequential run, including per-layer start offsets.
+func TestSimulateWorkersEquivalence(t *testing.T) {
+	cfg := config.New().WithArray(8, 8).WithSRAM(4, 4, 2)
+	topo := topology.TinyNet()
+	seq, err := newSim(t, cfg, Options{Workers: 1}).Simulate(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i, lr := range seq.Layers {
+		if lr.StartCycle != want {
+			t.Errorf("layer %d StartCycle = %d, want %d", i, lr.StartCycle, want)
+		}
+		want += lr.Compute.Cycles
+	}
+	for _, workers := range []int{0, 2, 4, 16} {
+		par, err := newSim(t, cfg, Options{Workers: workers}).Simulate(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: RunResult differs from sequential run", workers)
+		}
+	}
+}
+
+// TestSharedConsumerSerializes: a caller-supplied shared DRAM consumer
+// forces sequential execution unless Workers is set explicitly.
+func TestSharedConsumerSerializes(t *testing.T) {
+	rec := &trace.Recorder{}
+	opt := Options{Memory: memory.Options{DRAMRead: rec}}
+	s := newSim(t, config.New().WithArray(4, 4).WithSRAM(1, 1, 1), opt)
+	if got := s.workers(); got != 1 {
+		t.Errorf("workers() = %d with a shared consumer, want 1", got)
+	}
+	opt.Workers = 4
+	if got := newSim(t, s.cfg, opt).workers(); got != 4 {
+		t.Error("explicit Workers not honoured")
+	}
+	if got := newSim(t, s.cfg, Options{}).workers(); got != 0 {
+		t.Errorf("workers() = %d without shared consumers, want 0 (GOMAXPROCS)", got)
+	}
+	// The shared consumer still receives the layer's DRAM reads.
+	lr, err := s.SimulateLayer(topology.TinyNet().Layers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Accesses() != lr.Memory.DRAMReads() {
+		t.Errorf("shared consumer saw %d reads, report says %d", rec.Accesses(), lr.Memory.DRAMReads())
+	}
+}
+
+// TestCustomSinkFactory: caller-supplied factories receive per-layer jobs
+// and fresh consumers.
+func TestCustomSinkFactory(t *testing.T) {
+	type tap struct {
+		job engine.Job
+		rec *trace.Recorder
+	}
+	var mu sync.Mutex
+	var taps []tap
+	opt := Options{Sinks: engine.Registry{
+		func(job engine.Job, set *engine.SinkSet) error {
+			rec := &trace.Recorder{}
+			set.Attach(engine.SRAMWriteOfmap, rec)
+			mu.Lock()
+			taps = append(taps, tap{job, rec})
+			mu.Unlock()
+			return nil
+		},
+	}, Workers: 2}
+	s := newSim(t, config.New().WithArray(8, 8).WithSRAM(4, 4, 2), opt)
+	topo := topology.TinyNet()
+	run, err := s.Simulate(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taps) != len(topo.Layers) {
+		t.Fatalf("factory ran %d times, want %d", len(taps), len(topo.Layers))
+	}
+	for _, tp := range taps {
+		if tp.job.Layer == "" {
+			t.Error("factory job missing layer name")
+		}
+		want := run.Layers[tp.job.Index].Memory.OfmapSRAMWrites
+		if tp.rec.Accesses() != want {
+			t.Errorf("layer %d sink saw %d writes, want %d", tp.job.Index, tp.rec.Accesses(), want)
+		}
 	}
 }
 

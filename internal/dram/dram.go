@@ -228,8 +228,8 @@ func (m *Model) Request(arrival, addr int64) int64 {
 	row := addr / cfg.RowWords
 	b := &ch.banks[int(row%int64(cfg.Banks))]
 
-	start := max64(arrival, b.cmdFree)
-	start = max64(start, ch.refreshHold)
+	start := max(arrival, b.cmdFree)
+	start = max(start, ch.refreshHold)
 	var ready int64
 	if b.openRow == row {
 		// CAS commands pipeline: the bank takes a new column command every
@@ -249,7 +249,7 @@ func (m *Model) Request(arrival, addr int64) int64 {
 	}
 
 	// The data transfer occupies the channel's bus.
-	xferStart := max64(ready, ch.bus)
+	xferStart := max(ready, ch.bus)
 	done := xferStart + cfg.BusCyclesPerWord
 	ch.bus = done
 	m.stats.BusBusy += cfg.BusCyclesPerWord
@@ -292,10 +292,3 @@ func (m *Model) isOpenRow(addr int64) bool {
 
 // Stats returns a copy of the accumulated statistics.
 func (m *Model) Stats() Stats { return m.stats }
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,87 @@
+// Package engine is the shared execution core of the simulator: a
+// deterministic parallel scheduler for independent jobs plus a pluggable
+// per-job trace-sink registry.
+//
+// Per-layer simulations are independent — each layer's traces depend only
+// on the configuration and the layer's dimensions (ISPASS 2020, Sec. III) —
+// so a topology run, a design-space grid and a scale-out partition set are
+// all the same shape of work: an ordered list of jobs fanned out over a
+// bounded worker pool and joined back in order. Run is that primitive;
+// core.Simulate, batch.Run and partition.Run all delegate to it instead of
+// hand-rolling their own pools.
+//
+// Determinism is the load-bearing guarantee: for any worker count the
+// results slice, every trace byte and the returned error are identical to a
+// sequential run. Run achieves this by giving every job its own state (the
+// sink Registry constructs consumers per job, never sharing one across
+// goroutines), joining results in job order, and leaving any cumulative
+// accounting (e.g. cycle offsets of serially-executing layers) to the
+// caller, after the join.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes n independent jobs over a bounded worker pool and returns
+// their results in job order. workers <= 0 defaults to GOMAXPROCS; workers
+// is additionally capped at n. Jobs are dispatched in index order.
+//
+// The output is bit-identical for every worker count. That includes the
+// error: when jobs fail, the error returned is the one a sequential run
+// would hit first (the lowest-index failure). Dispatch stops after the
+// first observed failure, but every job already started is drained, so all
+// indices below the first failing one are fully evaluated.
+func Run[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if results[i], err = job(i); err != nil {
+				return results, err
+			}
+		}
+		return results, nil
+	}
+
+	var failed atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				var err error
+				if results[i], err = job(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

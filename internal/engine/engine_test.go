@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunJoinsInOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		got, err := Run(workers, 10, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	got, err := Run(4, 0, func(int) (int, error) { t.Fatal("job called"); return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestRunErrorDeterministic: whatever the worker count, the error returned
+// is the one a sequential run hits first.
+func TestRunErrorDeterministic(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 2, 4, 16} {
+		var evaluated [12]atomic.Bool
+		_, err := Run(workers, 12, func(i int) (string, error) {
+			evaluated[i].Store(true)
+			if i == 3 || i == 7 {
+				return "", fmt.Errorf("job %d: %w", i, sentinel)
+			}
+			return fmt.Sprint(i), nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if got := err.Error(); got != "job 3: boom" {
+			t.Errorf("workers=%d: err = %q, want the lowest-index failure", workers, got)
+		}
+		// Every index below the first failure was fully evaluated.
+		for i := 0; i <= 3; i++ {
+			if !evaluated[i].Load() {
+				t.Errorf("workers=%d: job %d skipped", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak int64
+	var mu sync.Mutex
+	_, err := Run(workers, 50, func(i int) (struct{}, error) {
+		mu.Lock()
+		active++
+		if active > peak {
+			peak = active
+		}
+		mu.Unlock()
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Errorf("peak concurrency %d > %d workers", peak, workers)
+	}
+}

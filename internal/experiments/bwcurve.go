@@ -5,6 +5,7 @@ import (
 
 	"scalesim/internal/config"
 	"scalesim/internal/core"
+	"scalesim/internal/engine"
 	"scalesim/internal/topology"
 )
 
@@ -27,30 +28,33 @@ type BWPoint struct {
 	Slowdown float64
 }
 
-// BandwidthCurve simulates the layer once per bandwidth point.
+// BandwidthCurve simulates the layer once per bandwidth point. The points
+// are independent full simulations, so they run on the shared engine's
+// worker pool; results come back in bandwidth order.
 func BandwidthCurve(l topology.Layer, cfg config.Config, bandwidths []float64) ([]BWPoint, error) {
 	if len(bandwidths) == 0 {
 		return nil, fmt.Errorf("experiments: no bandwidth points")
 	}
-	out := make([]BWPoint, 0, len(bandwidths))
 	for _, bw := range bandwidths {
 		if bw <= 0 {
 			return nil, fmt.Errorf("experiments: bandwidth %v must be positive", bw)
 		}
+	}
+	return engine.Run(0, len(bandwidths), func(i int) (BWPoint, error) {
+		bw := bandwidths[i]
 		sim, err := core.New(cfg, core.Options{DRAMBandwidth: bw})
 		if err != nil {
-			return nil, err
+			return BWPoint{}, err
 		}
 		lr, err := sim.SimulateLayer(l)
 		if err != nil {
-			return nil, err
+			return BWPoint{}, err
 		}
-		out = append(out, BWPoint{
+		return BWPoint{
 			BandwidthWordsPerCycle: bw,
 			StallFreeCycles:        lr.Compute.Cycles,
 			StallCycles:            lr.StallCycles,
 			Slowdown:               float64(lr.StalledCycles()) / float64(lr.Compute.Cycles),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }

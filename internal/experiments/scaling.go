@@ -7,6 +7,7 @@ import (
 	"scalesim/internal/config"
 	"scalesim/internal/dataflow"
 	"scalesim/internal/energy"
+	"scalesim/internal/engine"
 	"scalesim/internal/partition"
 	"scalesim/internal/topology"
 )
@@ -37,8 +38,12 @@ type SweepRow struct {
 // OS dataflow. Partition counts that do not divide the budget or violate
 // the 8x8 minimum array are skipped.
 func PartitionSweep(l topology.Layer, totalMACs int64, partCounts []int64) ([]SweepRow, error) {
+	return partitionSweep(l, totalMACs, partCounts, partition.Options{})
+}
+
+func partitionSweep(l topology.Layer, totalMACs int64, partCounts []int64, opt partition.Options) ([]SweepRow, error) {
 	base := config.New().WithSRAM(512, 512, 256).WithDataflow(config.OutputStationary)
-	results, err := partition.Sweep(l, base, totalMACs, partCounts, 8, partition.Options{})
+	results, err := partition.Sweep(l, base, totalMACs, partCounts, 8, opt)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", l.Name, err)
 	}
@@ -63,13 +68,19 @@ func PartitionSweep(l topology.Layer, totalMACs int64, partCounts []int64) ([]Sw
 // Fig11 sweeps runtime and DRAM bandwidth versus partition count for the
 // two layers the figure shows (CB2a_3 and TF0) at the given MAC budget.
 func Fig11(totalMACs int64, partCounts []int64) (map[string][]SweepRow, error) {
-	out := make(map[string][]SweepRow, 2)
-	for _, l := range []topology.Layer{CB2a3(), TF0()} {
-		rows, err := PartitionSweep(l, totalMACs, partCounts)
-		if err != nil {
-			return nil, err
-		}
-		out[l.Name] = rows
+	// The figure's layers run concurrently on the shared engine's pool, so
+	// each layer's partitions stay sequential rather than multiplying the
+	// two levels; the map is assembled after the in-order join.
+	layers := []topology.Layer{CB2a3(), TF0()}
+	series, err := engine.Run(0, len(layers), func(i int) ([]SweepRow, error) {
+		return partitionSweep(layers[i], totalMACs, partCounts, partition.Options{Parallel: 1})
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]SweepRow, len(layers))
+	for i, rows := range series {
+		out[layers[i].Name] = rows
 	}
 	return out, nil
 }
@@ -77,13 +88,16 @@ func Fig11(totalMACs int64, partCounts []int64) (map[string][]SweepRow, error) {
 // Fig12 is the energy view of the same sweep: one series per MAC budget for
 // the given layer.
 func Fig12(l topology.Layer, macBudgets []int64, partCounts []int64) (map[int64][]SweepRow, error) {
+	// One series per MAC budget, simulated concurrently like Fig11.
+	series, err := engine.Run(0, len(macBudgets), func(i int) ([]SweepRow, error) {
+		return partitionSweep(l, macBudgets[i], partCounts, partition.Options{Parallel: 1})
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int64][]SweepRow, len(macBudgets))
-	for _, macs := range macBudgets {
-		rows, err := PartitionSweep(l, macs, partCounts)
-		if err != nil {
-			return nil, err
-		}
-		out[macs] = rows
+	for i, rows := range series {
+		out[macBudgets[i]] = rows
 	}
 	return out, nil
 }

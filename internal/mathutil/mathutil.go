@@ -1,0 +1,8 @@
+// Package mathutil holds the one arithmetic helper the simulator needs
+// everywhere and the standard library does not provide: ceiling division,
+// the ⌈a/b⌉ of the paper's fold counts (Eq. 2) and partition slicing
+// (Eq. 5). For minimum/maximum use the Go builtins min and max.
+package mathutil
+
+// CeilDiv returns ⌈a/b⌉ for a >= 0, b > 0.
+func CeilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -59,8 +59,8 @@ type fifoSet struct {
 func newFIFOSet(capacity int64) *fifoSet {
 	return &fifoSet{
 		capacity: capacity,
-		resident: make(map[int64]struct{}, min64(capacity, 1<<20)),
-		ring:     make([]int64, 0, min64(capacity, 1<<20)),
+		resident: make(map[int64]struct{}, min(capacity, 1<<20)),
+		ring:     make([]int64, 0, min(capacity, 1<<20)),
 	}
 }
 
@@ -332,11 +332,4 @@ func effectiveCapacity(name string, capacityWords int64, doubleBuffered bool) (i
 		}
 	}
 	return eff, nil
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -11,13 +11,13 @@ package partition
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"scalesim/internal/analytical"
 	"scalesim/internal/config"
 	"scalesim/internal/dataflow"
 	"scalesim/internal/energy"
+	"scalesim/internal/engine"
+	"scalesim/internal/mathutil"
 	"scalesim/internal/memory"
 	"scalesim/internal/noc"
 	"scalesim/internal/systolic"
@@ -127,8 +127,8 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 	}
 
 	m := dataflow.Map(l, cfg.Dataflow)
-	srPer := ceilDiv(m.Sr, spec.Parts.Pr)
-	scPer := ceilDiv(m.Sc, spec.Parts.Pc)
+	srPer := mathutil.CeilDiv(m.Sr, spec.Parts.Pr)
+	scPer := mathutil.CeilDiv(m.Sc, spec.Parts.Pc)
 
 	// Enumerate the partitions that receive work.
 	type task struct {
@@ -148,8 +148,8 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 			}
 			tasks = append(tasks, task{pi: pi, pj: pj, win: systolic.Window{
 				SrOff: srOff, ScOff: scOff,
-				SrLen: min64(srPer, m.Sr-srOff),
-				ScLen: min64(scPer, m.Sc-scOff),
+				SrLen: min(srPer, m.Sr-srOff),
+				ScLen: min(scPer, m.Sc-scOff),
 			}})
 		}
 	}
@@ -157,19 +157,18 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 		return Result{}, fmt.Errorf("partition: no partition received work for %s", spec)
 	}
 
-	// Simulate partitions independently, optionally in parallel.
+	// Simulate partitions independently on the shared engine's pool. Each
+	// task builds its own memory system, so nothing is shared across
+	// workers and results are deterministic for any opt.Parallel.
 	type outcome struct {
 		comp systolic.Result
 		mem  memory.Report
-		err  error
 	}
-	outcomes := make([]outcome, len(tasks))
-	runOne := func(i int) {
+	outcomes, err := engine.Run(opt.Parallel, len(tasks), func(i int) (outcome, error) {
 		t := tasks[i]
 		sys, err := memory.NewSystem(cfg, opt.Memory)
 		if err != nil {
-			outcomes[i].err = err
-			return
+			return outcome{}, err
 		}
 		sys.SetRegions(
 			cfg.IfmapOffset, l.IfmapWords(),
@@ -182,48 +181,18 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 			OfmapWrite: sys.Ofmap,
 		})
 		if err != nil {
-			outcomes[i].err = err
-			return
+			return outcome{}, err
 		}
 		sys.Ofmap.Flush(comp.Cycles)
-		outcomes[i] = outcome{comp: comp, mem: sys.Report(comp.Cycles)}
-	}
-	workers := opt.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(tasks) {
-		workers = len(tasks)
-	}
-	if workers <= 1 {
-		for i := range tasks {
-			runOne(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					runOne(i)
-				}
-			}()
-		}
-		for i := range tasks {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
+		return outcome{comp: comp, mem: sys.Report(comp.Cycles)}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
 	res := Result{Layer: l, Spec: spec}
 	traffic := make([]noc.Traffic, 0, len(tasks))
 	for i, o := range outcomes {
-		if o.err != nil {
-			return Result{}, o.err
-		}
 		res.ActivePartitions++
 		res.MACs += o.comp.MACs
 		if o.comp.Cycles > res.Cycles {
@@ -322,13 +291,4 @@ func sramShare(totalKB int, p int64) int {
 		share = 1
 	}
 	return share
-}
-
-func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

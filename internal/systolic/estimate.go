@@ -3,6 +3,7 @@ package systolic
 import (
 	"scalesim/internal/config"
 	"scalesim/internal/dataflow"
+	"scalesim/internal/mathutil"
 	"scalesim/internal/topology"
 )
 
@@ -51,8 +52,8 @@ func EstimateWindow(l topology.Layer, cfg config.Config, win Window) (Result, er
 
 func estimateMapping(l topology.Layer, cfg config.Config, m dataflow.Mapping) Result {
 	R, C := int64(cfg.ArrayHeight), int64(cfg.ArrayWidth)
-	foldsR := ceilDiv(m.Sr, R)
-	foldsC := ceilDiv(m.Sc, C)
+	foldsR := mathutil.CeilDiv(m.Sr, R)
+	foldsC := mathutil.CeilDiv(m.Sc, C)
 	sumRows := foldSum(m.Sr, R, foldsR)
 	sumCols := foldSum(m.Sc, C, foldsC)
 

@@ -18,6 +18,7 @@ import (
 
 	"scalesim/internal/config"
 	"scalesim/internal/dataflow"
+	"scalesim/internal/mathutil"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
 )
@@ -149,8 +150,8 @@ func (s *sim) batch(n int) []int64 {
 func (s *sim) run(l topology.Layer) (Result, error) {
 	R, C := int64(s.cfg.ArrayHeight), int64(s.cfg.ArrayWidth)
 	srLen, scLen := s.win.SrLen, s.win.ScLen
-	foldsR := ceilDiv(srLen, R)
-	foldsC := ceilDiv(scLen, C)
+	foldsR := mathutil.CeilDiv(srLen, R)
+	foldsC := mathutil.CeilDiv(scLen, C)
 
 	res := Result{
 		Layer:    l,
@@ -166,9 +167,9 @@ func (s *sim) run(l topology.Layer) (Result, error) {
 	var base int64
 	var mappedPE, totalPE int64
 	for fr := int64(0); fr < foldsR; fr++ {
-		rows := min64(R, srLen-fr*R)
+		rows := min(R, srLen-fr*R)
 		for fc := int64(0); fc < foldsC; fc++ {
-			cols := min64(C, scLen-fc*C)
+			cols := min(C, scLen-fc*C)
 			f := fold{
 				base:   base,
 				rowOff: s.win.SrOff + fr*R,
@@ -229,8 +230,8 @@ type fold struct {
 func (s *sim) foldOS(f fold) {
 	// Left edge: ifmap. Wavefront over u = i + t.
 	for u := int64(0); u <= f.rows-1+f.T-1; u++ {
-		lo := max64(0, u-f.T+1)
-		hi := min64(f.rows-1, u)
+		lo := max(0, u-f.T+1)
+		hi := min(f.rows-1, u)
 		addrs := s.batch(int(hi - lo + 1))
 		for i := lo; i <= hi; i++ {
 			addrs = append(addrs, s.mp.RowStream(f.rowOff+i, u-i))
@@ -240,8 +241,8 @@ func (s *sim) foldOS(f fold) {
 	}
 	// Top edge: filter.
 	for u := int64(0); u <= f.cols-1+f.T-1; u++ {
-		lo := max64(0, u-f.T+1)
-		hi := min64(f.cols-1, u)
+		lo := max(0, u-f.T+1)
+		hi := min(f.cols-1, u)
 		addrs := s.batch(int(hi - lo + 1))
 		for j := lo; j <= hi; j++ {
 			addrs = append(addrs, s.mp.ColStream(f.colOff+j, u-j))
@@ -300,8 +301,8 @@ func (s *sim) foldIS(f fold) {
 func (s *sim) streamAndDrain(f fold, streamSink trace.Consumer) {
 	// Stream phase: wavefront over u = i + t, offset by the fill.
 	for u := int64(0); u <= f.rows-1+f.T-1; u++ {
-		lo := max64(0, u-f.T+1)
-		hi := min64(f.rows-1, u)
+		lo := max(0, u-f.T+1)
+		hi := min(f.rows-1, u)
 		addrs := s.batch(int(hi - lo + 1))
 		for i := lo; i <= hi; i++ {
 			addrs = append(addrs, s.mp.RowStream(f.rowOff+i, u-i))
@@ -311,8 +312,8 @@ func (s *sim) streamAndDrain(f fold, streamSink trace.Consumer) {
 	}
 	// Outputs: wavefront over v = t + j.
 	for v := int64(0); v <= f.T-1+f.cols-1; v++ {
-		lo := max64(0, v-f.T+1)
-		hi := min64(f.cols-1, v)
+		lo := max(0, v-f.T+1)
+		hi := min(f.cols-1, v)
 		addrs := s.batch(int(hi - lo + 1))
 		for j := lo; j <= hi; j++ {
 			addrs = append(addrs, s.mp.Output(v-j, f.colOff+j))
@@ -326,8 +327,8 @@ func (s *sim) streamAndDrain(f fold, streamSink trace.Consumer) {
 // workload slice; the trace streams emit exactly these many addresses
 // (asserted by tests).
 func accessCounts(df config.Dataflow, Sr, Sc, T, R, C int64) (ifmap, filter, ofmap int64) {
-	foldsR := ceilDiv(Sr, R)
-	foldsC := ceilDiv(Sc, C)
+	foldsR := mathutil.CeilDiv(Sr, R)
+	foldsC := mathutil.CeilDiv(Sc, C)
 	// Sum over folds of mapped rows and cols; folds tile the space, so the
 	// sums equal the slice extents.
 	sumRows := foldSum(Sr, R, foldsR)
@@ -356,20 +357,4 @@ func foldSum(S, size, folds int64) int64 {
 	}
 	last := S - (folds-1)*size
 	return (folds-1)*size + last
-}
-
-func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

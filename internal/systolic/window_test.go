@@ -34,8 +34,8 @@ func TestWindowTilingConservation(t *testing.T) {
 					}
 					win := Window{
 						SrOff: srOff, ScOff: scOff,
-						SrLen: min64(srPer, m.Sr-srOff),
-						ScLen: min64(scPer, m.Sc-scOff),
+						SrLen: min(srPer, m.Sr-srOff),
+						ScLen: min(scPer, m.Sc-scOff),
 					}
 					res, err := RunWindow(l, cfg, win, Sinks{OfmapWrite: ofm})
 					if err != nil {

@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Consumer receives trace events. Cycles arrive in non-decreasing order
@@ -34,10 +35,25 @@ func (f ConsumerFunc) Consume(cycle int64, addrs []int64) { f(cycle, addrs) }
 // Null discards all events.
 var Null Consumer = ConsumerFunc(func(int64, []int64) {})
 
-// Tee fans events out to every consumer in order.
+// Tee fans events out to every non-nil consumer in order. Nil consumers
+// are dropped, the sole survivor is returned directly, and nil comes back
+// when nothing remains — so optional consumers compose without nil-adapter
+// boilerplate at the call sites.
 func Tee(consumers ...Consumer) Consumer {
+	live := make([]Consumer, 0, len(consumers))
+	for _, c := range consumers {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
 	return ConsumerFunc(func(cycle int64, addrs []int64) {
-		for _, c := range consumers {
+		for _, c := range live {
 			c.Consume(cycle, addrs)
 		}
 	})
@@ -224,12 +240,12 @@ func ScanCSV(r io.Reader, c Consumer) error {
 		first := true
 		for len(text) > 0 {
 			var field string
-			if i := indexByte(text, ','); i >= 0 {
+			if i := strings.IndexByte(text, ','); i >= 0 {
 				field, text = text[:i], text[i+1:]
 			} else {
 				field, text = text, ""
 			}
-			v, err := strconv.ParseInt(trimSpace(field), 10, 64)
+			v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
 			if err != nil {
 				return fmt.Errorf("trace: line %d: %w", line, err)
 			}
@@ -249,23 +265,4 @@ func ScanCSV(r io.Reader, c Consumer) error {
 		return fmt.Errorf("trace: %w", err)
 	}
 	return nil
-}
-
-func indexByte(s string, b byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == b {
-			return i
-		}
-	}
-	return -1
-}
-
-func trimSpace(s string) string {
-	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
-		s = s[1:]
-	}
-	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
-		s = s[:len(s)-1]
-	}
-	return s
 }

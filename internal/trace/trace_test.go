@@ -48,6 +48,24 @@ func TestTeeAndNull(t *testing.T) {
 	}
 }
 
+func TestTeeDropsNils(t *testing.T) {
+	if c := Tee(); c != nil {
+		t.Errorf("Tee() = %v, want nil", c)
+	}
+	if c := Tee(nil, nil); c != nil {
+		t.Errorf("Tee(nil, nil) = %v, want nil", c)
+	}
+	s := NewStats()
+	if c := Tee(nil, s, nil); c != Consumer(s) {
+		t.Errorf("Tee with one live consumer should return it directly, got %v", c)
+	}
+	tee := Tee(nil, s, NewStats())
+	tee.Consume(0, []int64{1})
+	if s.Accesses != 1 {
+		t.Errorf("tee with interleaved nils delivered %d accesses, want 1", s.Accesses)
+	}
+}
+
 func TestRecorderCopiesBatches(t *testing.T) {
 	r := &Recorder{}
 	buf := []int64{1, 2}

@@ -12,6 +12,10 @@
 //   - Simulator runs layers cycle-accurately: a stall-free systolic array
 //     (OS, WS or IS dataflow) in front of three double-buffered SRAMs,
 //     producing SRAM/DRAM traces, bandwidth profiles and energy estimates.
+//     Layers execute concurrently on a bounded worker pool
+//     (Options.Workers) with results joined in layer order, so output is
+//     identical to a sequential run; custom per-layer trace sinks attach
+//     through Options.Sinks factories.
 //   - The analytical entry points (Runtime, BestScaleUp, BestScaleOut,
 //     ParetoSearch) implement Eqs. 1-6 for fast design-space exploration.
 //   - RunScaleOut executes a partitioned (multi-array) system
@@ -34,10 +38,12 @@ import (
 	"scalesim/internal/dataflow"
 	"scalesim/internal/dram"
 	"scalesim/internal/energy"
+	"scalesim/internal/engine"
 	"scalesim/internal/memory"
 	"scalesim/internal/noc"
 	"scalesim/internal/partition"
 	"scalesim/internal/topology"
+	"scalesim/internal/trace"
 )
 
 // Core configuration and workload types.
@@ -78,6 +84,44 @@ type (
 	// EnergyBreakdown is an energy result split by component.
 	EnergyBreakdown = energy.Breakdown
 )
+
+// Execution-engine types: per-layer trace sinks plug into the simulator
+// through factories, so each concurrent layer gets its own consumers.
+type (
+	// TraceStream names one of the five per-layer trace streams.
+	TraceStream = engine.Stream
+	// TraceConsumer receives (cycle, addresses) trace events.
+	TraceConsumer = trace.Consumer
+	// TraceConsumerFunc adapts a function to a TraceConsumer.
+	TraceConsumerFunc = trace.ConsumerFunc
+	// SinkJob identifies the run and layer a sink factory is building for.
+	SinkJob = engine.Job
+	// SinkSet collects one layer's trace consumers and finish/close hooks.
+	SinkSet = engine.SinkSet
+	// SinkFactory builds one layer's sinks; supply via Options.Sinks.
+	SinkFactory = engine.Factory
+	// SinkRegistry is an ordered list of sink factories.
+	SinkRegistry = engine.Registry
+)
+
+// Trace stream names, as SinkSet.Attach targets and trace file suffixes.
+const (
+	StreamSRAMReadIfmap  = engine.SRAMReadIfmap
+	StreamSRAMReadFilter = engine.SRAMReadFilter
+	StreamSRAMWriteOfmap = engine.SRAMWriteOfmap
+	StreamDRAMRead       = engine.DRAMRead
+	StreamDRAMWrite      = engine.DRAMWrite
+)
+
+// TraceStreams lists every stream in canonical order.
+func TraceStreams() []TraceStream { return append([]TraceStream(nil), engine.Streams...) }
+
+// CSVTraceSink returns a factory that writes each layer's selected streams
+// (default: all) as CSV files under dir — the factory behind
+// Options.TraceDir, exposed for custom registries.
+func CSVTraceSink(dir string, streams ...TraceStream) SinkFactory {
+	return engine.CSVTrace(dir, streams...)
+}
 
 // Analytical-model types.
 type (

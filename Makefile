@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke fuzz figures examples clean
+.PHONY: all build vet test race bench smoke profile fuzz figures examples clean
 
 all: build vet test
 
@@ -22,6 +22,13 @@ bench:
 
 smoke:
 	$(GO) test -run XXX -bench=BenchmarkTableIV -benchtime=1x .
+
+# CPU-profile the Table IV benchmark; inspect with
+# `go tool pprof results/profile.pb.gz`.
+profile:
+	mkdir -p results
+	$(GO) test -run XXX -bench=BenchmarkTableIV -benchtime=3x \
+		-cpuprofile results/profile.pb.gz .
 
 fuzz:
 	$(GO) test ./internal/config/ -fuzz FuzzParse -fuzztime 30s

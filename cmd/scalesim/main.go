@@ -6,9 +6,14 @@
 //
 //	scalesim -config scale.cfg [-topology net.csv] [-outdir out] [-traces] [-dram]
 //	scalesim -net Resnet50 -array 128x128 -dataflow ws [-workers 4]
+//	scalesim -net Resnet50 -metrics run.json -progress -pprof localhost:6060
 //
 // Either -config or the individual flags describe the hardware; -topology
 // overrides the config's topology path and -net selects a built-in network.
+// -metrics writes a machine-readable run manifest (per-layer cycles and
+// wall timings, engine span aggregates, runtime stats), -progress reports
+// per-layer completion to stderr, and -pprof serves net/http/pprof for the
+// duration of the run.
 package main
 
 import (
@@ -19,8 +24,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"scalesim"
+	"scalesim/internal/obsv"
 	"scalesim/internal/report"
 )
 
@@ -46,9 +53,29 @@ func run(args []string, stdout io.Writer) error {
 		asJSON   = fs.Bool("json", false, "emit the full result as JSON instead of the summary")
 		partsArg = fs.String("parts", "", "run scale-out: partition grid as PrxPc (e.g. 2x4); -array sets the per-partition shape")
 		workers  = fs.Int("workers", 0, "layers simulated concurrently (0 = number of CPUs, 1 = sequential)")
+		metrics  = fs.String("metrics", "", "write a machine-readable run manifest (JSON) to this path")
+		progress = fs.Bool("progress", false, "report per-layer progress to stderr")
+		pprof    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprof != "" {
+		addr, stopPprof, err := obsv.ServePprof(*pprof)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stopPprof() }()
+		fmt.Fprintf(os.Stderr, "scalesim: pprof at http://%s/debug/pprof/\n", addr)
+	}
+	var rec *obsv.Recorder
+	if *metrics != "" {
+		rec = obsv.NewRecorder()
+	}
+	var prog *obsv.Progress
+	if *progress {
+		prog = obsv.NewProgress(os.Stderr, "scalesim")
 	}
 
 	cfg := scalesim.NewConfig()
@@ -90,10 +117,10 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("invalid -parts %q (want PrxPc)", *partsArg)
 		}
-		return runScaleOut(stdout, cfg, topo, pr, pc)
+		return runScaleOut(stdout, cfg, topo, pr, pc, rec, prog, *metrics)
 	}
 
-	opt := scalesim.Options{Workers: *workers}
+	opt := scalesim.Options{Workers: *workers, Obs: rec, Progress: prog}
 	if *traces {
 		if *outDir == "" {
 			return fmt.Errorf("-traces requires -outdir")
@@ -113,7 +140,13 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	prog.Finish()
 
+	if *metrics != "" {
+		if err := sim.Manifest(res).WriteFile(*metrics); err != nil {
+			return err
+		}
+	}
 	if *outDir != "" {
 		if err := writeReports(*outDir, cfg.RunName, res); err != nil {
 			return err
@@ -131,8 +164,10 @@ func run(args []string, stdout io.Writer) error {
 
 // runScaleOut executes every layer on a Pr x Pc grid of arrays shaped like
 // the base config's array, dividing the SRAM budget among partitions, and
-// prints a per-layer scale-out report.
-func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, pr, pc int) error {
+// prints a per-layer scale-out report. With rec attached it also emits a
+// run manifest (one entry per layer, partition-level engine spans).
+func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, pr, pc int,
+	rec *obsv.Recorder, prog *obsv.Progress, metricsPath string) error {
 	spec := scalesim.ScaleOutSpec{
 		Parts: scalesim.Partitioning{Pr: int64(pr), Pc: int64(pc)},
 		Shape: scalesim.Shape{R: int64(cfg.ArrayHeight), C: int64(cfg.ArrayWidth)},
@@ -140,18 +175,43 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 	fmt.Fprintf(stdout, "scale-out: %s, %d MACs total | topology %s\n",
 		spec, spec.MACs(), topo.Name)
 	fmt.Fprintln(stdout, "Layer,Cycles,AvgBW,PeakBW,DRAMReads,DRAMWrites,EnergyTotal")
+	prog.Start(len(topo.Layers))
 	var total int64
-	for _, l := range topo.Layers {
-		res, err := scalesim.RunScaleOut(l, cfg, spec, scalesim.ScaleOutOptions{})
+	var layers []obsv.LayerMetrics
+	for i, l := range topo.Layers {
+		var t0 time.Time
+		if rec.Enabled() {
+			t0 = time.Now()
+		}
+		res, err := scalesim.RunScaleOut(l, cfg, spec, scalesim.ScaleOutOptions{Obs: rec})
 		if err != nil {
 			return fmt.Errorf("layer %s: %w", l.Name, err)
 		}
+		rec.ObserveLayer(i, l.Name, time.Since(t0))
+		prog.Step(l.Name)
 		total += res.Cycles
+		if rec.Enabled() {
+			layers = append(layers, obsv.LayerMetrics{
+				Index: i, Name: l.Name, Cycles: res.Cycles, MACs: res.MACs,
+				DRAMReads: res.DRAMReads, DRAMWrites: res.DRAMWrites,
+				WallSeconds: rec.LayerSeconds(i),
+			})
+		}
 		fmt.Fprintf(stdout, "%s,%d,%.4f,%.4f,%d,%d,%.0f\n",
 			l.Name, res.Cycles, res.AvgDRAMBW(), res.PeakDRAMBW,
 			res.DRAMReads, res.DRAMWrites, res.Energy.Total())
 	}
 	fmt.Fprintf(stdout, "TOTAL,%d,,,,,\n", total)
+	prog.Finish()
+	if metricsPath != "" {
+		m := rec.Manifest()
+		m.Tool = "scalesim"
+		m.Run = cfg.RunName
+		m.ConfigHash = obsv.Hash(cfg)
+		m.Topology = &obsv.TopologyInfo{Name: topo.Name, Layers: len(topo.Layers)}
+		m.Layers = layers
+		return m.WriteFile(metricsPath)
+	}
 	return nil
 }
 

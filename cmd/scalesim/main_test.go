@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"scalesim/internal/obsv"
 )
 
 func TestRunBuiltInNet(t *testing.T) {
@@ -126,6 +128,63 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if sum != decoded.TotalCycles {
 		t.Errorf("layer cycles %d != total %d", sum, decoded.TotalCycles)
+	}
+}
+
+func TestMetricsManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	var buf bytes.Buffer
+	err := run([]string{"-net", "TinyNet", "-array", "8x8", "-sram", "2,2,1", "-metrics", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obsv.ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "scalesim" {
+		t.Errorf("tool = %q", m.Tool)
+	}
+	if len(m.Layers) != 3 {
+		t.Errorf("layers = %d, want 3", len(m.Layers))
+	}
+	if m.Spans == nil || m.Spans.Jobs != 3 {
+		t.Errorf("spans = %+v, want 3 jobs", m.Spans)
+	}
+	if m.ConfigHash == "" || m.Topology == nil || len(m.Phases) == 0 {
+		t.Errorf("manifest incomplete: %+v", m)
+	}
+}
+
+func TestScaleOutMetricsManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	var buf bytes.Buffer
+	err := run([]string{"-net", "TinyNet", "-array", "8x8", "-sram", "4,4,2",
+		"-parts", "1x2", "-metrics", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obsv.ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "scalesim" || len(m.Layers) != 3 {
+		t.Errorf("tool %q, layers %d", m.Tool, len(m.Layers))
+	}
+	// Scale-out routes every layer's partitions through the engine, so the
+	// span aggregate counts partition tasks, not layers.
+	if m.Spans == nil || m.Spans.Jobs < 3 {
+		t.Errorf("spans = %+v", m.Spans)
 	}
 }
 

@@ -20,7 +20,10 @@
 //	scalestudy cells     [-macs 4096,16384,65536,262144]
 //
 // All subcommands accept -o <file> to write the CSV somewhere other than
-// stdout; fig11 and bwcurve render ASCII charts with -plot.
+// stdout; fig11 and bwcurve render ASCII charts with -plot. Every
+// subcommand also accepts -metrics <path> (machine-readable run manifest),
+// -progress (per-series progress on stderr) and -pprof <addr>
+// (net/http/pprof for the duration of the study).
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 
 	"scalesim/internal/config"
 	"scalesim/internal/experiments"
+	"scalesim/internal/obsv"
 	"scalesim/internal/partition"
 	"scalesim/internal/pipeline"
 	"scalesim/internal/topology"
@@ -47,7 +51,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: scalestudy <fig4|fig9a|fig9bc|fig10a|fig10b|fig11|fig12|fig13|fig14|sweetspot|bwcurve|dataflow|cells> [flags]")
 	}
@@ -64,10 +68,50 @@ func run(args []string, stdout io.Writer) error {
 		bwBudget = fs.Float64("bw", 64, "sweetspot: DRAM bandwidth budget in bytes/cycle")
 		net      = fs.String("net", "Resnet50", "dataflow: built-in topology")
 		plot     = fs.Bool("plot", false, "fig11/bwcurve: render ASCII charts instead of CSV")
+		metrics  = fs.String("metrics", "", "write a machine-readable study manifest (JSON) to this path")
+		progress = fs.Bool("progress", false, "report per-series progress to stderr")
+		pprof    = fs.String("pprof", "", "serve net/http/pprof on this address during the study")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
+
+	if *pprof != "" {
+		addr, stopPprof, err := obsv.ServePprof(*pprof)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stopPprof() }()
+		fmt.Fprintf(os.Stderr, "scalestudy: pprof at http://%s/debug/pprof/\n", addr)
+	}
+	var obs experiments.Obs
+	if *metrics != "" {
+		obs.Rec = obsv.NewRecorder()
+	}
+	if *progress {
+		obs.Progress = obsv.NewProgress(os.Stderr, "scalestudy "+cmd)
+	}
+	// The whole subcommand runs under one phase; the manifest is written on
+	// the way out so every return path below is covered.
+	stopPhase := obs.Rec.Phase("scalestudy." + cmd)
+	defer func() {
+		stopPhase()
+		obs.Progress.Finish()
+		if err != nil || *metrics == "" {
+			return
+		}
+		m := obs.Rec.Manifest()
+		m.Tool = "scalestudy"
+		m.Run = cmd
+		m.ConfigHash = obsv.Hash(args)
+		for _, lt := range obs.Rec.LayerTimings() {
+			m.Layers = append(m.Layers, obsv.LayerMetrics{
+				Index: lt.Index, Name: lt.Name, WallSeconds: lt.Seconds,
+			})
+		}
+		err = m.WriteFile(*metrics)
+	}()
+
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -162,11 +206,11 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		if *plot {
-			return plotFig11(w, budgets, pc)
+			return plotFig11(w, budgets, pc, obs)
 		}
 		fmt.Fprintln(w, "Layer,MACs,Partitions,Spec,Cycles,AvgBW,PeakBW,DRAMReads,DRAMWrites")
 		for _, b := range budgets {
-			series, err := experiments.Fig11(b, pc)
+			series, err := experiments.Fig11Obs(b, pc, obs)
 			if err != nil {
 				return err
 			}
@@ -198,7 +242,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		series, err := experiments.Fig12(l, budgets, pc)
+		series, err := experiments.Fig12Obs(l, budgets, pc, obs)
 		if err != nil {
 			return err
 		}
@@ -228,7 +272,7 @@ func run(args []string, stdout io.Writer) error {
 		base := config.New().WithSRAM(512, 512, 256).WithDataflow(config.OutputStationary)
 		fmt.Fprintln(w, "Layer,MACs,BWBudget,Spec,Cycles,AvgBW")
 		for _, b := range budgets {
-			pick, _, err := partition.SweetSpot(l, base, b, pc, 8, *bwBudget, partition.Options{})
+			pick, _, err := partition.SweetSpot(l, base, b, pc, 8, *bwBudget, partition.Options{Obs: obs.Rec})
 			if err != nil {
 				return err
 			}
@@ -327,9 +371,9 @@ func run(args []string, stdout io.Writer) error {
 
 // plotFig11 renders the runtime and bandwidth curves of the partition
 // sweep as ASCII charts.
-func plotFig11(w io.Writer, budgets, pc []int64) error {
+func plotFig11(w io.Writer, budgets, pc []int64, obs experiments.Obs) error {
 	for _, b := range budgets {
-		series, err := experiments.Fig11(b, pc)
+		series, err := experiments.Fig11Obs(b, pc, obs)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"scalesim/internal/obsv"
 )
 
 func lines(s string) int {
@@ -22,6 +24,58 @@ func TestFig4Command(t *testing.T) {
 	}
 	if !strings.HasPrefix(buf.String(), "ArraySize,RTLCycles,SimCycles") {
 		t.Errorf("missing header: %s", buf.String())
+	}
+}
+
+func TestStudyMetricsManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "study.json")
+	var buf bytes.Buffer
+	if err := run([]string{"fig4", "-sizes", "4,8", "-metrics", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obsv.ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "scalestudy" || m.Run != "fig4" {
+		t.Errorf("identity = %q/%q", m.Tool, m.Run)
+	}
+	var found bool
+	for _, p := range m.Phases {
+		if p.Name == "scalestudy.fig4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("phases = %+v, want scalestudy.fig4", m.Phases)
+	}
+}
+
+func TestFig11MetricsManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig11.json")
+	var buf bytes.Buffer
+	if err := run([]string{"fig11", "-macs", "4096", "-parts", "1,4", "-metrics", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obsv.ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Run != "fig11" || len(m.Layers) != 2 { // the figure's two series
+		t.Errorf("run %q, series %d", m.Run, len(m.Layers))
+	}
+	if m.Spans == nil || m.Spans.Jobs != 2 {
+		t.Errorf("spans = %+v", m.Spans)
 	}
 }
 

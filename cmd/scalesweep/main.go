@@ -7,6 +7,11 @@
 //
 //	scalesweep -spec sweep.cfg [-config base.cfg] [-o results.csv]
 //	scalesweep -arrays 16x16,32x32 -dataflows os,ws -nets AlexNet
+//	scalesweep -nets TinyNet -metrics sweep.json -progress -pprof localhost:6060
+//
+// -metrics writes a sweep manifest (one entry per grid point plus engine
+// span aggregates and runtime stats), -progress reports per-point
+// completion to stderr, and -pprof serves net/http/pprof during the run.
 //
 // The spec file uses the same INI dialect as hardware configs:
 //
@@ -26,6 +31,7 @@ import (
 
 	"scalesim/internal/batch"
 	"scalesim/internal/config"
+	"scalesim/internal/obsv"
 )
 
 func main() {
@@ -46,9 +52,21 @@ func run(args []string, stdout io.Writer) error {
 		srams     = fs.String("srams", "", "inline axis: comma-separated i/f/o KiB triples")
 		nets      = fs.String("nets", "", "inline axis: comma-separated built-in topologies")
 		parallel  = fs.Int("parallel", 0, "concurrent runs (default GOMAXPROCS)")
+		metrics   = fs.String("metrics", "", "write a machine-readable sweep manifest (JSON) to this path")
+		progress  = fs.Bool("progress", false, "report per-point progress to stderr")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address during the sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		addr, stopPprof, err := obsv.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stopPprof() }()
+		fmt.Fprintf(os.Stderr, "scalesweep: pprof at http://%s/debug/pprof/\n", addr)
 	}
 
 	base := config.New()
@@ -90,10 +108,24 @@ func run(args []string, stdout io.Writer) error {
 	if *parallel > 0 {
 		spec.Parallel = *parallel
 	}
+	var rec *obsv.Recorder
+	if *metrics != "" {
+		rec = obsv.NewRecorder()
+		spec.Obs = rec
+	}
+	if *progress {
+		spec.Progress = obsv.NewProgress(os.Stderr, "scalesweep")
+	}
 
 	rows, err := batch.Run(spec)
 	if err != nil {
 		return err
+	}
+	spec.Progress.Finish()
+	if *metrics != "" {
+		if err := batch.NewManifest(spec, rows, rec).WriteFile(*metrics); err != nil {
+			return err
+		}
 	}
 	w := stdout
 	if *out != "" {

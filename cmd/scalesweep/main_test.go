@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"scalesim/internal/obsv"
 )
 
 func TestInlineSweep(t *testing.T) {
@@ -45,6 +47,36 @@ func TestSpecFileSweep(t *testing.T) {
 	}
 	if strings.Count(string(data), "\n") != 3 {
 		t.Errorf("output:\n%s", data)
+	}
+}
+
+func TestSweepMetricsManifest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-arrays", "8x8,16x16", "-dataflows", "os", "-srams", "2/2/1",
+		"-nets", "TinyNet", "-metrics", path,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obsv.ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "scalesweep" || len(m.Layers) != 2 {
+		t.Errorf("tool %q, entries %d, want scalesweep with 2", m.Tool, len(m.Layers))
+	}
+	if m.Layers[0].Name != "TinyNet/8x8/os/2-2-1" {
+		t.Errorf("entry name %q", m.Layers[0].Name)
+	}
+	if m.Spans == nil || m.Spans.Jobs != 2 {
+		t.Errorf("spans = %+v, want 2 jobs", m.Spans)
 	}
 }
 

@@ -7,10 +7,12 @@ package batch
 
 import (
 	"fmt"
+	"time"
 
 	"scalesim/internal/config"
 	"scalesim/internal/core"
 	"scalesim/internal/engine"
+	"scalesim/internal/obsv"
 	"scalesim/internal/topology"
 )
 
@@ -53,6 +55,17 @@ type Spec struct {
 	Topologies []topology.Topology
 	// Parallel bounds concurrent runs (default GOMAXPROCS).
 	Parallel int
+	// Obs, when non-nil, records the sweep: grid-level engine spans, the
+	// "batch.run" phase and per-point wall timings. Rows are unaffected.
+	Obs *obsv.Recorder
+	// Progress, when non-nil, receives one step per completed grid point.
+	Progress *obsv.Progress
+}
+
+// PointLabel names one grid point for progress lines and manifests.
+func PointLabel(p Point) string {
+	return fmt.Sprintf("%s/%dx%d/%s/%d-%d-%d", p.Topology.Name,
+		p.Array[0], p.Array[1], p.Dataflow, p.SRAM[0], p.SRAM[1], p.SRAM[2])
 }
 
 // Points expands the grid.
@@ -89,15 +102,47 @@ func Run(spec Spec) ([]Row, error) {
 		return nil, fmt.Errorf("batch: no topologies")
 	}
 	points := spec.Points()
-	return engine.Run(spec.Parallel, len(points), func(i int) (Row, error) {
+	spec.Progress.Start(len(points))
+	defer spec.Obs.Phase("batch.run")()
+	return engine.RunObserved(spec.Parallel, len(points), spec.Obs.SpanSink(), func(i int) (Row, error) {
 		p := points[i]
+		var t0 time.Time
+		if spec.Obs.Enabled() {
+			t0 = time.Now()
+		}
 		row, err := runPoint(spec.Base, p)
 		if err != nil {
 			return Row{}, fmt.Errorf("batch: %s on %dx%d %v: %w",
 				p.Topology.Name, p.Array[0], p.Array[1], p.Dataflow, err)
 		}
+		spec.Obs.ObserveLayer(i, PointLabel(p), time.Since(t0))
+		spec.Progress.Step(PointLabel(p))
 		return row, nil
 	})
+}
+
+// NewManifest assembles a sweep manifest: one manifest entry per grid
+// point (total cycles, utilization, DRAM traffic, wall time) on top of
+// the recorder's phases, spans and runtime stats. rows must be the grid
+// Run returned under the same recorder.
+func NewManifest(spec Spec, rows []Row, rec *obsv.Recorder) *obsv.Manifest {
+	m := rec.Manifest()
+	m.Tool = "scalesweep"
+	m.ConfigHash = obsv.Hash(spec.Base)
+	m.Layers = make([]obsv.LayerMetrics, 0, len(rows))
+	for i, r := range rows {
+		m.Layers = append(m.Layers, obsv.LayerMetrics{
+			Index: i,
+			Name: fmt.Sprintf("%s/%dx%d/%s/%d-%d-%d", r.Net,
+				r.Array[0], r.Array[1], r.Dataflow, r.SRAM[0], r.SRAM[1], r.SRAM[2]),
+			Cycles:      r.TotalCycles,
+			Utilization: r.ComputeUtil,
+			DRAMReads:   r.DRAMReads,
+			DRAMWrites:  r.DRAMWrites,
+			WallSeconds: rec.LayerSeconds(i),
+		})
+	}
+	return m
 }
 
 func runPoint(base config.Config, p Point) (Row, error) {

@@ -17,12 +17,14 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"scalesim/internal/config"
 	"scalesim/internal/dram"
 	"scalesim/internal/energy"
 	"scalesim/internal/engine"
 	"scalesim/internal/memory"
+	"scalesim/internal/obsv"
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
@@ -58,6 +60,16 @@ type Options struct {
 	// factory runs once per layer, possibly from concurrent worker
 	// goroutines, and must wire fresh consumers each time.
 	Sinks engine.Registry
+	// Obs, when non-nil, records run instrumentation: phase wall-clock
+	// timings, per-layer wall times and stage histograms, and the
+	// engine's scheduler spans. Purely additive — simulation results and
+	// traces are byte-identical with or without it; see
+	// Simulator.Manifest for the snapshot.
+	Obs *obsv.Recorder
+	// Progress, when non-nil, receives one step per completed layer
+	// (display only; completion order may differ from layer order when
+	// Workers > 1).
+	Progress *obsv.Progress
 }
 
 // LayerResult is everything the simulator learns about one layer.
@@ -215,7 +227,9 @@ func (s *Simulator) simulateLayer(index int, l topology.Layer) (LayerResult, err
 	if err := l.Validate(); err != nil {
 		return LayerResult{}, err
 	}
+	stopSinks := s.opt.Obs.Time("core.layer.sinks_seconds")
 	set, err := s.reg.NewSinkSet(engine.Job{Index: index, Run: s.cfg.RunName, Layer: l.Name})
+	stopSinks()
 	if err != nil {
 		return LayerResult{}, err
 	}
@@ -235,14 +249,17 @@ func (s *Simulator) simulateLayer(index int, l topology.Layer) (LayerResult, err
 		s.cfg.OfmapOffset, l.OfmapWords(),
 	)
 
+	stopCompute := s.opt.Obs.Time("core.layer.compute_seconds")
 	comp, err := systolic.Run(l, s.cfg, systolic.Sinks{
 		IfmapRead:  set.Tap(engine.SRAMReadIfmap, sys.Ifmap),
 		FilterRead: set.Tap(engine.SRAMReadFilter, sys.Filter),
 		OfmapWrite: set.Tap(engine.SRAMWriteOfmap, sys.Ofmap),
 	})
+	stopCompute()
 	if err != nil {
 		return LayerResult{}, err
 	}
+	defer s.opt.Obs.Time("core.layer.report_seconds")()
 	sys.Ofmap.Flush(comp.Cycles)
 	mrep := sys.Report(comp.Cycles)
 
@@ -284,19 +301,41 @@ func (s *Simulator) workers() int {
 // Options.Workers, with results joined in layer order — and aggregates the
 // serialized execution totals.
 func (s *Simulator) Simulate(topo topology.Topology) (RunResult, error) {
-	if err := topo.Validate(); err != nil {
-		return RunResult{}, err
-	}
-	layers, err := engine.Run(s.workers(), len(topo.Layers), func(i int) (LayerResult, error) {
-		lr, err := s.simulateLayer(i, topo.Layers[i])
-		if err != nil {
-			return LayerResult{}, fmt.Errorf("core: layer %q: %w", topo.Layers[i].Name, err)
-		}
-		return lr, nil
-	})
+	stop := s.opt.Obs.Phase("core.validate")
+	err := topo.Validate()
+	stop()
 	if err != nil {
 		return RunResult{}, err
 	}
+	s.opt.Progress.Start(len(topo.Layers))
+	obs := s.opt.Obs
+	stop = obs.Phase("core.simulate")
+	layers, err := engine.RunObserved(s.workers(), len(topo.Layers), obs.SpanSink(),
+		func(i int) (lr LayerResult, err error) {
+			// A panicking layer fails the run with its index and name; the
+			// engine's own recovery would only know the index.
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("core: layer %d %q panicked: %v", i, topo.Layers[i].Name, r)
+				}
+			}()
+			var t0 time.Time
+			if obs.Enabled() {
+				t0 = time.Now()
+			}
+			lr, err = s.simulateLayer(i, topo.Layers[i])
+			if err != nil {
+				return LayerResult{}, fmt.Errorf("core: layer %q: %w", topo.Layers[i].Name, err)
+			}
+			obs.ObserveLayer(i, topo.Layers[i].Name, time.Since(t0))
+			s.opt.Progress.Step(topo.Layers[i].Name)
+			return lr, nil
+		})
+	stop()
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer obs.Phase("core.aggregate")()
 	run := RunResult{Config: s.cfg, Topology: topo, Layers: layers}
 	// The modeled hardware executes layers serially: cumulative cycle
 	// offsets and totals are computed after the parallel join, in layer

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"scalesim/internal/config"
+	"scalesim/internal/obsv"
 	"scalesim/internal/topology"
 )
 
@@ -133,6 +134,80 @@ func TestTraceFilesDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(results[0], results[1]) {
 		t.Errorf("aggregates differ between workers=1 and workers=4")
+	}
+}
+
+// TestTraceDeterminismWithMetrics pins the instrumentation contract:
+// attaching a metrics recorder must not change a single byte of trace
+// output or any aggregate. TinyNet runs traced at workers=4 with and
+// without a recorder; files and results must match exactly, and the
+// instrumented run must still produce a valid manifest.
+func TestTraceDeterminismWithMetrics(t *testing.T) {
+	topo := topology.TinyNet()
+	cfg := config.New().WithArray(8, 8)
+
+	type run struct {
+		files map[string][]byte
+		res   RunResult
+	}
+	var runs []run
+	var rec *obsv.Recorder
+	for _, instrument := range []bool{false, true} {
+		dir := t.TempDir()
+		opt := Options{TraceDir: dir, Workers: 4}
+		if instrument {
+			rec = obsv.NewRecorder()
+			opt.Obs = rec
+		}
+		sim, err := New(cfg, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Simulate(topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := make(map[string][]byte, len(entries))
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[e.Name()] = data
+		}
+		runs = append(runs, run{files: files, res: res})
+		if instrument {
+			m := sim.Manifest(res)
+			if err := m.Validate(); err != nil {
+				t.Errorf("instrumented run manifest invalid: %v", err)
+			}
+			if len(m.Layers) != len(topo.Layers) {
+				t.Errorf("manifest has %d layers, want %d", len(m.Layers), len(topo.Layers))
+			}
+		}
+	}
+
+	plain, instrumented := runs[0], runs[1]
+	if len(plain.files) != len(instrumented.files) {
+		t.Fatalf("trace file counts differ: plain %d, instrumented %d",
+			len(plain.files), len(instrumented.files))
+	}
+	for name, want := range plain.files {
+		got, ok := instrumented.files[name]
+		if !ok {
+			t.Errorf("instrumented run missing trace file %s", name)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("trace file %s differs with metrics recorder attached", name)
+		}
+	}
+	if !reflect.DeepEqual(plain.res, instrumented.res) {
+		t.Errorf("aggregates differ with metrics recorder attached")
 	}
 }
 

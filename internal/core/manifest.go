@@ -1,0 +1,45 @@
+package core
+
+import (
+	"runtime"
+
+	"scalesim/internal/obsv"
+)
+
+// Manifest assembles the machine-readable record of a completed run: the
+// configuration hash and topology identity, one entry per layer (cycles,
+// utilization, stalls, DRAM traffic, wall time), and — when Options.Obs
+// was attached — phase timings, engine span aggregates, metric snapshots
+// and Go runtime stats. Works with a nil recorder too; the manifest then
+// carries results without wall-clock costs.
+func (s *Simulator) Manifest(res RunResult) *obsv.Manifest {
+	rec := s.opt.Obs
+	m := rec.Manifest()
+	m.Tool = "scalesim"
+	m.Run = res.Config.RunName
+	m.ConfigHash = obsv.Hash(res.Config)
+	if m.Workers = s.workers(); m.Workers <= 0 {
+		m.Workers = runtime.GOMAXPROCS(0) // the engine's default resolution
+	}
+	m.Topology = &obsv.TopologyInfo{Name: res.Topology.Name, Layers: len(res.Topology.Layers)}
+	peakMACs := float64(res.Config.MACs())
+	m.Layers = make([]obsv.LayerMetrics, 0, len(res.Layers))
+	for i, lr := range res.Layers {
+		lm := obsv.LayerMetrics{
+			Index:       i,
+			Name:        res.Topology.Layers[i].Name,
+			Cycles:      lr.Compute.Cycles,
+			StallCycles: lr.StallCycles,
+			StartCycle:  lr.StartCycle,
+			MACs:        lr.Compute.MACs,
+			DRAMReads:   lr.Memory.DRAMReads(),
+			DRAMWrites:  lr.Memory.OfmapDRAMWrites,
+			WallSeconds: rec.LayerSeconds(i),
+		}
+		if lr.Compute.Cycles > 0 && peakMACs > 0 {
+			lm.Utilization = float64(lr.Compute.MACs) / (peakMACs * float64(lr.Compute.Cycles))
+		}
+		m.Layers = append(m.Layers, lm)
+	}
+	return m
+}

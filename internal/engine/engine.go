@@ -17,13 +17,51 @@
 // goroutines), joining results in job order, and leaving any cumulative
 // accounting (e.g. cycle offsets of serially-executing layers) to the
 // caller, after the join.
+//
+// RunObserved is Run with instrumentation: it emits one obsv.Span per job
+// (queue wait, execution time, join latency, worker id) to a pluggable
+// sink. Spans are stamped while jobs run but emitted only after the final
+// join, in job order, so observation can never reorder anything; with a
+// nil sink no clock is read at all.
 package engine
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"scalesim/internal/obsv"
 )
+
+// PanicError is a job panic converted into an error: instead of one bad
+// layer killing the whole process from inside a worker goroutine, the run
+// fails with the job's index, the panic value and its stack.
+type PanicError struct {
+	// Index is the panicking job's position in the job list.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: job %d panicked: %v", e.Index, e.Value)
+}
+
+// runJob invokes job(i), converting a panic into a *PanicError so the
+// failure propagates through the ordinary lowest-index-error join.
+func runJob[T any](i int, job func(i int) (T, error)) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return job(i)
+}
 
 // Run executes n independent jobs over a bounded worker pool and returns
 // their results in job order. workers <= 0 defaults to GOMAXPROCS; workers
@@ -33,13 +71,23 @@ import (
 // error: when jobs fail, the error returned is the one a sequential run
 // would hit first (the lowest-index failure). Dispatch stops after the
 // first observed failure, but every job already started is drained, so all
-// indices below the first failing one are fully evaluated.
+// indices below the first failing one are fully evaluated. A job that
+// panics fails the run with a *PanicError under the same ordering rule.
 func Run[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	return RunObserved(workers, n, nil, job)
+}
+
+// RunObserved is Run with a span sink: every executed job emits one
+// obsv.Span recording its queue wait, execution time, join latency and
+// worker id. Spans are emitted after the pool's final join, in job index
+// order, from the calling goroutine — instrumentation observes the
+// schedule, it never participates in it. A nil sink skips every clock
+// read, so the uninstrumented path costs one pointer comparison per job.
+func RunObserved[T any](workers, n int, sink obsv.SpanSink, job func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if n == 0 {
 		return results, nil
 	}
-	errs := make([]error, n)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -48,15 +96,34 @@ func Run[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			var start time.Time
+			if sink != nil {
+				start = time.Now()
+			}
 			var err error
-			if results[i], err = job(i); err != nil {
+			results[i], err = runJob(i, job)
+			if sink != nil {
+				sink.Emit(obsv.Span{Index: i, Exec: time.Since(start), Err: err != nil})
+			}
+			if err != nil {
 				return results, err
 			}
 		}
 		return results, nil
 	}
 
+	errs := make([]error, n)
 	var failed atomic.Bool
+	// Span bookkeeping, allocated only when observed: enqueue and end
+	// stamps live outside the Span so emission order stays index order and
+	// undispatched slots (after a failure) are recognizable.
+	var enq, ends []time.Time
+	var spans []obsv.Span
+	if sink != nil {
+		enq = make([]time.Time, n)
+		ends = make([]time.Time, n)
+		spans = make([]obsv.Span, n)
+	}
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -64,20 +131,48 @@ func Run[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				var start time.Time
+				if sink != nil {
+					start = time.Now()
+				}
 				var err error
-				if results[i], err = job(i); err != nil {
+				if results[i], err = runJob(i, job); err != nil {
 					errs[i] = err
 					failed.Store(true)
+				}
+				if sink != nil {
+					end := time.Now()
+					spans[i] = obsv.Span{
+						Index:     i,
+						Worker:    w,
+						QueueWait: start.Sub(enq[i]),
+						Exec:      end.Sub(start),
+						Err:       err != nil,
+					}
+					ends[i] = end
 				}
 			}
 		}()
 	}
 	for i := 0; i < n && !failed.Load(); i++ {
+		if sink != nil {
+			enq[i] = time.Now()
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
 
+	if sink != nil {
+		join := time.Now()
+		for i := range spans {
+			if ends[i].IsZero() {
+				continue // never dispatched (failure stopped the feed)
+			}
+			spans[i].Join = join.Sub(ends[i])
+			sink.Emit(spans[i])
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return results, err

@@ -3,9 +3,12 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"scalesim/internal/obsv"
 )
 
 func TestRunJoinsInOrder(t *testing.T) {
@@ -57,6 +60,105 @@ func TestRunErrorDeterministic(t *testing.T) {
 				t.Errorf("workers=%d: job %d skipped", workers, i)
 			}
 		}
+	}
+}
+
+// TestRunPanicRecovered: a panicking job fails the run with a
+// *PanicError naming the job index instead of crashing the worker pool,
+// at every worker count.
+func TestRunPanicRecovered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		_, err := Run(workers, 10, func(i int) (int, error) {
+			if i == 2 {
+				panic(fmt.Sprintf("bad layer %d", i))
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 2 || fmt.Sprint(pe.Value) != "bad layer 2" || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError = index %d, value %v, stack %d bytes",
+				workers, pe.Index, pe.Value, len(pe.Stack))
+		}
+		if !strings.Contains(err.Error(), "job 2 panicked") {
+			t.Errorf("workers=%d: err = %q", workers, err)
+		}
+	}
+}
+
+// TestRunPanicOrdering: the lowest-index failure wins regardless of
+// whether it is a returned error or a recovered panic.
+func TestRunPanicOrdering(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Run(workers, 10, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, fmt.Errorf("job %d: %w", i, sentinel)
+			case 7:
+				panic("late panic")
+			}
+			return i, nil
+		})
+		if err == nil || !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: err = %v, want the index-3 error", workers, err)
+		}
+	}
+}
+
+// TestRunObservedSpans: one span per job, emitted in index order after
+// the join, with worker ids inside the pool and results untouched.
+func TestRunObservedSpans(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var rec obsv.SpanRecorder
+		got, err := RunObserved(workers, 10, &rec, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+		spans := rec.Spans()
+		if len(spans) != 10 {
+			t.Fatalf("workers=%d: %d spans", workers, len(spans))
+		}
+		for i, s := range spans {
+			if s.Index != i {
+				t.Errorf("workers=%d: span %d has index %d (emission must be index order)", workers, i, s.Index)
+			}
+			if s.Worker < 0 || s.Worker >= workers {
+				t.Errorf("workers=%d: span %d worker %d out of range", workers, i, s.Worker)
+			}
+			if s.Exec < 0 || s.QueueWait < 0 || s.Join < 0 {
+				t.Errorf("workers=%d: span %d has negative durations: %+v", workers, i, s)
+			}
+		}
+	}
+}
+
+// TestRunObservedSpansOnFailure: spans cover exactly the jobs that
+// executed, and the failing job's span is marked.
+func TestRunObservedSpansOnFailure(t *testing.T) {
+	var rec obsv.SpanRecorder
+	_, err := RunObserved(1, 10, &rec, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	spans := rec.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("%d spans, want 5 (jobs 0-4)", len(spans))
+	}
+	if !spans[4].Err || spans[3].Err {
+		t.Errorf("error flags wrong: %+v", spans)
 	}
 }
 

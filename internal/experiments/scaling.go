@@ -2,15 +2,26 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"scalesim/internal/analytical"
 	"scalesim/internal/config"
 	"scalesim/internal/dataflow"
 	"scalesim/internal/energy"
 	"scalesim/internal/engine"
+	"scalesim/internal/obsv"
 	"scalesim/internal/partition"
 	"scalesim/internal/topology"
 )
+
+// Obs bundles the observability hooks a figure sweep threads through its
+// cycle-accurate runs: a recorder for sweep-level spans, phase and
+// per-series wall timings, and a live progress reporter. The zero value
+// disables both.
+type Obs struct {
+	Rec      *obsv.Recorder
+	Progress *obsv.Progress
+}
 
 // --- Fig. 11 / Fig. 12: cycle-accurate partition sweeps ------------------
 
@@ -68,12 +79,24 @@ func partitionSweep(l topology.Layer, totalMACs int64, partCounts []int64, opt p
 // Fig11 sweeps runtime and DRAM bandwidth versus partition count for the
 // two layers the figure shows (CB2a_3 and TF0) at the given MAC budget.
 func Fig11(totalMACs int64, partCounts []int64) (map[string][]SweepRow, error) {
+	return Fig11Obs(totalMACs, partCounts, Obs{})
+}
+
+// Fig11Obs is Fig11 with observability: sweep-level engine spans and
+// per-series wall timings land in obs.Rec, completed series step
+// obs.Progress. Rows are identical to Fig11's.
+func Fig11Obs(totalMACs int64, partCounts []int64, obs Obs) (map[string][]SweepRow, error) {
 	// The figure's layers run concurrently on the shared engine's pool, so
 	// each layer's partitions stay sequential rather than multiplying the
 	// two levels; the map is assembled after the in-order join.
 	layers := []topology.Layer{CB2a3(), TF0()}
-	series, err := engine.Run(0, len(layers), func(i int) ([]SweepRow, error) {
-		return partitionSweep(layers[i], totalMACs, partCounts, partition.Options{Parallel: 1})
+	obs.Progress.Start(len(layers))
+	defer obs.Rec.Phase("experiments.fig11")()
+	series, err := engine.RunObserved(0, len(layers), obs.Rec.SpanSink(), func(i int) ([]SweepRow, error) {
+		rows, err := sweepSeries(obs, i, layers[i].Name, func() ([]SweepRow, error) {
+			return partitionSweep(layers[i], totalMACs, partCounts, partition.Options{Parallel: 1})
+		})
+		return rows, err
 	})
 	if err != nil {
 		return nil, err
@@ -88,9 +111,19 @@ func Fig11(totalMACs int64, partCounts []int64) (map[string][]SweepRow, error) {
 // Fig12 is the energy view of the same sweep: one series per MAC budget for
 // the given layer.
 func Fig12(l topology.Layer, macBudgets []int64, partCounts []int64) (map[int64][]SweepRow, error) {
+	return Fig12Obs(l, macBudgets, partCounts, Obs{})
+}
+
+// Fig12Obs is Fig12 with observability, mirroring Fig11Obs.
+func Fig12Obs(l topology.Layer, macBudgets []int64, partCounts []int64, obs Obs) (map[int64][]SweepRow, error) {
 	// One series per MAC budget, simulated concurrently like Fig11.
-	series, err := engine.Run(0, len(macBudgets), func(i int) ([]SweepRow, error) {
-		return partitionSweep(l, macBudgets[i], partCounts, partition.Options{Parallel: 1})
+	obs.Progress.Start(len(macBudgets))
+	defer obs.Rec.Phase("experiments.fig12")()
+	series, err := engine.RunObserved(0, len(macBudgets), obs.Rec.SpanSink(), func(i int) ([]SweepRow, error) {
+		name := fmt.Sprintf("%s@%dMACs", l.Name, macBudgets[i])
+		return sweepSeries(obs, i, name, func() ([]SweepRow, error) {
+			return partitionSweep(l, macBudgets[i], partCounts, partition.Options{Parallel: 1})
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -100,6 +133,22 @@ func Fig12(l topology.Layer, macBudgets []int64, partCounts []int64) (map[int64]
 		out[macBudgets[i]] = rows
 	}
 	return out, nil
+}
+
+// sweepSeries runs one sweep series under the observability hooks:
+// per-series wall time into the recorder, one progress step on success.
+func sweepSeries(obs Obs, index int, name string, run func() ([]SweepRow, error)) ([]SweepRow, error) {
+	var t0 time.Time
+	if obs.Rec.Enabled() {
+		t0 = time.Now()
+	}
+	rows, err := run()
+	if err != nil {
+		return nil, err
+	}
+	obs.Rec.ObserveLayer(index, name, time.Since(t0))
+	obs.Progress.Step(name)
+	return rows, nil
 }
 
 // --- Fig. 13 / Fig. 14: multi-workload pareto optimality -----------------

@@ -1,0 +1,174 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Schema identifies the manifest document format.
+const Schema = "scalesim.manifest/v1"
+
+// TopologyInfo identifies the workload a manifest describes.
+type TopologyInfo struct {
+	Name   string `json:"name"`
+	Layers int    `json:"layers"`
+}
+
+// LayerMetrics is one unit of work in the manifest: a topology layer for
+// a simulator run, a grid point for a sweep. Simulation results (cycles,
+// utilization, stalls) come from the run result; WallSeconds comes from
+// the recorder when one was attached.
+type LayerMetrics struct {
+	Index       int     `json:"index"`
+	Name        string  `json:"name"`
+	Cycles      int64   `json:"cycles"`
+	StallCycles int64   `json:"stall_cycles,omitempty"`
+	StartCycle  int64   `json:"start_cycle,omitempty"`
+	MACs        int64   `json:"macs,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+	DRAMReads   int64   `json:"dram_reads,omitempty"`
+	DRAMWrites  int64   `json:"dram_writes,omitempty"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// RuntimeStats captures the Go runtime's view of the run. When the
+// manifest comes from a Recorder the allocation and GC fields are deltas
+// over the recorded interval; without one they are process totals.
+type RuntimeStats struct {
+	GoVersion          string  `json:"go_version"`
+	NumCPU             int     `json:"num_cpu"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	AllocBytes         uint64  `json:"alloc_bytes"`
+	TotalAllocBytes    uint64  `json:"total_alloc_bytes"`
+	Mallocs            uint64  `json:"mallocs"`
+	NumGC              uint32  `json:"num_gc"`
+	GCPauseSeconds     float64 `json:"gc_pause_total_seconds"`
+	GoroutineHighWater int     `json:"goroutine_high_water"`
+}
+
+// Manifest is the machine-readable record of one run: identity (tool,
+// run name, config hash, topology), results (per-layer cycles,
+// utilizations, stalls), and cost (phase wall-clock timings, engine span
+// aggregates, runtime stats, metric snapshots).
+type Manifest struct {
+	Schema      string           `json:"schema"`
+	Tool        string           `json:"tool,omitempty"`
+	Run         string           `json:"run,omitempty"`
+	Created     string           `json:"created"`
+	ConfigHash  string           `json:"config_hash,omitempty"`
+	Workers     int              `json:"workers,omitempty"`
+	Topology    *TopologyInfo    `json:"topology,omitempty"`
+	Layers      []LayerMetrics   `json:"layers,omitempty"`
+	Phases      []PhaseTiming    `json:"phases,omitempty"`
+	Spans       *SpanStats       `json:"spans,omitempty"`
+	Runtime     RuntimeStats     `json:"runtime"`
+	Metrics     *MetricsSnapshot `json:"metrics,omitempty"`
+	WallSeconds float64          `json:"wall_seconds,omitempty"`
+}
+
+// Manifest snapshots the recorder into a manifest document. Valid on a
+// nil recorder too: the result then carries only the schema, timestamp
+// and absolute runtime stats, so callers can emit a manifest without
+// having paid for instrumentation.
+func (r *Recorder) Manifest() *Manifest {
+	m := &Manifest{
+		Schema:  Schema,
+		Created: time.Now().UTC().Format(time.RFC3339),
+	}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	m.Runtime = RuntimeStats{
+		GoVersion:          runtime.Version(),
+		NumCPU:             runtime.NumCPU(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		AllocBytes:         mem.Alloc,
+		TotalAllocBytes:    mem.TotalAlloc,
+		Mallocs:            mem.Mallocs,
+		NumGC:              mem.NumGC,
+		GCPauseSeconds:     time.Duration(mem.PauseTotalNs).Seconds(),
+		GoroutineHighWater: runtime.NumGoroutine(),
+	}
+	if r == nil {
+		return m
+	}
+	r.sample()
+	m.Runtime.TotalAllocBytes = mem.TotalAlloc - r.startMem.TotalAlloc
+	m.Runtime.Mallocs = mem.Mallocs - r.startMem.Mallocs
+	m.Runtime.NumGC = mem.NumGC - r.startMem.NumGC
+	m.Runtime.GCPauseSeconds = time.Duration(mem.PauseTotalNs - r.startMem.PauseTotalNs).Seconds()
+	m.WallSeconds = time.Since(r.start).Seconds()
+
+	r.mu.Lock()
+	m.Phases = append([]PhaseTiming(nil), r.phases...)
+	m.Runtime.GoroutineHighWater = r.hwm
+	r.mu.Unlock()
+
+	if st := r.spans.Stats(); st.Jobs > 0 {
+		m.Spans = &st
+	}
+	if snap := r.reg.Snapshot(); !snap.Empty() {
+		m.Metrics = &snap
+	}
+	return m
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("obsv: encoding manifest: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the manifest as indented JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obsv: %w", err)
+	}
+	werr := m.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return fmt.Errorf("obsv: %w", cerr)
+	}
+	return nil
+}
+
+// ParseManifest decodes and validates a manifest document.
+func ParseManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("obsv: parsing manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks the fields every manifest must carry.
+func (m *Manifest) Validate() error {
+	switch {
+	case m.Schema != Schema:
+		return fmt.Errorf("obsv: manifest schema %q, want %q", m.Schema, Schema)
+	case m.Created == "":
+		return fmt.Errorf("obsv: manifest missing created timestamp")
+	case m.Runtime.GoVersion == "" || m.Runtime.NumCPU <= 0 || m.Runtime.GOMAXPROCS <= 0:
+		return fmt.Errorf("obsv: manifest missing runtime stats")
+	}
+	for i, l := range m.Layers {
+		if l.Name == "" {
+			return fmt.Errorf("obsv: manifest layer %d missing name", i)
+		}
+	}
+	return nil
+}

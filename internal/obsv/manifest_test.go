@@ -1,0 +1,102 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderManifestRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	stop := rec.Phase("simulate")
+	rec.Metrics().Counter("layers").Add(2)
+	rec.Metrics().Histogram("compute_seconds").Observe(0.25)
+	rec.ObserveLayer(1, "conv2", 20*time.Millisecond)
+	rec.ObserveLayer(0, "conv1", 10*time.Millisecond)
+	rec.SpanSink().Emit(Span{Index: 0, Worker: 0, Exec: time.Millisecond})
+	rec.SpanSink().Emit(Span{Index: 1, Worker: 1, Exec: 2 * time.Millisecond})
+	stop()
+
+	m := rec.Manifest()
+	m.Tool = "test"
+	m.Run = "unit"
+	m.ConfigHash = Hash(struct{ A int }{1})
+	m.Layers = []LayerMetrics{
+		{Index: 0, Name: "conv1", Cycles: 10, WallSeconds: rec.LayerSeconds(0)},
+		{Index: 1, Name: "conv2", Cycles: 20, WallSeconds: rec.LayerSeconds(1)},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Phases) != 1 || m.Phases[0].Name != "simulate" || m.Phases[0].Seconds <= 0 {
+		t.Errorf("phases = %+v", m.Phases)
+	}
+	if m.Spans == nil || m.Spans.Jobs != 2 || len(m.Spans.PerWorker) != 2 {
+		t.Errorf("spans = %+v", m.Spans)
+	}
+	if m.Metrics == nil || m.Metrics.Counters["layers"] != 2 {
+		t.Errorf("metrics = %+v", m.Metrics)
+	}
+	if m.Runtime.GoroutineHighWater < 1 || m.Runtime.GOMAXPROCS < 1 {
+		t.Errorf("runtime = %+v", m.Runtime)
+	}
+	if m.Layers[0].WallSeconds <= 0 {
+		t.Errorf("layer wall seconds = %v", m.Layers[0].WallSeconds)
+	}
+	if !strings.HasPrefix(m.ConfigHash, "sha256:") {
+		t.Errorf("config hash = %q", m.ConfigHash)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseManifest(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "test" || back.Run != "unit" || len(back.Layers) != 2 ||
+		back.Spans.Jobs != 2 || back.Layers[1].Cycles != 20 {
+		t.Errorf("round trip = %+v", back)
+	}
+}
+
+func TestManifestValidateRejects(t *testing.T) {
+	for name, breakIt := range map[string]func(*Manifest){
+		"schema":    func(m *Manifest) { m.Schema = "nope" },
+		"created":   func(m *Manifest) { m.Created = "" },
+		"runtime":   func(m *Manifest) { m.Runtime.GoVersion = "" },
+		"layername": func(m *Manifest) { m.Layers = []LayerMetrics{{Index: 0}} },
+	} {
+		m := (*Recorder)(nil).Manifest()
+		breakIt(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: invalid manifest accepted", name)
+		}
+	}
+	if _, err := ParseManifest([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestLayerTimingsOrdered(t *testing.T) {
+	rec := NewRecorder()
+	rec.ObserveLayer(2, "c", time.Millisecond)
+	rec.ObserveLayer(0, "a", time.Millisecond)
+	rec.ObserveLayer(1, "b", time.Millisecond)
+	got := rec.LayerTimings()
+	if len(got) != 3 || got[0].Name != "a" || got[1].Name != "b" || got[2].Name != "c" {
+		t.Errorf("timings = %+v", got)
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	type cfg struct{ A, B int }
+	if Hash(cfg{1, 2}) != Hash(cfg{1, 2}) {
+		t.Error("hash not stable")
+	}
+	if Hash(cfg{1, 2}) == Hash(cfg{2, 1}) {
+		t.Error("hash ignores field values")
+	}
+}

@@ -1,0 +1,29 @@
+package obsv
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServePprof serves the net/http/pprof handlers on addr (e.g.
+// "localhost:6060") for the lifetime of a run. It returns the bound
+// address — useful when addr asked for port 0 — and a stop function.
+// The handlers are mounted on a private mux, so enabling profiling never
+// touches http.DefaultServeMux.
+func ServePprof(addr string) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obsv: pprof listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,69 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress reports live per-unit completion of a run to a writer
+// (typically stderr): one line per completed layer, grid point or sweep
+// series. Safe for concurrent use; a nil *Progress is a silent no-op.
+// Lines appear in completion order, which under a parallel engine may
+// differ from index order — progress is display, not data.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	total int
+	done  int
+	start time.Time
+}
+
+// NewProgress returns a reporter writing lines prefixed with label.
+func NewProgress(w io.Writer, label string) *Progress {
+	return &Progress{w: w, label: label, start: time.Now()}
+}
+
+// Start announces a unit count and resets the clock. Calling Start again
+// (e.g. one sweep after another) begins a fresh count.
+func (p *Progress) Start(total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total = total
+	p.done = 0
+	p.start = time.Now()
+	p.mu.Unlock()
+}
+
+// Step reports one completed unit.
+func (p *Progress) Step(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	done, total := p.done, p.total
+	elapsed := time.Since(p.start)
+	p.mu.Unlock()
+	if total > 0 {
+		fmt.Fprintf(p.w, "%s: [%d/%d] %s (%s elapsed)\n", p.label, done, total, name, elapsed.Round(time.Millisecond))
+		return
+	}
+	fmt.Fprintf(p.w, "%s: [%d] %s (%s elapsed)\n", p.label, done, name, elapsed.Round(time.Millisecond))
+}
+
+// Finish reports the final count and total elapsed time.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	done := p.done
+	elapsed := time.Since(p.start)
+	p.mu.Unlock()
+	fmt.Fprintf(p.w, "%s: done, %d units in %s\n", p.label, done, elapsed.Round(time.Millisecond))
+}

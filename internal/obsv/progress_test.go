@@ -1,0 +1,45 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProgressLines(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sim")
+	p.Start(2)
+	p.Step("conv1")
+	p.Step("conv2")
+	p.Finish()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.Contains(lines[0], "sim: [1/2] conv1") ||
+		!strings.Contains(lines[1], "sim: [2/2] conv2") ||
+		!strings.Contains(lines[2], "sim: done, 2 units") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestProgressWithoutTotal(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sweep")
+	p.Step("pt")
+	if !strings.Contains(buf.String(), "sweep: [1] pt") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	addr, stop, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = stop() }()
+	if !strings.Contains(addr, ":") {
+		t.Errorf("addr = %q", addr)
+	}
+}

@@ -1,0 +1,115 @@
+package obsv
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one engine job's scheduling timeline: how long it sat in the
+// dispatch queue, how long it executed, which worker ran it, and how long
+// its finished result waited for the scheduler's final in-order join.
+type Span struct {
+	// Index is the job's position in the ordered job list.
+	Index int `json:"index"`
+	// Worker is the id (0..workers-1) of the goroutine that ran the job.
+	Worker int `json:"worker"`
+	// QueueWait is the time between dispatch and execution start.
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	// Exec is the job's execution time.
+	Exec time.Duration `json:"exec_ns"`
+	// Join is the time between the job finishing and the pool's final
+	// join — the tail latency stragglers inflict on everyone else.
+	Join time.Duration `json:"join_ns"`
+	// Err reports whether the job returned an error.
+	Err bool `json:"err,omitempty"`
+}
+
+// SpanSink receives engine job spans. The engine emits spans after its
+// deterministic join, in index order, from a single goroutine; sinks that
+// are also fed from elsewhere must handle concurrent Emit calls.
+type SpanSink interface{ Emit(Span) }
+
+// SpanRecorder is a SpanSink that retains every span and aggregates
+// per-worker and whole-pool statistics. Safe for concurrent use.
+type SpanRecorder struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Emit records one span.
+func (r *SpanRecorder) Emit(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in emission order.
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// WorkerStats aggregates the jobs one worker executed.
+type WorkerStats struct {
+	Worker           int     `json:"worker"`
+	Jobs             int64   `json:"jobs"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	ExecSeconds      float64 `json:"exec_seconds"`
+}
+
+// SpanStats summarizes every recorded span: whole-pool quantiles for
+// queue wait, execution and join latency, plus per-worker totals.
+type SpanStats struct {
+	Jobs      int64             `json:"jobs"`
+	Errors    int64             `json:"errors,omitempty"`
+	QueueWait HistogramSnapshot `json:"queue_wait_seconds"`
+	Exec      HistogramSnapshot `json:"exec_seconds"`
+	Join      HistogramSnapshot `json:"join_seconds"`
+	PerWorker []WorkerStats     `json:"per_worker,omitempty"`
+}
+
+// Stats aggregates the recorded spans; the zero value when none were
+// recorded.
+func (r *SpanRecorder) Stats() SpanStats {
+	spans := r.Spans()
+	var st SpanStats
+	if len(spans) == 0 {
+		return st
+	}
+	var qw, ex, jn Histogram
+	workers := make(map[int]*WorkerStats)
+	for _, s := range spans {
+		st.Jobs++
+		if s.Err {
+			st.Errors++
+		}
+		qw.Observe(s.QueueWait.Seconds())
+		ex.Observe(s.Exec.Seconds())
+		jn.Observe(s.Join.Seconds())
+		w, ok := workers[s.Worker]
+		if !ok {
+			w = &WorkerStats{Worker: s.Worker}
+			workers[s.Worker] = w
+		}
+		w.Jobs++
+		w.QueueWaitSeconds += s.QueueWait.Seconds()
+		w.ExecSeconds += s.Exec.Seconds()
+	}
+	st.QueueWait = qw.Snapshot()
+	st.Exec = ex.Snapshot()
+	st.Join = jn.Snapshot()
+	st.PerWorker = make([]WorkerStats, 0, len(workers))
+	for _, w := range workers {
+		st.PerWorker = append(st.PerWorker, *w)
+	}
+	sort.Slice(st.PerWorker, func(i, j int) bool { return st.PerWorker[i].Worker < st.PerWorker[j].Worker })
+	return st
+}

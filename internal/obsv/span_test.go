@@ -1,0 +1,65 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecorderStats(t *testing.T) {
+	var r SpanRecorder
+	// Two workers: worker 0 runs jobs 0 and 2, worker 1 runs job 1.
+	r.Emit(Span{Index: 0, Worker: 0, QueueWait: 1 * time.Second, Exec: 2 * time.Second, Join: 3 * time.Second})
+	r.Emit(Span{Index: 1, Worker: 1, QueueWait: 2 * time.Second, Exec: 4 * time.Second, Join: 1 * time.Second, Err: true})
+	r.Emit(Span{Index: 2, Worker: 0, QueueWait: 3 * time.Second, Exec: 6 * time.Second})
+
+	st := r.Stats()
+	if st.Jobs != 3 || st.Errors != 1 {
+		t.Fatalf("jobs/errors = %d/%d", st.Jobs, st.Errors)
+	}
+	if st.QueueWait.Sum != 6 || st.QueueWait.P50 != 2 || st.QueueWait.Max != 3 {
+		t.Errorf("queue wait = %+v", st.QueueWait)
+	}
+	if st.Exec.Sum != 12 || st.Exec.Min != 2 {
+		t.Errorf("exec = %+v", st.Exec)
+	}
+	if len(st.PerWorker) != 2 {
+		t.Fatalf("per-worker = %+v", st.PerWorker)
+	}
+	w0, w1 := st.PerWorker[0], st.PerWorker[1]
+	if w0.Worker != 0 || w0.Jobs != 2 || w0.QueueWaitSeconds != 4 || w0.ExecSeconds != 8 {
+		t.Errorf("worker 0 = %+v", w0)
+	}
+	if w1.Worker != 1 || w1.Jobs != 1 || w1.ExecSeconds != 4 {
+		t.Errorf("worker 1 = %+v", w1)
+	}
+}
+
+func TestSpanRecorderConcurrentEmit(t *testing.T) {
+	var r SpanRecorder
+	const emitters, each = 4, 250
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Emit(Span{Index: e*each + i, Worker: e, Exec: time.Millisecond})
+			}
+		}(e)
+	}
+	wg.Wait()
+	if got := len(r.Spans()); got != emitters*each {
+		t.Errorf("spans = %d, want %d", got, emitters*each)
+	}
+	if st := r.Stats(); st.Jobs != emitters*each || len(st.PerWorker) != emitters {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEmptySpanStats(t *testing.T) {
+	var r SpanRecorder
+	if st := r.Stats(); st.Jobs != 0 || st.PerWorker != nil {
+		t.Errorf("empty stats = %+v", st)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"scalesim/internal/mathutil"
 	"scalesim/internal/memory"
 	"scalesim/internal/noc"
+	"scalesim/internal/obsv"
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
 )
@@ -95,6 +96,10 @@ type Options struct {
 	// (default: GOMAXPROCS). Partitions are independent, so results are
 	// deterministic regardless of the value.
 	Parallel int
+	// Obs, when non-nil, records the partition fan-out: engine spans for
+	// every partition task and the "partition.run" phase. Results are
+	// unaffected.
+	Obs *obsv.Recorder
 }
 
 // Run executes the layer on the scale-out system described by spec. The
@@ -164,7 +169,8 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 		comp systolic.Result
 		mem  memory.Report
 	}
-	outcomes, err := engine.Run(opt.Parallel, len(tasks), func(i int) (outcome, error) {
+	stop := opt.Obs.Phase("partition.run")
+	outcomes, err := engine.RunObserved(opt.Parallel, len(tasks), opt.Obs.SpanSink(), func(i int) (outcome, error) {
 		t := tasks[i]
 		sys, err := memory.NewSystem(cfg, opt.Memory)
 		if err != nil {
@@ -186,6 +192,7 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 		sys.Ofmap.Flush(comp.Cycles)
 		return outcome{comp: comp, mem: sys.Report(comp.Cycles)}, nil
 	})
+	stop()
 	if err != nil {
 		return Result{}, err
 	}

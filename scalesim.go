@@ -32,6 +32,8 @@
 package scalesim
 
 import (
+	"io"
+
 	"scalesim/internal/analytical"
 	"scalesim/internal/config"
 	"scalesim/internal/core"
@@ -41,6 +43,7 @@ import (
 	"scalesim/internal/engine"
 	"scalesim/internal/memory"
 	"scalesim/internal/noc"
+	"scalesim/internal/obsv"
 	"scalesim/internal/partition"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
@@ -177,6 +180,29 @@ func GEMMLayer(name string, m, k, n int) Layer { return topology.FromGEMM(name, 
 // GoogLeNetCells returns the parallel-branch structure of GoogLeNet's nine
 // inception modules, for cell-level schedulers (package pipeline).
 func GoogLeNetCells() map[string][][]string { return topology.GoogLeNetCellBranches() }
+
+// Observability types: attach a Metrics recorder through Options.Obs (or
+// the ScaleOutOptions / sweep-spec equivalents) to collect phase timings,
+// engine spans and runtime stats, then snapshot them as a Manifest.
+// Instrumentation is purely additive — results and traces are
+// byte-identical with or without a recorder, and a nil recorder costs
+// nothing.
+type (
+	// Metrics records counters, gauges, timing histograms, phases and
+	// engine spans for one run.
+	Metrics = obsv.Recorder
+	// Manifest is the machine-readable summary of an instrumented run.
+	Manifest = obsv.Manifest
+	// Progress reports live per-unit completion to a writer.
+	Progress = obsv.Progress
+)
+
+// NewMetrics returns an enabled metrics recorder for Options.Obs.
+func NewMetrics() *Metrics { return obsv.NewRecorder() }
+
+// NewProgress returns a progress reporter for Options.Progress; lines are
+// prefixed with label.
+func NewProgress(w io.Writer, label string) *Progress { return obsv.NewProgress(w, label) }
 
 // NewSimulator builds a cycle-accurate simulator for the configuration.
 func NewSimulator(cfg Config, opt Options) (*Simulator, error) { return core.New(cfg, opt) }

@@ -21,7 +21,8 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 smoke:
-	$(GO) test -run XXX -bench=BenchmarkTableIV -benchtime=1x .
+	$(GO) test -run XXX -benchmem -benchtime=1x \
+		-bench='BenchmarkTableIV$$|BenchmarkFoldTrace|BenchmarkMemorySystemRuns' .
 
 # CPU-profile the Table IV benchmark; inspect with
 # `go tool pprof results/profile.pb.gz`.

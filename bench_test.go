@@ -7,6 +7,7 @@
 package scalesim_test
 
 import (
+	"io"
 	"runtime"
 	"testing"
 
@@ -44,17 +45,63 @@ func BenchmarkTableIII(b *testing.B) {
 	}
 }
 
-// BenchmarkTableIV maps the language-model workloads (Table IV) and checks
-// the embedded dimensions.
-func BenchmarkTableIV(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		topo := topology.LanguageModels()
-		if len(topo.Layers) != 10 {
-			b.Fatal("Table IV layer count")
+// tableIVBenchLayers returns the Table IV language-model workloads with each
+// GEMM dimension clamped to 256 so the trace volume stays benchmark-sized
+// while the address patterns remain the real ones.
+func tableIVBenchLayers(b *testing.B) []topology.Layer {
+	const cap = 256
+	clamp := func(v int) int {
+		if v > cap {
+			return cap
 		}
-		for _, l := range topo.Layers {
-			if m := dataflow.Map(l, config.OutputStationary); m.MACs() != l.MACOps() {
-				b.Fatal("mapping mismatch")
+		return v
+	}
+	full := topology.LanguageModels()
+	if len(full.Layers) != 10 {
+		b.Fatal("Table IV layer count")
+	}
+	for _, l := range full.Layers {
+		if m := dataflow.Map(l, config.OutputStationary); m.MACs() != l.MACOps() {
+			b.Fatal("mapping mismatch")
+		}
+	}
+	layers := make([]topology.Layer, 0, len(full.Layers))
+	for _, l := range full.Layers {
+		layers = append(layers, topology.FromGEMM(l.Name,
+			clamp(l.IfmapH), clamp(l.Channels), clamp(l.NumFilters)))
+	}
+	return layers
+}
+
+// BenchmarkTableIV runs the (clamped) Table IV workloads through the full
+// systolic→trace→memory hot path — SRAM model plus a CSV trace sink — the
+// loop the strided-run representation is built to accelerate. Before/after
+// numbers for this benchmark live in results/BENCH_PR3.json.
+func BenchmarkTableIV(b *testing.B) {
+	b.ReportAllocs()
+	layers := tableIVBenchLayers(b)
+	cfg := config.New().WithArray(32, 32).WithSRAM(64, 64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range layers {
+			sys, err := memory.NewSystem(cfg, memory.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.SetRegions(cfg.IfmapOffset, l.IfmapWords(),
+				cfg.FilterOffset, l.FilterWords(), cfg.OfmapOffset, l.OfmapWords())
+			csv := trace.NewCSVWriter(io.Discard)
+			res, err := systolic.Run(l, cfg, systolic.Sinks{
+				IfmapRead:  trace.Tee(sys.Ifmap, csv),
+				FilterRead: sys.Filter,
+				OfmapWrite: sys.Ofmap,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Ofmap.Flush(res.Cycles)
+			if err := csv.Flush(); err != nil {
+				b.Fatal(err)
 			}
 		}
 	}
@@ -262,6 +309,27 @@ func BenchmarkSystolicTrace(b *testing.B) {
 	}
 }
 
+// BenchmarkFoldTrace measures pure fold-loop trace generation per dataflow
+// into run-native statistics sinks: the O(segments) generation path with no
+// memory model attached.
+func BenchmarkFoldTrace(b *testing.B) {
+	for _, df := range config.Dataflows {
+		b.Run(df.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := config.New().WithArray(32, 32).WithDataflow(df)
+			l := benchLayer()
+			st := trace.NewStats()
+			for i := 0; i < b.N; i++ {
+				if _, err := systolic.Run(l, cfg, systolic.Sinks{
+					IfmapRead: st, FilterRead: st, OfmapWrite: st,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAnalyticalEstimate measures the closed-form fast path.
 func BenchmarkAnalyticalEstimate(b *testing.B) {
 	cfg := config.New().WithArray(32, 32)
@@ -291,6 +359,35 @@ func BenchmarkMemorySystem(b *testing.B) {
 			b.Fatal(err)
 		}
 		sys.Ofmap.Flush(res.Cycles)
+	}
+}
+
+// BenchmarkMemorySystemRuns isolates the memory model's run consumption:
+// synthetic strided run batches stream straight into the SRAM buffers —
+// a sliding read window with a 75% hit mix plus a write-back stream — with
+// no systolic front end.
+func BenchmarkMemorySystemRuns(b *testing.B) {
+	b.ReportAllocs()
+	cfg := config.New().WithArray(32, 32).WithSRAM(64, 64, 32)
+	const region = 1 << 20
+	const cycles = 4096
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := memory.NewSystem(cfg, memory.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.SetRegions(0, region, region, region, 2*region, region)
+		runs := make([]trace.Run, 1)
+		for c := int64(0); c < cycles; c++ {
+			runs[0] = trace.Run{Base: (c * 16) % (region - 64), Stride: 1, Count: 64}
+			sys.Ifmap.ConsumeRuns(c, runs)
+			runs[0] = trace.Run{Base: region + (c*4)%(region-16), Stride: 1, Count: 16}
+			sys.Filter.ConsumeRuns(c, runs)
+			runs[0] = trace.Run{Base: 2*region + (c*8)%(region-8), Stride: 1, Count: 8}
+			sys.Ofmap.ConsumeRuns(c, runs)
+		}
+		sys.Ofmap.Flush(cycles)
 	}
 }
 

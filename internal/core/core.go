@@ -238,6 +238,9 @@ func (s *Simulator) simulateLayer(index int, l topology.Layer) (LayerResult, err
 	memOpt := s.opt.Memory
 	memOpt.DRAMRead = set.Tap(engine.DRAMRead, memOpt.DRAMRead)
 	memOpt.DRAMWrite = set.Tap(engine.DRAMWrite, memOpt.DRAMWrite)
+	if memOpt.Metrics == nil {
+		memOpt.Metrics = s.opt.Obs.Metrics()
+	}
 
 	sys, err := memory.NewSystem(s.cfg, memOpt)
 	if err != nil {

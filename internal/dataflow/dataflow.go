@@ -124,11 +124,19 @@ type Addressing struct {
 	ifmapW  int64
 	window  int64 // full window size
 	filters int64
+	strideC int64 // Stride * Channels, window step inside an OFMAP row
+
+	// Degenerate-layout flags for bulk generation (see IfmapRuns): an axis
+	// whose row-wrap jump continues the in-segment progression is globally
+	// affine, so wavefront slices need no segmentation along it.
+	wAffine bool  // window axis: OfmapW == 1 or IfmapW == OfmapW
+	wSlope  int64 // global window-axis slope when wAffine
+	eAffine bool  // elem axis: single-row window or IfmapW == FilterW
 }
 
 // NewAddressing builds an address generator for a layer.
 func NewAddressing(l topology.Layer, off Offsets) *Addressing {
-	return &Addressing{
+	a := &Addressing{
 		layer:   l,
 		off:     off,
 		ofmapW:  int64(l.OfmapW()),
@@ -137,7 +145,22 @@ func NewAddressing(l topology.Layer, off Offsets) *Addressing {
 		ifmapW:  int64(l.IfmapW),
 		window:  l.WindowSize(),
 		filters: int64(l.NumFilters),
+		strideC: int64(l.Stride) * int64(l.Channels),
 	}
+	// Window axis: with IfmapW == OfmapW the OFMAP-row wrap jump equals the
+	// in-row step strideC; with OfmapW == 1 every step wraps by the constant
+	// strideC*IfmapW. Either way the axis is one global progression.
+	switch {
+	case a.ifmapW == a.ofmapW:
+		a.wAffine, a.wSlope = true, a.strideC
+	case a.ofmapW == 1:
+		a.wAffine, a.wSlope = true, a.strideC*a.ifmapW
+	}
+	// Elem axis: a single-row window (FilterH == 1) never wraps, and with
+	// IfmapW == FilterW the window-row wrap jump IfmapW*Channels-windowW+1
+	// equals the in-row step 1.
+	a.eAffine = a.window == a.windowW || a.ifmapW*a.chans == a.windowW
+	return a
 }
 
 // Layer returns the layer being addressed.

@@ -1,0 +1,166 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/topology"
+	"scalesim/internal/trace"
+)
+
+// runLayers are the shapes the bulk generators are checked against: layouts
+// with and without OFMAP-row wraps, multi-channel windows, strides, a GEMM
+// (unit-width degenerate case) and a real ResNet50 layer.
+func runLayers() []topology.Layer {
+	r50 := topology.ResNet50().Layers
+	return []topology.Layer{
+		{Name: "tiny", IfmapH: 5, IfmapW: 4, FilterH: 2, FilterW: 2, Channels: 2, NumFilters: 3, Stride: 1},
+		{Name: "strided", IfmapH: 11, IfmapW: 9, FilterH: 3, FilterW: 3, Channels: 3, NumFilters: 5, Stride: 2},
+		{Name: "chan1", IfmapH: 7, IfmapW: 7, FilterH: 3, FilterW: 3, Channels: 1, NumFilters: 4, Stride: 1},
+		topology.FromGEMM("gemm", 17, 23, 11),
+		r50[len(r50)/2],
+	}
+}
+
+// expand materializes a run list.
+func expand(runs []trace.Run) []int64 {
+	return trace.ExpandRuns(runs, nil)
+}
+
+// checkRuns compares a generated run list against per-element expectations.
+func checkRuns(t *testing.T, label string, runs []trace.Run, want []int64) {
+	t.Helper()
+	got := expand(runs)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d addresses, want %d (runs %v)", label, len(got), len(want), runs)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: addr[%d] = %d, want %d (runs %v)", label, i, got[i], want[i], runs)
+		}
+	}
+}
+
+// sample returns up to k values spread over [0, n).
+func sample(n, k int64) []int64 {
+	if n <= k {
+		out := make([]int64, 0, n)
+		for v := int64(0); v < n; v++ {
+			out = append(out, v)
+		}
+		return out
+	}
+	out := make([]int64, 0, k)
+	for i := int64(0); i < k; i++ {
+		out = append(out, i*(n-1)/(k-1))
+	}
+	return out
+}
+
+// TestRunsMatchElementGenerators is the property test of the tentpole: every
+// bulk generator must expand to exactly the addresses of the legacy
+// per-element calls, for every dataflow, over wavefront slices of assorted
+// origins and lengths.
+func TestRunsMatchElementGenerators(t *testing.T) {
+	for _, l := range runLayers() {
+		for _, df := range config.Dataflows {
+			mp := NewMapper(l, df, Offsets{Ifmap: 100, Filter: 2000, Ofmap: 30000})
+			m := mp.Mapping()
+			t.Run(fmt.Sprintf("%s/%s", l.Name, df), func(t *testing.T) {
+				lens := []int64{1, 2, 3, min(m.Sr, 40)}
+
+				// RowStream wavefronts: (i+k, t-k).
+				for _, i0 := range sample(m.Sr, 7) {
+					for _, t0 := range sample(m.T, 7) {
+						for _, n := range lens {
+							n = min(n, m.Sr-i0, t0+1)
+							want := make([]int64, 0, n)
+							for k := int64(0); k < n; k++ {
+								want = append(want, mp.RowStream(i0+k, t0-k))
+							}
+							runs := mp.RowStreamRuns(i0, t0, n, nil)
+							checkRuns(t, fmt.Sprintf("RowStreamRuns(%d,%d,%d)", i0, t0, n), runs, want)
+						}
+					}
+				}
+
+				// ColStream wavefronts (OS only): (j+k, t-k).
+				if df == config.OutputStationary {
+					for _, j0 := range sample(m.Sc, 5) {
+						for _, t0 := range sample(m.T, 5) {
+							n := min(3, m.Sc-j0, t0+1)
+							want := make([]int64, 0, n)
+							for k := int64(0); k < n; k++ {
+								want = append(want, mp.ColStream(j0+k, t0-k))
+							}
+							runs := mp.ColStreamRuns(j0, t0, n, nil)
+							checkRuns(t, fmt.Sprintf("ColStreamRuns(%d,%d,%d)", j0, t0, n), runs, want)
+						}
+					}
+				}
+
+				// Stationary fill rows: (i, j+k).
+				if df != config.OutputStationary {
+					for _, i := range sample(m.Sr, 5) {
+						for _, j0 := range sample(m.Sc, 5) {
+							n := min(min(m.Sc, 40), m.Sc-j0)
+							want := make([]int64, 0, n)
+							for k := int64(0); k < n; k++ {
+								want = append(want, mp.Stationary(i, j0+k))
+							}
+							runs := mp.StationaryRuns(i, j0, n, nil)
+							checkRuns(t, fmt.Sprintf("StationaryRuns(%d,%d,%d)", i, j0, n), runs, want)
+						}
+					}
+				}
+
+				// Output drain rows (da=0, db=1) and wavefronts (da=-1, db=1).
+				rows := mp.OutputRows()
+				for _, a0 := range sample(rows, 5) {
+					for _, b0 := range sample(m.Sc, 5) {
+						n := min(3, m.Sc-b0)
+						want := make([]int64, 0, n)
+						for k := int64(0); k < n; k++ {
+							want = append(want, mp.Output(a0, b0+k))
+						}
+						runs := mp.OutputRuns(a0, 0, b0, 1, n, nil)
+						checkRuns(t, fmt.Sprintf("OutputRuns(%d,0,%d,1,%d)", a0, b0, n), runs, want)
+
+						n = min(3, m.Sc-b0, a0+1)
+						want = want[:0]
+						for k := int64(0); k < n; k++ {
+							want = append(want, mp.Output(a0-k, b0+k))
+						}
+						runs = mp.OutputRuns(a0, -1, b0, 1, n, nil)
+						checkRuns(t, fmt.Sprintf("OutputRuns(%d,-1,%d,1,%d)", a0, b0, n), runs, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunsCompression pins the point of the representation: a GEMM layer's
+// wavefront collapses into a single run, and a conv wavefront into no more
+// than one run per layout-row wrap.
+func TestRunsCompression(t *testing.T) {
+	gemm := topology.FromGEMM("g", 64, 96, 32)
+	mp := NewMapper(gemm, config.OutputStationary, Offsets{})
+	runs := mp.RowStreamRuns(0, 63, 64, nil)
+	if len(runs) != 1 {
+		t.Errorf("GEMM wavefront: %d runs, want 1 (%v)", len(runs), runs)
+	}
+
+	conv := topology.Layer{Name: "c", IfmapH: 30, IfmapW: 30, FilterH: 3,
+		FilterW: 3, Channels: 16, NumFilters: 8, Stride: 1}
+	mp = NewMapper(conv, config.OutputStationary, Offsets{})
+	m := mp.Mapping()
+	n := min(m.Sr, 128)
+	runs = mp.RowStreamRuns(0, m.T-1, n, nil)
+	// One segment per OFMAP-row or window-row wrap, plus the leading one.
+	bound := n/int64(conv.OfmapW()) + n/(int64(conv.FilterW)*int64(conv.Channels)) + 2
+	if int64(len(runs)) > bound {
+		t.Errorf("conv wavefront: %d runs for %d elements, want <= %d", len(runs), n, bound)
+	}
+}

@@ -10,6 +10,8 @@ package dram
 import (
 	"fmt"
 	"sort"
+
+	"scalesim/internal/trace"
 )
 
 // Policy selects the request scheduler.
@@ -283,6 +285,23 @@ func (m *Model) Consume(cycle int64, addrs []int64) {
 }
 
 // isOpenRow reports whether the address currently hits an open row.
+// ConsumeRuns implements trace.RunConsumer. FCFS batches are replayed
+// straight off the progressions; FRFCFS needs the whole batch for its
+// open-row reordering, so runs are expanded into the reorder buffer first.
+func (m *Model) ConsumeRuns(cycle int64, runs []trace.Run) {
+	if m.cfg.Policy == FRFCFS && trace.RunWords(runs) > 1 {
+		m.Consume(cycle, trace.ExpandRuns(runs, m.batch[:0]))
+		return
+	}
+	for _, r := range runs {
+		a := r.Base
+		for i := int64(0); i < r.Count; i++ {
+			m.Request(cycle, a)
+			a += r.Stride
+		}
+	}
+}
+
 func (m *Model) isOpenRow(addr int64) bool {
 	cfg := m.cfg
 	ch := &m.channels[int((addr/cfg.InterleaveWords)%int64(cfg.Channels))]

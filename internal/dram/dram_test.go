@@ -3,6 +3,8 @@ package dram
 import (
 	"math/rand"
 	"testing"
+
+	"scalesim/internal/trace"
 )
 
 func smallCfg() Config {
@@ -265,6 +267,40 @@ func TestConfigValidateExtended(t *testing.T) {
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestConsumeRunsMatchesConsume: the run path must produce identical stats
+// to the element path under both schedulers.
+func TestConsumeRunsMatchesConsume(t *testing.T) {
+	batches := []struct {
+		cycle int64
+		runs  []trace.Run
+	}{
+		{0, []trace.Run{{Base: 0, Stride: 1, Count: 64}}},
+		{10, []trace.Run{{Base: 4096, Stride: 8, Count: 16}, {Base: 100, Stride: 0, Count: 1}}},
+		{20, []trace.Run{{Base: 64, Stride: -1, Count: 32}}},
+		{8000, []trace.Run{{Base: 1 << 20, Stride: 2048, Count: 8}}},
+	}
+	for _, policy := range []Policy{FCFS, FRFCFS} {
+		cfg := DDR3()
+		cfg.Policy = policy
+		viaRuns, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaElems, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batches {
+			viaRuns.ConsumeRuns(b.cycle, b.runs)
+			viaElems.Consume(b.cycle, trace.ExpandRuns(b.runs, nil))
+		}
+		if viaRuns.Stats() != viaElems.Stats() {
+			t.Errorf("policy %v: run path %+v != element path %+v",
+				policy, viaRuns.Stats(), viaElems.Stats())
 		}
 	}
 }

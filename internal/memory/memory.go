@@ -54,6 +54,13 @@ type fifoSet struct {
 	marks []byte
 
 	probe *probeSet
+
+	// fallbacks counts dense-table aborts: accesses outside the declared
+	// region migrate the set to the map structure instead of crashing the
+	// run. onFallback, when set, is invoked once per migration (e.g. to
+	// bump an obsv counter).
+	fallbacks  int64
+	onFallback func()
 }
 
 func newFIFOSet(capacity int64) *fifoSet {
@@ -81,14 +88,31 @@ func (f *fifoSet) setRegion(base, words int64) {
 	f.resident = nil
 }
 
+// leaveDense abandons the direct-mapped table after an access outside the
+// declared region: the region declaration was wrong, so residency migrates
+// to the map structure (the ring holds exactly the resident set) and the
+// run degrades gracefully instead of crashing.
+func (f *fifoSet) leaveDense() {
+	f.dense = false
+	f.marks = nil
+	f.resident = make(map[int64]struct{}, len(f.ring))
+	for _, a := range f.ring {
+		f.resident[a] = struct{}{}
+	}
+	f.fallbacks++
+	if f.onFallback != nil {
+		f.onFallback()
+	}
+}
+
 // contains reports residency.
 func (f *fifoSet) contains(addr int64) bool {
 	if f.dense {
 		idx := addr - f.base
-		if idx < 0 || idx >= int64(len(f.marks)) {
-			panic("memory: address outside declared region")
+		if idx >= 0 && idx < int64(len(f.marks)) {
+			return f.marks[idx] != 0
 		}
-		return f.marks[idx] != 0
+		f.leaveDense()
 	}
 	if f.probe != nil {
 		return f.probe.contains(addr)
@@ -98,6 +122,12 @@ func (f *fifoSet) contains(addr int64) bool {
 }
 
 func (f *fifoSet) mark(addr int64, present bool) {
+	if f.dense {
+		idx := addr - f.base
+		if idx < 0 || idx >= int64(len(f.marks)) {
+			f.leaveDense()
+		}
+	}
 	if f.dense {
 		if present {
 			f.marks[addr-f.base] = 1
@@ -119,6 +149,77 @@ func (f *fifoSet) mark(addr int64, present bool) {
 	} else {
 		delete(f.resident, addr)
 	}
+}
+
+// denseBounds reports whether the whole progression lies inside the dense
+// table's region, making the bulk scan below safe without per-address range
+// checks.
+func (f *fifoSet) denseBounds(r trace.Run) bool {
+	lo, hi := r.Base, r.Last()
+	if r.Stride < 0 {
+		lo, hi = hi, lo
+	}
+	return lo >= f.base && hi < f.base+int64(len(f.marks))
+}
+
+// scanRunDense walks one in-region progression against the dense table,
+// inserting every miss and re-compressing the missed addresses onto the
+// misses run list (the read path's demand stream). It is contains()+insert()
+// unrolled across a run: membership is one byte load per address and the
+// FIFO ring is manipulated directly, which keeps the memory model cheap on
+// the hot path.
+func (f *fifoSet) scanRunDense(r trace.Run, misses []trace.Run) (m []trace.Run, missWords, evictions int64) {
+	marks, base := f.marks, f.base
+	a := r.Base
+	for i := int64(0); i < r.Count; i++ {
+		if idx := a - base; marks[idx] == 0 {
+			if int64(len(f.ring)) < f.capacity {
+				f.ring = append(f.ring, a)
+			} else {
+				old := f.ring[f.head]
+				marks[old-base] = 0 // dense ⇒ every resident address is in-region
+				f.ring[f.head] = a
+				f.head++
+				if f.head == len(f.ring) {
+					f.head = 0
+				}
+				evictions++
+			}
+			marks[idx] = 1
+			misses = trace.AppendAddr(misses, a)
+			missWords++
+		}
+		a += r.Stride
+	}
+	return misses, missWords, evictions
+}
+
+// scanRunDenseEvict is scanRunDense for the write-back path: misses are
+// absorbed silently and the evicted addresses are re-compressed onto the
+// drained run list instead.
+func (f *fifoSet) scanRunDenseEvict(r trace.Run, drained []trace.Run) (d []trace.Run, drainWords int64) {
+	marks, base := f.marks, f.base
+	a := r.Base
+	for i := int64(0); i < r.Count; i++ {
+		if idx := a - base; marks[idx] == 0 {
+			if int64(len(f.ring)) < f.capacity {
+				f.ring = append(f.ring, a)
+			} else {
+				old := f.ring[f.head]
+				marks[old-base] = 0
+				f.ring[f.head] = a
+				f.head++
+				if f.head == len(f.ring) {
+					f.head = 0
+				}
+				drained = trace.AppendAddr(drained, old)
+				drainWords++
+			}
+			marks[idx] = 1
+		}
+		a += r.Stride
+	}
+	return drained, drainWords
 }
 
 // insert adds addr, evicting the oldest entry when full. It returns the
@@ -168,9 +269,11 @@ type ReadBuffer struct {
 	// Evictions counts working-set replacements.
 	Evictions int64
 
-	dram  trace.Consumer
-	meter *trace.BandwidthMeter
-	buf   []int64
+	dram     trace.Consumer
+	dramRuns trace.RunConsumer
+	meter    *trace.BandwidthMeter
+	buf      []int64
+	runBuf   []trace.Run
 }
 
 // NewReadBuffer creates a read-path SRAM.
@@ -187,7 +290,8 @@ func NewReadBuffer(name string, capacityWords int64, doubleBuffered bool, dram t
 	if dram == nil {
 		dram = trace.Null
 	}
-	return &ReadBuffer{name: name, set: newFIFOSet(eff), dram: dram, meter: meter}, nil
+	return &ReadBuffer{name: name, set: newFIFOSet(eff), dram: dram,
+		dramRuns: trace.Runs(dram), meter: meter}, nil
 }
 
 // Name returns the buffer's label.
@@ -227,6 +331,53 @@ func (b *ReadBuffer) Consume(cycle int64, addrs []int64) {
 	}
 }
 
+// ConsumeRuns implements trace.RunConsumer: residency is probed by walking
+// each run's progression arithmetically — no address slice is ever built —
+// and the demand misses are re-compressed into runs for the DRAM trace.
+func (b *ReadBuffer) ConsumeRuns(cycle int64, runs []trace.Run) {
+	words := trace.RunWords(runs)
+	if words == 0 {
+		return
+	}
+	b.SRAMReads += words
+	misses := b.runBuf[:0]
+	var missWords int64
+	for _, r := range runs {
+		if b.set.dense && b.set.denseBounds(r) {
+			var mw, ev int64
+			misses, mw, ev = b.set.scanRunDense(r, misses)
+			missWords += mw
+			b.Evictions += ev
+			continue
+		}
+		a := r.Base
+		for i := int64(0); i < r.Count; i++ {
+			if !b.set.contains(a) {
+				if _, evicted := b.set.insert(a); evicted {
+					b.Evictions++
+				}
+				misses = trace.AppendAddr(misses, a)
+				missWords++
+			}
+			a += r.Stride
+		}
+	}
+	b.runBuf = misses
+	if missWords == 0 {
+		return
+	}
+	b.DRAMReads += missWords
+	b.dramRuns.ConsumeRuns(cycle, misses)
+	if b.meter != nil {
+		b.meter.Add(cycle, missWords)
+	}
+}
+
+// RegionFallbacks counts accesses outside the declared region that forced
+// the residency structure off the dense fast path (zero on a healthy
+// region declaration).
+func (b *ReadBuffer) RegionFallbacks() int64 { return b.set.fallbacks }
+
 // HitRate returns the fraction of SRAM reads served without DRAM traffic.
 func (b *ReadBuffer) HitRate() float64 {
 	if b.SRAMReads == 0 {
@@ -246,9 +397,11 @@ type WriteBuffer struct {
 	// DRAMWrites counts words drained to DRAM.
 	DRAMWrites int64
 
-	dram  trace.Consumer
-	meter *trace.BandwidthMeter
-	buf   []int64
+	dram     trace.Consumer
+	dramRuns trace.RunConsumer
+	meter    *trace.BandwidthMeter
+	buf      []int64
+	runBuf   []trace.Run
 }
 
 // NewWriteBuffer creates the write-path SRAM; parameters mirror
@@ -261,7 +414,8 @@ func NewWriteBuffer(name string, capacityWords int64, doubleBuffered bool, dram 
 	if dram == nil {
 		dram = trace.Null
 	}
-	return &WriteBuffer{name: name, set: newFIFOSet(eff), dram: dram, meter: meter}, nil
+	return &WriteBuffer{name: name, set: newFIFOSet(eff), dram: dram,
+		dramRuns: trace.Runs(dram), meter: meter}, nil
 }
 
 // Name returns the buffer's label.
@@ -299,6 +453,50 @@ func (b *WriteBuffer) Consume(cycle int64, addrs []int64) {
 		b.meter.Add(cycle, int64(len(drained)))
 	}
 }
+
+// ConsumeRuns implements trace.RunConsumer; like ReadBuffer.ConsumeRuns it
+// walks the progressions arithmetically and forwards evicted outputs to
+// the DRAM write trace as re-compressed runs.
+func (b *WriteBuffer) ConsumeRuns(cycle int64, runs []trace.Run) {
+	words := trace.RunWords(runs)
+	if words == 0 {
+		return
+	}
+	b.SRAMWrites += words
+	drained := b.runBuf[:0]
+	var drainWords int64
+	for _, r := range runs {
+		if b.set.dense && b.set.denseBounds(r) {
+			var dw int64
+			drained, dw = b.set.scanRunDenseEvict(r, drained)
+			drainWords += dw
+			continue
+		}
+		a := r.Base
+		for i := int64(0); i < r.Count; i++ {
+			if !b.set.contains(a) {
+				if old, evicted := b.set.insert(a); evicted {
+					drained = trace.AppendAddr(drained, old)
+					drainWords++
+				}
+			}
+			a += r.Stride
+		}
+	}
+	b.runBuf = drained
+	if drainWords == 0 {
+		return
+	}
+	b.DRAMWrites += drainWords
+	b.dramRuns.ConsumeRuns(cycle, drained)
+	if b.meter != nil {
+		b.meter.Add(cycle, drainWords)
+	}
+}
+
+// RegionFallbacks counts accesses outside the declared region that forced
+// the residency structure off the dense fast path.
+func (b *WriteBuffer) RegionFallbacks() int64 { return b.set.fallbacks }
 
 // Flush drains every resident output to DRAM at the given cycle (the end of
 // the layer). It returns the number of words written back.

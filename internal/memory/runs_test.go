@@ -1,0 +1,202 @@
+package memory
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/obsv"
+	"scalesim/internal/systolic"
+	"scalesim/internal/topology"
+	"scalesim/internal/trace"
+)
+
+// elementOnly hides a consumer's run path, forcing producers through the
+// materializing adapter and therefore into the buffer's element Consume.
+type elementOnly struct{ c trace.Consumer }
+
+func (e elementOnly) Consume(cycle int64, addrs []int64) { e.c.Consume(cycle, addrs) }
+
+// TestSystemRunPathMatchesElementPath drives two identical memory systems
+// with the same systolic run — one through ConsumeRuns, one through the
+// legacy Consume — and requires byte-identical DRAM traces and identical
+// reports. This pins the tentpole's claim that the run path changes cost,
+// not behaviour, end to end through the memory model.
+func TestSystemRunPathMatchesElementPath(t *testing.T) {
+	l := topology.TinyNet().Layers[1]
+	for _, df := range config.Dataflows {
+		for _, region := range []bool{false, true} {
+			cfg := config.New().WithArray(4, 4).WithDataflow(df)
+
+			build := func() (*System, *bytes.Buffer, *bytes.Buffer, *trace.CSVWriter, *trace.CSVWriter) {
+				var rd, wr bytes.Buffer
+				rw, ww := trace.NewCSVWriter(&rd), trace.NewCSVWriter(&wr)
+				sys, err := NewSystem(cfg, Options{DRAMRead: rw, DRAMWrite: ww})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if region {
+					sys.SetRegions(cfg.IfmapOffset, l.IfmapWords(),
+						cfg.FilterOffset, l.FilterWords(),
+						cfg.OfmapOffset, l.OfmapWords())
+				}
+				return sys, &rd, &wr, rw, ww
+			}
+
+			native, nRd, nWr, nRW, nWW := build()
+			if _, err := systolic.Run(l, cfg, systolic.Sinks{
+				IfmapRead:  native.Ifmap,
+				FilterRead: native.Filter,
+				OfmapWrite: native.Ofmap,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			native.Ofmap.Flush(0)
+
+			legacy, lRd, lWr, lRW, lWW := build()
+			if _, err := systolic.Run(l, cfg, systolic.Sinks{
+				IfmapRead:  elementOnly{legacy.Ifmap},
+				FilterRead: elementOnly{legacy.Filter},
+				OfmapWrite: elementOnly{legacy.Ofmap},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			legacy.Ofmap.Flush(0)
+
+			for _, w := range []*trace.CSVWriter{nRW, nWW, lRW, lWW} {
+				if err := w.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			if !bytes.Equal(nRd.Bytes(), lRd.Bytes()) {
+				t.Errorf("%s region=%v: DRAM read traces differ (%d vs %d bytes)",
+					df, region, nRd.Len(), lRd.Len())
+			}
+			if !bytes.Equal(nWr.Bytes(), lWr.Bytes()) {
+				t.Errorf("%s region=%v: DRAM write traces differ (%d vs %d bytes)",
+					df, region, nWr.Len(), lWr.Len())
+			}
+			if nr, lr := native.Report(1000), legacy.Report(1000); !reflect.DeepEqual(nr, lr) {
+				t.Errorf("%s region=%v: reports differ:\nruns:  %+v\nelems: %+v",
+					df, region, nr, lr)
+			}
+			if native.Ifmap.Evictions != legacy.Ifmap.Evictions {
+				t.Errorf("%s region=%v: evictions differ: %d vs %d",
+					df, region, native.Ifmap.Evictions, legacy.Ifmap.Evictions)
+			}
+		}
+	}
+}
+
+// TestReadBufferRegionFallback: an access outside the declared region must
+// not panic; the buffer migrates off the dense table, keeps serving the
+// identical miss stream as an undeclared-region reference, and counts the
+// migration.
+func TestReadBufferRegionFallback(t *testing.T) {
+	drive := func(b *ReadBuffer) {
+		b.Consume(1, []int64{100, 101, 102, 101})
+		b.Consume(2, []int64{900, 901}) // outside [100, 150)
+		b.ConsumeRuns(3, []trace.Run{{Base: 950, Stride: 5, Count: 3}, {Base: 102, Stride: 0, Count: 1}})
+	}
+
+	ref := &trace.Recorder{}
+	plain, err := NewReadBuffer("ref", 16, false, ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(plain)
+
+	rec := &trace.Recorder{}
+	declared, err := NewReadBuffer("declared", 16, false, rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared.SetRegion(100, 50)
+	drive(declared) // must not panic
+
+	if !reflect.DeepEqual(rec.Entries, ref.Entries) {
+		t.Errorf("fallback miss stream diverges:\ngot  %+v\nwant %+v", rec.Entries, ref.Entries)
+	}
+	if declared.SRAMReads != plain.SRAMReads || declared.DRAMReads != plain.DRAMReads {
+		t.Errorf("counters diverge: got (%d, %d), want (%d, %d)",
+			declared.SRAMReads, declared.DRAMReads, plain.SRAMReads, plain.DRAMReads)
+	}
+	if got := declared.RegionFallbacks(); got != 1 {
+		t.Errorf("RegionFallbacks = %d, want 1 (one migration)", got)
+	}
+	if got := plain.RegionFallbacks(); got != 0 {
+		t.Errorf("undeclared buffer RegionFallbacks = %d, want 0", got)
+	}
+}
+
+// TestWriteBufferRegionFallback mirrors the read-path test on the write-back
+// buffer, including the eviction drain order after migration.
+func TestWriteBufferRegionFallback(t *testing.T) {
+	drive := func(b *WriteBuffer) {
+		b.Consume(1, []int64{10, 11, 12, 13})
+		b.ConsumeRuns(2, []trace.Run{{Base: 500, Stride: 1, Count: 4}}) // outside [10, 20)
+		b.Consume(3, []int64{14, 15})                                   // evicts via ring
+		b.Flush(4)
+	}
+
+	ref := &trace.Recorder{}
+	plain, err := NewWriteBuffer("ref", 8, false, ref, nil) // capacity 8, no double buffering
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(plain)
+
+	rec := &trace.Recorder{}
+	declared, err := NewWriteBuffer("declared", 8, false, rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared.SetRegion(10, 10)
+	drive(declared)
+
+	if !reflect.DeepEqual(rec.Entries, ref.Entries) {
+		t.Errorf("fallback drain stream diverges:\ngot  %+v\nwant %+v", rec.Entries, ref.Entries)
+	}
+	if declared.SRAMWrites != plain.SRAMWrites || declared.DRAMWrites != plain.DRAMWrites {
+		t.Errorf("counters diverge: got (%d, %d), want (%d, %d)",
+			declared.SRAMWrites, declared.DRAMWrites, plain.SRAMWrites, plain.DRAMWrites)
+	}
+	if got := declared.RegionFallbacks(); got != 1 {
+		t.Errorf("RegionFallbacks = %d, want 1", got)
+	}
+}
+
+// TestSystemRegionFallbackMetrics: the system aggregates per-buffer fallback
+// counts and mirrors them into the wired obsv registry.
+func TestSystemRegionFallbackMetrics(t *testing.T) {
+	reg := &obsv.Registry{}
+	cfg := config.New()
+	sys, err := NewSystem(cfg, Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declare deliberately wrong (tiny) regions, then access beyond them.
+	sys.SetRegions(0, 4, 1000, 4, 2000, 4)
+	sys.Ifmap.Consume(1, []int64{0, 500})
+	sys.Filter.ConsumeRuns(2, []trace.Run{{Base: 1500, Stride: 0, Count: 1}})
+	sys.Ofmap.Consume(3, []int64{2000})
+
+	if got := sys.RegionFallbacks(); got != 2 {
+		t.Errorf("System.RegionFallbacks = %d, want 2 (ifmap + filter)", got)
+	}
+	if got := reg.Counter("memory.region_fallbacks").Value(); got != 2 {
+		t.Errorf("registry counter = %d, want 2", got)
+	}
+	// No registry wired: still no panic, just the local counters.
+	bare, err := NewSystem(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare.SetRegions(0, 4, 1000, 4, 2000, 4)
+	bare.Ifmap.Consume(1, []int64{999})
+	if got := bare.RegionFallbacks(); got != 1 {
+		t.Errorf("bare System.RegionFallbacks = %d, want 1", got)
+	}
+}

@@ -2,6 +2,7 @@ package memory
 
 import (
 	"scalesim/internal/config"
+	"scalesim/internal/obsv"
 	"scalesim/internal/trace"
 )
 
@@ -21,6 +22,10 @@ type Options struct {
 	// DRAMRead and DRAMWrite optionally receive the DRAM traces (e.g. CSV
 	// writers or a DRAM timing model).
 	DRAMRead, DRAMWrite trace.Consumer
+	// Metrics, when non-nil, receives the system's health counters
+	// (currently "memory.region_fallbacks": accesses outside a declared
+	// region that demoted a buffer off its dense residency table).
+	Metrics *obsv.Registry
 }
 
 // System is the accelerator's local memory: the three operand SRAMs plus
@@ -65,6 +70,11 @@ func NewSystem(cfg config.Config, opt Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if fb := opt.Metrics.Counter("memory.region_fallbacks"); fb != nil {
+		s.Ifmap.set.onFallback = fb.Inc
+		s.Filter.set.onFallback = fb.Inc
+		s.Ofmap.set.onFallback = fb.Inc
+	}
 	return s, nil
 }
 
@@ -76,6 +86,13 @@ func (s *System) SetRegions(ifBase, ifWords, flBase, flWords, ofBase, ofWords in
 	s.Ifmap.SetRegion(ifBase, ifWords)
 	s.Filter.SetRegion(flBase, flWords)
 	s.Ofmap.SetRegion(ofBase, ofWords)
+}
+
+// RegionFallbacks returns the total accesses outside the declared regions
+// across the three buffers — nonzero means a region declaration was wrong
+// and the affected buffers degraded to their slower residency structures.
+func (s *System) RegionFallbacks() int64 {
+	return s.Ifmap.RegionFallbacks() + s.Filter.RegionFallbacks() + s.Ofmap.RegionFallbacks()
 }
 
 // Report summarizes the traffic observed so far. totalCycles is the layer's

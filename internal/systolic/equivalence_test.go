@@ -1,0 +1,233 @@
+package systolic
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/mathutil"
+	"scalesim/internal/topology"
+	"scalesim/internal/trace"
+)
+
+// elementSim is a reference reimplementation of the pre-run schedule: one
+// Mapper call and one slice element per address, exactly the per-element loops
+// the production fold code used before the strided-run representation. The
+// equivalence tests below assert the run path renders byte-identical CSV.
+type elementSim struct {
+	mp    *dataflow.Mapper
+	sinks Sinks
+	buf   []int64
+}
+
+func (s *elementSim) emit(c trace.Consumer, cycle int64) {
+	if c != nil {
+		c.Consume(cycle, s.buf)
+	}
+	s.buf = s.buf[:0]
+}
+
+func (s *elementSim) run(l topology.Layer, cfg config.Config, win Window) error {
+	m := s.mp.Mapping()
+	win, err := win.resolve(m)
+	if err != nil {
+		return err
+	}
+	R, C := int64(cfg.ArrayHeight), int64(cfg.ArrayWidth)
+	foldsR := mathutil.CeilDiv(win.SrLen, R)
+	foldsC := mathutil.CeilDiv(win.ScLen, C)
+	var base int64
+	for fr := int64(0); fr < foldsR; fr++ {
+		rows := min(R, win.SrLen-fr*R)
+		for fc := int64(0); fc < foldsC; fc++ {
+			cols := min(C, win.ScLen-fc*C)
+			f := fold{base: base, rowOff: win.SrOff + fr*R,
+				colOff: win.ScOff + fc*C, rows: rows, cols: cols, T: m.T}
+			switch cfg.Dataflow {
+			case config.OutputStationary:
+				s.foldOS(f)
+			case config.WeightStationary:
+				s.foldWS(f)
+			case config.InputStationary:
+				s.foldIS(f)
+			}
+			base += foldCycles(R, C, rows, cols, m.T, cfg.EdgeTrim)
+		}
+	}
+	return nil
+}
+
+func (s *elementSim) foldOS(f fold) {
+	for u := int64(0); u <= f.rows-1+f.T-1; u++ {
+		for i := max(0, u-f.T+1); i <= min(f.rows-1, u); i++ {
+			s.buf = append(s.buf, s.mp.RowStream(f.rowOff+i, u-i))
+		}
+		s.emit(s.sinks.IfmapRead, f.base+u)
+	}
+	for u := int64(0); u <= f.cols-1+f.T-1; u++ {
+		for j := max(0, u-f.T+1); j <= min(f.cols-1, u); j++ {
+			s.buf = append(s.buf, s.mp.ColStream(f.colOff+j, u-j))
+		}
+		s.emit(s.sinks.FilterRead, f.base+u)
+	}
+	finish := f.base + f.rows + f.cols + f.T - 3
+	for k := int64(1); k <= f.rows; k++ {
+		for j := int64(0); j < f.cols; j++ {
+			s.buf = append(s.buf, s.mp.Output(f.rowOff+f.rows-k, f.colOff+j))
+		}
+		s.emit(s.sinks.OfmapWrite, finish+k)
+	}
+}
+
+func (s *elementSim) foldWS(f fold) {
+	for i := int64(0); i < f.rows; i++ {
+		for j := int64(0); j < f.cols; j++ {
+			s.buf = append(s.buf, s.mp.Stationary(f.rowOff+i, f.colOff+j))
+		}
+		s.emit(s.sinks.FilterRead, f.base+i)
+	}
+	s.streamAndDrain(f, s.sinks.IfmapRead)
+}
+
+func (s *elementSim) foldIS(f fold) {
+	for i := int64(0); i < f.rows; i++ {
+		for j := int64(0); j < f.cols; j++ {
+			s.buf = append(s.buf, s.mp.Stationary(f.rowOff+i, f.colOff+j))
+		}
+		s.emit(s.sinks.IfmapRead, f.base+i)
+	}
+	s.streamAndDrain(f, s.sinks.FilterRead)
+}
+
+func (s *elementSim) streamAndDrain(f fold, streamSink trace.Consumer) {
+	for u := int64(0); u <= f.rows-1+f.T-1; u++ {
+		for i := max(0, u-f.T+1); i <= min(f.rows-1, u); i++ {
+			s.buf = append(s.buf, s.mp.RowStream(f.rowOff+i, u-i))
+		}
+		s.emit(streamSink, f.base+f.rows+u)
+	}
+	for v := int64(0); v <= f.T-1+f.cols-1; v++ {
+		for j := max(0, v-f.T+1); j <= min(f.cols-1, v); j++ {
+			s.buf = append(s.buf, s.mp.Output(v-j, f.colOff+j))
+		}
+		s.emit(s.sinks.OfmapWrite, f.base+2*f.rows+v-1)
+	}
+}
+
+// renderAll renders the three streams of one run into a single byte blob,
+// building the sinks for each stream through mkSink.
+func renderAll(t *testing.T, mk func(w *trace.CSVWriter, stream string) Sinks,
+	run func(sinks Sinks) error) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, stream := range []string{"ifmap_read", "filter_read", "ofmap_write"} {
+		buf.WriteString("# " + stream + "\n")
+		w := trace.NewCSVWriter(&buf)
+		if err := run(mk(w, stream)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func streamSinks(c trace.Consumer, stream string) Sinks {
+	switch stream {
+	case "ifmap_read":
+		return Sinks{IfmapRead: c}
+	case "filter_read":
+		return Sinks{FilterRead: c}
+	default:
+		return Sinks{OfmapWrite: c}
+	}
+}
+
+// elementOnly hides a consumer's RunConsumer implementation, forcing the
+// production code through the materializing adapter (trace.Runs fallback).
+type elementOnly struct{ c trace.Consumer }
+
+func (e elementOnly) Consume(cycle int64, addrs []int64) { e.c.Consume(cycle, addrs) }
+
+// equivalenceCases are the workloads the byte-identity guarantee is pinned
+// on: the golden conv layer, the TinyNet layers, a GEMM, and a windowed
+// sample of a real ResNet50 layer (full layer traces would be gigabytes).
+func equivalenceCases() []struct {
+	name string
+	l    topology.Layer
+	cfg  config.Config
+	win  Window
+} {
+	goldenL, goldenCfg := goldenCase()
+	r50 := topology.ResNet50().Layers
+	mid := r50[len(r50)/2]
+	cases := []struct {
+		name string
+		l    topology.Layer
+		cfg  config.Config
+		win  Window
+	}{
+		{"golden", goldenL, goldenCfg, Window{}},
+		{"golden_trim", goldenL, func() config.Config { c := goldenCfg; c.EdgeTrim = true; return c }(), Window{}},
+		{"gemm", topology.FromGEMM("gemm", 10, 7, 9), config.New().WithArray(4, 4), Window{}},
+		{"resnet50_window", mid, config.New().WithArray(8, 8),
+			Window{SrOff: 5, ScOff: 3, SrLen: 24, ScLen: 16}},
+	}
+	for i, l := range topology.TinyNet().Layers {
+		cases = append(cases, struct {
+			name string
+			l    topology.Layer
+			cfg  config.Config
+			win  Window
+		}{fmt.Sprintf("tinynet_%d", i), l, config.New().WithArray(4, 4), Window{}})
+	}
+	return cases
+}
+
+// TestRunPathMatchesElementPath is the tentpole's byte-identity guarantee:
+// the strided-run fold loops must render exactly the CSV the per-element
+// schedule renders, for every dataflow, both through the native run-aware
+// CSV writer and through the legacy-consumer adapter.
+func TestRunPathMatchesElementPath(t *testing.T) {
+	for _, tc := range equivalenceCases() {
+		for _, df := range config.Dataflows {
+			cfg := tc.cfg.WithDataflow(df)
+			t.Run(fmt.Sprintf("%s/%s", tc.name, df), func(t *testing.T) {
+				want := renderAll(t, func(w *trace.CSVWriter, stream string) Sinks {
+					return streamSinks(w, stream)
+				}, func(sinks Sinks) error {
+					ref := &elementSim{
+						mp:    dataflow.NewMapper(tc.l, df, dataflow.OffsetsFromConfig(cfg)),
+						sinks: sinks,
+					}
+					return ref.run(tc.l, cfg, tc.win)
+				})
+
+				native := renderAll(t, func(w *trace.CSVWriter, stream string) Sinks {
+					return streamSinks(w, stream)
+				}, func(sinks Sinks) error {
+					_, err := RunWindow(tc.l, cfg, tc.win, sinks)
+					return err
+				})
+				if !bytes.Equal(native, want) {
+					t.Errorf("native run path diverges from element reference (%d vs %d bytes)",
+						len(native), len(want))
+				}
+
+				adapted := renderAll(t, func(w *trace.CSVWriter, stream string) Sinks {
+					return streamSinks(elementOnly{w}, stream)
+				}, func(sinks Sinks) error {
+					_, err := RunWindow(tc.l, cfg, tc.win, sinks)
+					return err
+				})
+				if !bytes.Equal(adapted, want) {
+					t.Errorf("adapter (legacy-consumer) path diverges from element reference (%d vs %d bytes)",
+						len(adapted), len(want))
+				}
+			})
+		}
+	}
+}

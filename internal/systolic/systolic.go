@@ -24,7 +24,9 @@ import (
 )
 
 // Sinks receive the three SRAM trace streams of a run. Nil members discard
-// their stream.
+// their stream. Each cycle's batch is delivered in run form when the
+// consumer implements trace.RunConsumer; legacy consumers receive the
+// identical expanded batch through a shared materializing adapter.
 type Sinks struct {
 	// IfmapRead receives IFMAP SRAM read events.
 	IfmapRead trace.Consumer
@@ -34,17 +36,17 @@ type Sinks struct {
 	OfmapWrite trace.Consumer
 }
 
-func (s Sinks) normalized() Sinks {
-	if s.IfmapRead == nil {
-		s.IfmapRead = trace.Null
+// runSinks is the resolved run-path view of Sinks.
+type runSinks struct {
+	ifmapRead, filterRead, ofmapWrite trace.RunConsumer
+}
+
+func (s Sinks) runs() runSinks {
+	return runSinks{
+		ifmapRead:  trace.Runs(s.IfmapRead),
+		filterRead: trace.Runs(s.FilterRead),
+		ofmapWrite: trace.Runs(s.OfmapWrite),
 	}
-	if s.FilterRead == nil {
-		s.FilterRead = trace.Null
-	}
-	if s.OfmapWrite == nil {
-		s.OfmapWrite = trace.Null
-	}
-	return s
 }
 
 // Result aggregates one layer's simulation.
@@ -124,7 +126,7 @@ func RunWindow(l topology.Layer, cfg config.Config, win Window, sinks Sinks) (Re
 		mp:    mp,
 		m:     mp.Mapping(),
 		win:   win,
-		sinks: sinks.normalized(),
+		sinks: sinks.runs(),
 	}
 	return sim.run(l)
 }
@@ -135,16 +137,8 @@ type sim struct {
 	mp    *dataflow.Mapper
 	m     dataflow.Mapping
 	win   Window
-	sinks Sinks
-	buf   []int64 // reusable batch buffer
-}
-
-// batch returns a zero-length buffer with capacity >= n.
-func (s *sim) batch(n int) []int64 {
-	if cap(s.buf) < n {
-		s.buf = make([]int64, 0, n)
-	}
-	return s.buf[:0]
+	sinks runSinks
+	runs  []trace.Run // reusable batch buffer
 }
 
 func (s *sim) run(l topology.Layer) (Result, error) {
@@ -227,39 +221,31 @@ type fold struct {
 // base+j+t. Drain: all outputs shift out of the bottom edge after the last
 // PE finishes at base+rows+cols+T-3; each column emits one output per cycle
 // for rows cycles.
+//
+// Each cycle's wavefront slice is generated as strided runs in O(segments)
+// rather than one Mapper call per element; the runs expand to exactly the
+// per-element batches of the legacy schedule (pinned by equivalence tests).
 func (s *sim) foldOS(f fold) {
 	// Left edge: ifmap. Wavefront over u = i + t.
 	for u := int64(0); u <= f.rows-1+f.T-1; u++ {
 		lo := max(0, u-f.T+1)
 		hi := min(f.rows-1, u)
-		addrs := s.batch(int(hi - lo + 1))
-		for i := lo; i <= hi; i++ {
-			addrs = append(addrs, s.mp.RowStream(f.rowOff+i, u-i))
-		}
-		s.sinks.IfmapRead.Consume(f.base+u, addrs)
-		s.buf = addrs
+		s.runs = s.mp.RowStreamRuns(f.rowOff+lo, u-lo, hi-lo+1, s.runs[:0])
+		s.sinks.ifmapRead.ConsumeRuns(f.base+u, s.runs)
 	}
 	// Top edge: filter.
 	for u := int64(0); u <= f.cols-1+f.T-1; u++ {
 		lo := max(0, u-f.T+1)
 		hi := min(f.cols-1, u)
-		addrs := s.batch(int(hi - lo + 1))
-		for j := lo; j <= hi; j++ {
-			addrs = append(addrs, s.mp.ColStream(f.colOff+j, u-j))
-		}
-		s.sinks.FilterRead.Consume(f.base+u, addrs)
-		s.buf = addrs
+		s.runs = s.mp.ColStreamRuns(f.colOff+lo, u-lo, hi-lo+1, s.runs[:0])
+		s.sinks.filterRead.ConsumeRuns(f.base+u, s.runs)
 	}
 	// Drain: after the bottom-right mapped PE finishes.
 	finish := f.base + f.rows + f.cols + f.T - 3
 	for k := int64(1); k <= f.rows; k++ {
 		i := f.rows - k
-		addrs := s.batch(int(f.cols))
-		for j := int64(0); j < f.cols; j++ {
-			addrs = append(addrs, s.mp.Output(f.rowOff+i, f.colOff+j))
-		}
-		s.sinks.OfmapWrite.Consume(finish+k, addrs)
-		s.buf = addrs
+		s.runs = s.mp.OutputRuns(f.rowOff+i, 0, f.colOff, 1, f.cols, s.runs[:0])
+		s.sinks.ofmapWrite.ConsumeRuns(finish+k, s.runs)
 	}
 }
 
@@ -271,55 +257,39 @@ func (s *sim) foldOS(f fold) {
 func (s *sim) foldWS(f fold) {
 	// Fill phase: stationary filter elements, one row per cycle.
 	for i := int64(0); i < f.rows; i++ {
-		addrs := s.batch(int(f.cols))
-		for j := int64(0); j < f.cols; j++ {
-			addrs = append(addrs, s.mp.Stationary(f.rowOff+i, f.colOff+j))
-		}
-		s.sinks.FilterRead.Consume(f.base+i, addrs)
-		s.buf = addrs
+		s.runs = s.mp.StationaryRuns(f.rowOff+i, f.colOff, f.cols, s.runs[:0])
+		s.sinks.filterRead.ConsumeRuns(f.base+i, s.runs)
 	}
-	s.streamAndDrain(f, s.sinks.IfmapRead)
+	s.streamAndDrain(f, s.sinks.ifmapRead)
 }
 
 // foldIS emits the IS-dataflow trace of one fold: identical schedule to WS
 // with the operand roles swapped (ifmap stationary, filters streaming).
 func (s *sim) foldIS(f fold) {
 	for i := int64(0); i < f.rows; i++ {
-		addrs := s.batch(int(f.cols))
-		for j := int64(0); j < f.cols; j++ {
-			addrs = append(addrs, s.mp.Stationary(f.rowOff+i, f.colOff+j))
-		}
-		s.sinks.IfmapRead.Consume(f.base+i, addrs)
-		s.buf = addrs
+		s.runs = s.mp.StationaryRuns(f.rowOff+i, f.colOff, f.cols, s.runs[:0])
+		s.sinks.ifmapRead.ConsumeRuns(f.base+i, s.runs)
 	}
-	s.streamAndDrain(f, s.sinks.FilterRead)
+	s.streamAndDrain(f, s.sinks.filterRead)
 }
 
 // streamAndDrain is the compute phase shared by the stationary dataflows:
 // the moving operand streams through the rows while results reduce down the
 // columns and exit from the bottom edge.
-func (s *sim) streamAndDrain(f fold, streamSink trace.Consumer) {
+func (s *sim) streamAndDrain(f fold, streamSink trace.RunConsumer) {
 	// Stream phase: wavefront over u = i + t, offset by the fill.
 	for u := int64(0); u <= f.rows-1+f.T-1; u++ {
 		lo := max(0, u-f.T+1)
 		hi := min(f.rows-1, u)
-		addrs := s.batch(int(hi - lo + 1))
-		for i := lo; i <= hi; i++ {
-			addrs = append(addrs, s.mp.RowStream(f.rowOff+i, u-i))
-		}
-		streamSink.Consume(f.base+f.rows+u, addrs)
-		s.buf = addrs
+		s.runs = s.mp.RowStreamRuns(f.rowOff+lo, u-lo, hi-lo+1, s.runs[:0])
+		streamSink.ConsumeRuns(f.base+f.rows+u, s.runs)
 	}
 	// Outputs: wavefront over v = t + j.
 	for v := int64(0); v <= f.T-1+f.cols-1; v++ {
 		lo := max(0, v-f.T+1)
 		hi := min(f.cols-1, v)
-		addrs := s.batch(int(hi - lo + 1))
-		for j := lo; j <= hi; j++ {
-			addrs = append(addrs, s.mp.Output(v-j, f.colOff+j))
-		}
-		s.sinks.OfmapWrite.Consume(f.base+2*f.rows+v-1, addrs)
-		s.buf = addrs
+		s.runs = s.mp.OutputRuns(v-lo, -1, f.colOff+lo, 1, hi-lo+1, s.runs[:0])
+		s.sinks.ofmapWrite.ConsumeRuns(f.base+2*f.rows+v-1, s.runs)
 	}
 }
 

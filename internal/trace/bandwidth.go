@@ -41,6 +41,12 @@ func (b *BandwidthMeter) Consume(cycle int64, addrs []int64) {
 	b.Add(cycle, int64(len(addrs)))
 }
 
+// ConsumeRuns implements RunConsumer: only the word count matters, so runs
+// are never expanded.
+func (b *BandwidthMeter) ConsumeRuns(cycle int64, runs []Run) {
+	b.Add(cycle, RunWords(runs))
+}
+
 // Add records n word accesses at the given cycle without materializing
 // addresses; producers that already aggregate use this directly.
 func (b *BandwidthMeter) Add(cycle, words int64) {

@@ -1,0 +1,129 @@
+package trace
+
+// Run is a strided address segment: Count addresses forming the arithmetic
+// progression Base, Base+Stride, ..., Base+(Count-1)*Stride. The simulator's
+// address generators are affine (row-major layouts walked by skewed
+// wavefronts), so every per-cycle batch collapses into a handful of runs;
+// representing batches this way shrinks the systolic→trace→memory hot path
+// from O(elements) to O(segments) while expanding to exactly the same
+// address sequence.
+type Run struct {
+	Base, Stride, Count int64
+}
+
+// At returns the i-th address of the run (0 <= i < Count).
+func (r Run) At(i int64) int64 { return r.Base + i*r.Stride }
+
+// Last returns the final address of the run.
+func (r Run) Last() int64 { return r.Base + (r.Count-1)*r.Stride }
+
+// AppendTo expands the run onto dst in order.
+func (r Run) AppendTo(dst []int64) []int64 {
+	a := r.Base
+	for i := int64(0); i < r.Count; i++ {
+		dst = append(dst, a)
+		a += r.Stride
+	}
+	return dst
+}
+
+// RunWords returns the total address count of a run list.
+func RunWords(runs []Run) int64 {
+	var n int64
+	for _, r := range runs {
+		n += r.Count
+	}
+	return n
+}
+
+// ExpandRuns appends every address of the run list onto dst, preserving
+// order. Pass dst[:0] of a reusable buffer to avoid allocation.
+func ExpandRuns(runs []Run, dst []int64) []int64 {
+	for _, r := range runs {
+		dst = r.AppendTo(dst)
+	}
+	return dst
+}
+
+// AppendRun appends the progression (base, stride, count) onto a run list,
+// coalescing with the final run when the new segment continues its
+// progression — so producers can emit candidate segments freely (e.g. at
+// every potential layout wrap) and still get a minimal list. count < 1 is a
+// no-op.
+func AppendRun(runs []Run, base, stride, count int64) []Run {
+	if count < 1 {
+		return runs
+	}
+	if n := len(runs); n > 0 {
+		last := &runs[n-1]
+		switch {
+		case last.Count == 1 && count == 1:
+			// Two singletons define their own stride.
+			last.Stride = base - last.Base
+			last.Count = 2
+			return runs
+		case last.Count == 1 && base == last.Base+stride:
+			// Singleton extended by a segment that points back at it.
+			last.Stride = stride
+			last.Count = 1 + count
+			return runs
+		case count == 1 && base == last.Base+last.Count*last.Stride:
+			last.Count++
+			return runs
+		case stride == last.Stride && base == last.Base+last.Count*last.Stride:
+			last.Count += count
+			return runs
+		}
+	}
+	return append(runs, Run{Base: base, Stride: stride, Count: count})
+}
+
+// AppendAddr appends a single address onto a run list, coalescing runs of
+// uniform stride — the streaming form of AppendRun for consumers that
+// re-compress filtered address streams (e.g. the SRAM miss path).
+func AppendAddr(runs []Run, addr int64) []Run {
+	return AppendRun(runs, addr, 0, 1)
+}
+
+// RunConsumer receives trace events in run form. ConsumeRuns is the bulk
+// counterpart of Consumer.Consume: one call per cycle, with the cycle's
+// addresses as an ordered run list. The runs slice is only valid for the
+// duration of the call; implementations that retain it must copy.
+//
+// Expanding the runs in order yields exactly the byte sequence the legacy
+// element path produces, so a consumer may implement either interface (or
+// both) and observe identical traces.
+type RunConsumer interface {
+	ConsumeRuns(cycle int64, runs []Run)
+}
+
+// runExpander adapts a legacy Consumer to RunConsumer by materializing runs
+// into a reusable buffer — the shared fallback for consumers without a
+// native run path. Not safe for concurrent use (per-stream consumers never
+// are).
+type runExpander struct {
+	c   Consumer
+	buf []int64
+}
+
+func (e *runExpander) ConsumeRuns(cycle int64, runs []Run) {
+	e.buf = ExpandRuns(runs, e.buf[:0])
+	e.c.Consume(cycle, e.buf)
+}
+
+// Consume forwards element batches unchanged, so the adapter remains a
+// valid Consumer for producers that mix both calls.
+func (e *runExpander) Consume(cycle int64, addrs []int64) { e.c.Consume(cycle, addrs) }
+
+// Runs returns c's native run path when it has one, or wraps it in a
+// materializing adapter (one reusable buffer, no per-cycle allocation).
+// A nil consumer yields a discarding RunConsumer.
+func Runs(c Consumer) RunConsumer {
+	if c == nil {
+		return nullConsumer{}
+	}
+	if rc, ok := c.(RunConsumer); ok {
+		return rc
+	}
+	return &runExpander{c: c}
+}

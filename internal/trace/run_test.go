@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestRunAccessors(t *testing.T) {
+	r := Run{Base: 10, Stride: 3, Count: 4}
+	if got := r.At(0); got != 10 {
+		t.Errorf("At(0) = %d", got)
+	}
+	if got := r.At(3); got != 19 {
+		t.Errorf("At(3) = %d", got)
+	}
+	if got := r.Last(); got != 19 {
+		t.Errorf("Last() = %d", got)
+	}
+	if got := r.AppendTo(nil); !reflect.DeepEqual(got, []int64{10, 13, 16, 19}) {
+		t.Errorf("AppendTo = %v", got)
+	}
+	if got := RunWords([]Run{r, {Base: 0, Stride: 0, Count: 2}}); got != 6 {
+		t.Errorf("RunWords = %d", got)
+	}
+}
+
+func TestAppendRunCoalescing(t *testing.T) {
+	cases := []struct {
+		name string
+		adds [][3]int64 // base, stride, count
+		want []Run
+	}{
+		{"noop", [][3]int64{{5, 1, 0}}, nil},
+		{"single", [][3]int64{{5, 1, 3}}, []Run{{5, 1, 3}}},
+		{"two singletons coalesce", [][3]int64{{5, 0, 1}, {9, 0, 1}},
+			[]Run{{5, 4, 2}}},
+		{"singleton then continuing segment", [][3]int64{{5, 0, 1}, {7, 2, 3}},
+			[]Run{{5, 2, 4}}},
+		{"segment then continuing singleton", [][3]int64{{5, 2, 3}, {11, 0, 1}},
+			[]Run{{5, 2, 4}}},
+		{"matching stride continuation", [][3]int64{{5, 2, 3}, {11, 2, 2}},
+			[]Run{{5, 2, 5}}},
+		{"stride mismatch splits", [][3]int64{{5, 2, 3}, {11, 3, 2}},
+			[]Run{{5, 2, 3}, {11, 3, 2}}},
+		{"base gap splits", [][3]int64{{5, 2, 3}, {12, 2, 2}},
+			[]Run{{5, 2, 3}, {12, 2, 2}}},
+		{"singleton chain builds one run", [][3]int64{{5, 0, 1}, {6, 0, 1}, {7, 0, 1}, {8, 0, 1}},
+			[]Run{{5, 1, 4}}},
+		{"negative stride chain", [][3]int64{{9, 0, 1}, {7, 0, 1}, {5, 0, 1}},
+			[]Run{{9, -2, 3}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var runs []Run
+			for _, a := range tc.adds {
+				runs = AppendRun(runs, a[0], a[1], a[2])
+			}
+			if !reflect.DeepEqual(runs, tc.want) {
+				t.Errorf("got %v, want %v", runs, tc.want)
+			}
+			// Coalescing must never change the expansion.
+			var want []int64
+			for _, a := range tc.adds {
+				want = Run{Base: a[0], Stride: a[1], Count: a[2]}.AppendTo(want)
+			}
+			if got := ExpandRuns(runs, nil); !reflect.DeepEqual(got, want) &&
+				!(len(got) == 0 && len(want) == 0) {
+				t.Errorf("expansion changed: got %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestAppendAddrRecompression(t *testing.T) {
+	var runs []Run
+	for _, a := range []int64{100, 104, 108, 112, 50, 51, 52, 7} {
+		runs = AppendAddr(runs, a)
+	}
+	want := []Run{{100, 4, 4}, {50, 1, 3}, {7, 0, 1}}
+	if !reflect.DeepEqual(runs, want) {
+		t.Errorf("got %v, want %v", runs, want)
+	}
+}
+
+// countingConsumer is element-only: it must be reached via the adapter.
+type countingConsumer struct {
+	cycles []int64
+	addrs  [][]int64
+}
+
+func (c *countingConsumer) Consume(cycle int64, addrs []int64) {
+	cp := make([]int64, len(addrs))
+	copy(cp, addrs)
+	c.cycles = append(c.cycles, cycle)
+	c.addrs = append(c.addrs, cp)
+}
+
+func TestRunsAdapter(t *testing.T) {
+	// Nil consumer: discarding run path.
+	Runs(nil).ConsumeRuns(1, []Run{{1, 1, 3}})
+
+	// Native RunConsumer passes through without wrapping.
+	s := NewStats()
+	if rc := Runs(s); rc != RunConsumer(s) {
+		t.Errorf("native RunConsumer was wrapped: %T", rc)
+	}
+
+	// Legacy consumer sees the expanded batch.
+	cc := &countingConsumer{}
+	rc := Runs(cc)
+	rc.ConsumeRuns(7, []Run{{10, 2, 3}, {100, 0, 1}})
+	rc.ConsumeRuns(8, []Run{{5, -1, 2}})
+	if !reflect.DeepEqual(cc.cycles, []int64{7, 8}) {
+		t.Fatalf("cycles = %v", cc.cycles)
+	}
+	if !reflect.DeepEqual(cc.addrs[0], []int64{10, 12, 14, 100}) ||
+		!reflect.DeepEqual(cc.addrs[1], []int64{5, 4}) {
+		t.Errorf("addrs = %v", cc.addrs)
+	}
+}
+
+func TestTeeRunPath(t *testing.T) {
+	native := &Recorder{}
+	legacy1 := &countingConsumer{}
+	legacy2 := &countingConsumer{}
+	tee := Tee(nil, native, legacy1, legacy2)
+	rc, ok := tee.(RunConsumer)
+	if !ok {
+		t.Fatalf("Tee result is not run-aware: %T", tee)
+	}
+	rc.ConsumeRuns(3, []Run{{20, 5, 3}})
+	want := []int64{20, 25, 30}
+	if !reflect.DeepEqual(native.Addresses(), want) {
+		t.Errorf("native member: %v", native.Addresses())
+	}
+	for i, l := range []*countingConsumer{legacy1, legacy2} {
+		if len(l.addrs) != 1 || !reflect.DeepEqual(l.addrs[0], want) {
+			t.Errorf("legacy member %d: %v", i, l.addrs)
+		}
+	}
+
+	// Element path still fans out unchanged.
+	tee.Consume(4, []int64{1, 2})
+	if len(legacy1.addrs) != 2 || !reflect.DeepEqual(legacy1.addrs[1], []int64{1, 2}) {
+		t.Errorf("element fan-out: %v", legacy1.addrs)
+	}
+}
+
+func TestStatsConsumeRunsMatchesConsume(t *testing.T) {
+	batches := []struct {
+		cycle int64
+		runs  []Run
+	}{
+		{5, []Run{{10, 1, 4}}},
+		{6, nil},
+		{7, []Run{{0, 0, 1}, {50, 2, 6}}},
+		{9, []Run{{3, -1, 2}}},
+	}
+	viaRuns, viaElems := NewStats(), NewStats()
+	for _, b := range batches {
+		viaRuns.ConsumeRuns(b.cycle, b.runs)
+		viaElems.Consume(b.cycle, ExpandRuns(b.runs, nil))
+	}
+	if !reflect.DeepEqual(viaRuns, viaElems) {
+		t.Errorf("run path %+v != element path %+v", viaRuns, viaElems)
+	}
+}
+
+func TestRecorderConsumeRuns(t *testing.T) {
+	r := &Recorder{}
+	r.ConsumeRuns(2, []Run{{7, 3, 3}})
+	r.ConsumeRuns(3, nil)
+	if len(r.Entries) != 1 || r.Entries[0].Cycle != 2 ||
+		!reflect.DeepEqual(r.Entries[0].Addrs, []int64{7, 10, 13}) {
+		t.Errorf("entries = %+v", r.Entries)
+	}
+}
+
+func TestCSVWriterRunPathByteIdentical(t *testing.T) {
+	batches := []struct {
+		cycle int64
+		runs  []Run
+	}{
+		{0, []Run{{1, 1, 5}}},
+		{1, []Run{{-4, 2, 3}, {1000000, 0, 1}}},
+		{2, nil}, // empty batches emit nothing on either path
+		{17, []Run{{9, -3, 4}}},
+		{18, []Run{{97, 1, 6}}},     // digit growth: 99 -> 100
+		{19, []Run{{995, 131, 4}}},  // multi-digit carries
+		{20, []Run{{0, 999999, 3}}}, // large stride, repeated growth
+		{21, []Run{{100, -1, 4}}},   // negative stride, digit shrink path
+		{22, []Run{{5, 0, 3}, {9, 1, 2}, {999, 1, 2}}},
+	}
+	var viaRuns, viaElems bytes.Buffer
+	wr, we := NewCSVWriter(&viaRuns), NewCSVWriter(&viaElems)
+	for _, b := range batches {
+		wr.ConsumeRuns(b.cycle, b.runs)
+		we.Consume(b.cycle, ExpandRuns(b.runs, nil))
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := we.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaRuns.Bytes(), viaElems.Bytes()) {
+		t.Errorf("run path:\n%s\nelement path:\n%s", viaRuns.Bytes(), viaElems.Bytes())
+	}
+	// Round-trips through the parser as well.
+	rec, err := ParseCSV(bytes.NewReader(viaRuns.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Accesses() != 37 {
+		t.Errorf("parsed %d accesses, want 37", rec.Accesses())
+	}
+}
+
+func TestNullIsRunAware(t *testing.T) {
+	rc, ok := Null.(RunConsumer)
+	if !ok {
+		t.Fatalf("Null is not a RunConsumer: %T", Null)
+	}
+	rc.ConsumeRuns(0, []Run{{1, 1, 1}})
+	Null.Consume(0, []int64{1})
+}

@@ -42,6 +42,12 @@ func (s *StallAnalyzer) Consume(cycle int64, addrs []int64) {
 	s.Add(cycle, int64(len(addrs)))
 }
 
+// ConsumeRuns implements RunConsumer: cumulative demand needs only the
+// word count, so runs are never expanded.
+func (s *StallAnalyzer) ConsumeRuns(cycle int64, runs []Run) {
+	s.Add(cycle, RunWords(runs))
+}
+
 // Add records words of demand at the given cycle.
 func (s *StallAnalyzer) Add(cycle, words int64) {
 	if words <= 0 {

@@ -32,13 +32,52 @@ type ConsumerFunc func(cycle int64, addrs []int64)
 // Consume calls f.
 func (f ConsumerFunc) Consume(cycle int64, addrs []int64) { f(cycle, addrs) }
 
+// nullConsumer discards events on both the element and the run path.
+type nullConsumer struct{}
+
+func (nullConsumer) Consume(int64, []int64)   {}
+func (nullConsumer) ConsumeRuns(int64, []Run) {}
+
 // Null discards all events.
-var Null Consumer = ConsumerFunc(func(int64, []int64) {})
+var Null Consumer = nullConsumer{}
+
+// tee fans events out to several consumers. On the run path each member's
+// native RunConsumer is used when it has one; the remaining legacy members
+// share a single materialization of the runs (expanded at most once per
+// event into a reusable buffer).
+type tee struct {
+	all []Consumer
+	// runs[i] is all[i]'s native run path, nil for legacy consumers.
+	runs []RunConsumer
+	buf  []int64
+}
+
+func (t *tee) Consume(cycle int64, addrs []int64) {
+	for _, c := range t.all {
+		c.Consume(cycle, addrs)
+	}
+}
+
+func (t *tee) ConsumeRuns(cycle int64, runs []Run) {
+	expanded := false
+	for i, c := range t.all {
+		if rc := t.runs[i]; rc != nil {
+			rc.ConsumeRuns(cycle, runs)
+			continue
+		}
+		if !expanded {
+			t.buf = ExpandRuns(runs, t.buf[:0])
+			expanded = true
+		}
+		c.Consume(cycle, t.buf)
+	}
+}
 
 // Tee fans events out to every non-nil consumer in order. Nil consumers
 // are dropped, the sole survivor is returned directly, and nil comes back
 // when nothing remains — so optional consumers compose without nil-adapter
-// boilerplate at the call sites.
+// boilerplate at the call sites. The returned consumer is run-aware: run
+// batches reach run-native members unexpanded.
 func Tee(consumers ...Consumer) Consumer {
 	live := make([]Consumer, 0, len(consumers))
 	for _, c := range consumers {
@@ -52,11 +91,13 @@ func Tee(consumers ...Consumer) Consumer {
 	case 1:
 		return live[0]
 	}
-	return ConsumerFunc(func(cycle int64, addrs []int64) {
-		for _, c := range live {
-			c.Consume(cycle, addrs)
+	t := &tee{all: live, runs: make([]RunConsumer, len(live))}
+	for i, c := range live {
+		if rc, ok := c.(RunConsumer); ok {
+			t.runs[i] = rc
 		}
-	})
+	}
+	return t
 }
 
 // Stats accumulates the aggregate measurements reports are built from.
@@ -91,6 +132,25 @@ func (s *Stats) Consume(cycle int64, addrs []int64) {
 	}
 	if len(addrs) > s.MaxPerCycle {
 		s.MaxPerCycle = len(addrs)
+	}
+}
+
+// ConsumeRuns implements RunConsumer without expanding the runs.
+func (s *Stats) ConsumeRuns(cycle int64, runs []Run) {
+	words := RunWords(runs)
+	if words == 0 {
+		return
+	}
+	s.Events++
+	s.Accesses += words
+	if s.FirstCycle < 0 {
+		s.FirstCycle = cycle
+	}
+	if cycle > s.LastCycle {
+		s.LastCycle = cycle
+	}
+	if int(words) > s.MaxPerCycle {
+		s.MaxPerCycle = int(words)
 	}
 }
 
@@ -131,6 +191,18 @@ func (r *Recorder) Consume(cycle int64, addrs []int64) {
 	cp := make([]int64, len(addrs))
 	copy(cp, addrs)
 	r.Entries = append(r.Entries, Entry{Cycle: cycle, Addrs: cp})
+}
+
+// ConsumeRuns implements RunConsumer, expanding the runs into the entry.
+func (r *Recorder) ConsumeRuns(cycle int64, runs []Run) {
+	words := RunWords(runs)
+	if words == 0 {
+		return
+	}
+	r.Entries = append(r.Entries, Entry{
+		Cycle: cycle,
+		Addrs: ExpandRuns(runs, make([]int64, 0, words)),
+	})
 }
 
 // Accesses returns the total recorded access count.
@@ -180,8 +252,12 @@ func (r *Recorder) SortedDistinct() []int64 {
 
 // CSVWriter streams events as SCALE-Sim style trace CSV: each row is
 // "cycle, addr, addr, ...". It buffers internally; call Flush when done.
+// Run batches are serialized directly from the runs — expanding digits into
+// a reusable line buffer — so a row costs no per-event allocation on either
+// path.
 type CSVWriter struct {
 	w   *bufio.Writer
+	buf []byte // reusable line buffer
 	err error
 }
 
@@ -195,13 +271,78 @@ func (c *CSVWriter) Consume(cycle int64, addrs []int64) {
 	if c.err != nil || len(addrs) == 0 {
 		return
 	}
-	buf := strconv.AppendInt(nil, cycle, 10)
+	buf := strconv.AppendInt(c.buf[:0], cycle, 10)
 	for _, a := range addrs {
 		buf = append(buf, ',', ' ')
 		buf = strconv.AppendInt(buf, a, 10)
 	}
 	buf = append(buf, '\n')
 	_, c.err = c.w.Write(buf)
+	c.buf = buf
+}
+
+// ConsumeRuns implements RunConsumer, expanding runs lazily into the line
+// buffer without materializing an address slice. Non-negative progressions
+// are serialized incrementally: each address copies the previous one's
+// digits and adds the stride in decimal, instead of re-formatting from
+// scratch — most digits of consecutive addresses are shared. The line buffer
+// is sized once per event so the inner loop runs free of append growth
+// checks.
+func (c *CSVWriter) ConsumeRuns(cycle int64, runs []Run) {
+	words := RunWords(runs)
+	if c.err != nil || words == 0 {
+		return
+	}
+	// Worst case per value: ", " plus 20 digits (int64) and a sign.
+	if need := int(words)*23 + 22; cap(c.buf) < need {
+		c.buf = make([]byte, 0, need)
+	}
+	buf := strconv.AppendInt(c.buf[:0], cycle, 10)
+	for _, r := range runs {
+		buf = append(buf, ',', ' ')
+		start := len(buf)
+		buf = strconv.AppendInt(buf, r.Base, 10)
+		if r.Base < 0 || r.Stride < 0 {
+			// Borrowing shrinks digit counts; keep the simple path.
+			a := r.Base
+			for i := int64(1); i < r.Count; i++ {
+				a += r.Stride
+				buf = append(buf, ',', ' ')
+				buf = strconv.AppendInt(buf, a, 10)
+			}
+			continue
+		}
+		dl := len(buf) - start
+		for i := int64(1); i < r.Count; i++ {
+			n := len(buf)
+			buf = buf[:n+2+dl]
+			buf[n] = ','
+			buf[n+1] = ' '
+			ns := n + 2
+			for j := 0; j < dl; j++ {
+				buf[ns+j] = buf[start+j]
+			}
+			// In-place decimal addition of the stride, least significant
+			// digit first, growing on carry overflow.
+			carry := r.Stride
+			for p := len(buf) - 1; carry > 0; p-- {
+				if p < ns {
+					buf = append(buf, 0)
+					copy(buf[ns+1:], buf[ns:len(buf)-1])
+					buf[ns] = '0'
+					p = ns
+					dl++
+				}
+				d := int64(buf[p]-'0') + carry
+				buf[p] = byte('0' + d%10)
+				carry = d / 10
+			}
+			start = ns
+		}
+	}
+	buf = append(buf, '\n')
+	_, c.err = c.w.Write(buf)
+	c.buf = buf
 }
 
 // Flush drains buffered rows and returns the first write error.

@@ -97,6 +97,14 @@ type (
 	TraceConsumer = trace.Consumer
 	// TraceConsumerFunc adapts a function to a TraceConsumer.
 	TraceConsumerFunc = trace.ConsumerFunc
+	// TraceRun is a strided address segment: Count addresses starting at
+	// Base with constant Stride. The simulator generates and consumes
+	// per-cycle batches in this compressed form.
+	TraceRun = trace.Run
+	// TraceRunConsumer receives trace events in run form; consumers that
+	// implement it alongside TraceConsumer are fed runs directly, without
+	// batch materialization.
+	TraceRunConsumer = trace.RunConsumer
 	// SinkJob identifies the run and layer a sink factory is building for.
 	SinkJob = engine.Job
 	// SinkSet collects one layer's trace consumers and finish/close hooks.
@@ -124,6 +132,12 @@ func TraceStreams() []TraceStream { return append([]TraceStream(nil), engine.Str
 // Options.TraceDir, exposed for custom registries.
 func CSVTraceSink(dir string, streams ...TraceStream) SinkFactory {
 	return engine.CSVTrace(dir, streams...)
+}
+
+// ExpandTraceRuns appends every address of a run list onto dst in order —
+// the bridge for custom sinks that want run-form events as flat addresses.
+func ExpandTraceRuns(runs []TraceRun, dst []int64) []int64 {
+	return trace.ExpandRuns(runs, dst)
 }
 
 // Analytical-model types.

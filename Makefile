@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke profile fuzz figures examples clean
+.PHONY: all build vet test race bench smoke benchdiff profile fuzz figures examples clean
 
 all: build vet test
 
@@ -23,6 +23,14 @@ bench:
 smoke:
 	$(GO) test -run XXX -benchmem -benchtime=1x \
 		-bench='BenchmarkTableIV$$|BenchmarkFoldTrace|BenchmarkMemorySystemRuns' .
+
+# Compare a quick benchmark run against the newest results/BENCH_*.json;
+# fails on >25% ns/op regressions. Single-iteration numbers are noisy, so
+# treat a failure as a prompt to rerun with -benchtime=3x, not a verdict.
+benchdiff:
+	$(GO) test -run XXX -benchmem -benchtime=1x \
+		-bench='BenchmarkTableIV$$|BenchmarkFoldTrace|BenchmarkMemorySystemRuns|BenchmarkTimelineOverhead|BenchmarkCSVTraceWrite|BenchmarkSimulateTinyNet' . \
+		| $(GO) run ./results/benchdiff.go
 
 # CPU-profile the Table IV benchmark; inspect with
 # `go tool pprof results/profile.pb.gz`.

@@ -18,6 +18,7 @@ import (
 	"scalesim/internal/dram"
 	"scalesim/internal/experiments"
 	"scalesim/internal/memory"
+	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/rtlref"
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
@@ -328,6 +329,54 @@ func BenchmarkFoldTrace(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTimelineOverhead pins the cost of timeline instrumentation on
+// the fold-trace hot path. The disabled variant is the plain run-native
+// path — nil fold observer, no samplers — and its alloc count is the
+// BenchmarkFoldTrace baseline; attaching a timeline writer must not move
+// it. The enabled variant pays the full price: a LayerRecorder with
+// samplers teed onto every stream, the fold observer, and the layer
+// emitted into a writer over io.Discard.
+func BenchmarkTimelineOverhead(b *testing.B) {
+	cfg := config.New().WithArray(32, 32)
+	l := benchLayer()
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		st := trace.NewStats()
+		for i := 0; i < b.N; i++ {
+			if _, err := systolic.Run(l, cfg, systolic.Sinks{
+				IfmapRead: st, FilterRead: st, OfmapWrite: st,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		st := trace.NewStats()
+		w := timeline.New(io.Discard, timeline.Options{})
+		pid := w.Process("bench")
+		for i := 0; i < b.N; i++ {
+			rec := timeline.NewLayerRecorder(l.Name, 0, w.Window())
+			res, err := systolic.Run(l, cfg, systolic.Sinks{
+				IfmapRead:  trace.Tee(st, rec.Sampler(timeline.TrackSRAMIfmapRead)),
+				FilterRead: trace.Tee(st, rec.Sampler(timeline.TrackSRAMFilterRead)),
+				OfmapWrite: trace.Tee(st, rec.Sampler(timeline.TrackSRAMOfmapWrite)),
+				Folds: systolic.FoldObserverFunc(func(f systolic.FoldInfo) {
+					rec.AddFold(f.FR, f.FC, f.Rows, f.Cols, f.Start, f.Cycles)
+				}),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec.Finish(res.Cycles, 0)
+			rec.Emit(w, pid, timeline.DefaultPlacement(0))
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
 }
 
 // BenchmarkAnalyticalEstimate measures the closed-form fast path.

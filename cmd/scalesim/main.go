@@ -38,7 +38,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("scalesim", flag.ContinueOnError)
 	var (
 		cfgPath  = fs.String("config", "", "hardware configuration file (Table I format)")
@@ -56,6 +56,9 @@ func run(args []string, stdout io.Writer) error {
 		metrics  = fs.String("metrics", "", "write a machine-readable run manifest (JSON) to this path")
 		progress = fs.Bool("progress", false, "report per-layer progress to stderr")
 		pprof    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the run")
+		tlPath   = fs.String("timeline", "", "write a Chrome Trace Event timeline (Perfetto/chrome://tracing) to this path")
+		tlWindow = fs.Int64("timeline-window", 0, "timeline counter sampling window in cycles (default 64)")
+		dramBW   = fs.Float64("dram-bw", 0, "bound the DRAM link in words/cycle and compute stall cycles (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,15 +115,33 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	var tlw *scalesim.TimelineWriter
+	if *tlPath != "" {
+		f, err := os.Create(*tlPath)
+		if err != nil {
+			return err
+		}
+		tlw = scalesim.NewTimeline(f, scalesim.TimelineOptions{Window: *tlWindow})
+		defer func() {
+			if cerr := tlw.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+			if cerr := f.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
+	}
+
 	if *partsArg != "" {
 		pr, pc, err := parseArray(*partsArg)
 		if err != nil {
 			return fmt.Errorf("invalid -parts %q (want PrxPc)", *partsArg)
 		}
-		return runScaleOut(stdout, cfg, topo, pr, pc, rec, prog, *metrics)
+		return runScaleOut(stdout, cfg, topo, pr, pc, rec, prog, *metrics, tlw)
 	}
 
-	opt := scalesim.Options{Workers: *workers, Obs: rec, Progress: prog}
+	opt := scalesim.Options{Workers: *workers, Obs: rec, Progress: prog,
+		Timeline: tlw, DRAMBandwidth: *dramBW}
 	if *traces {
 		if *outDir == "" {
 			return fmt.Errorf("-traces requires -outdir")
@@ -167,7 +188,7 @@ func run(args []string, stdout io.Writer) error {
 // prints a per-layer scale-out report. With rec attached it also emits a
 // run manifest (one entry per layer, partition-level engine spans).
 func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, pr, pc int,
-	rec *obsv.Recorder, prog *obsv.Progress, metricsPath string) error {
+	rec *obsv.Recorder, prog *obsv.Progress, metricsPath string, tlw *scalesim.TimelineWriter) error {
 	spec := scalesim.ScaleOutSpec{
 		Parts: scalesim.Partitioning{Pr: int64(pr), Pc: int64(pc)},
 		Shape: scalesim.Shape{R: int64(cfg.ArrayHeight), C: int64(cfg.ArrayWidth)},
@@ -183,7 +204,7 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 		if rec.Enabled() {
 			t0 = time.Now()
 		}
-		res, err := scalesim.RunScaleOut(l, cfg, spec, scalesim.ScaleOutOptions{Obs: rec})
+		res, err := scalesim.RunScaleOut(l, cfg, spec, scalesim.ScaleOutOptions{Obs: rec, Timeline: tlw})
 		if err != nil {
 			return fmt.Errorf("layer %s: %w", l.Name, err)
 		}

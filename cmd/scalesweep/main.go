@@ -29,6 +29,7 @@ import (
 	"os"
 	"strings"
 
+	"scalesim"
 	"scalesim/internal/batch"
 	"scalesim/internal/config"
 	"scalesim/internal/obsv"
@@ -41,7 +42,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("scalesweep", flag.ContinueOnError)
 	var (
 		specPath  = fs.String("spec", "", "sweep specification file")
@@ -55,6 +56,8 @@ func run(args []string, stdout io.Writer) error {
 		metrics   = fs.String("metrics", "", "write a machine-readable sweep manifest (JSON) to this path")
 		progress  = fs.Bool("progress", false, "report per-point progress to stderr")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address during the sweep")
+		tlPath    = fs.String("timeline", "", "write a Chrome Trace Event timeline (one process per grid point) to this path")
+		tlWindow  = fs.Int64("timeline-window", 0, "timeline counter sampling window in cycles (default 64)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +118,22 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *progress {
 		spec.Progress = obsv.NewProgress(os.Stderr, "scalesweep")
+	}
+	if *tlPath != "" {
+		f, err := os.Create(*tlPath)
+		if err != nil {
+			return err
+		}
+		tlw := scalesim.NewTimeline(f, scalesim.TimelineOptions{Window: *tlWindow})
+		spec.Timeline = tlw
+		defer func() {
+			if cerr := tlw.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+			if cerr := f.Close(); cerr != nil && retErr == nil {
+				retErr = cerr
+			}
+		}()
 	}
 
 	rows, err := batch.Run(spec)

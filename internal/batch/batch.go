@@ -13,6 +13,7 @@ import (
 	"scalesim/internal/core"
 	"scalesim/internal/engine"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/topology"
 )
 
@@ -58,6 +59,11 @@ type Spec struct {
 	// Obs, when non-nil, records the sweep: grid-level engine spans, the
 	// "batch.run" phase and per-point wall timings. Rows are unaffected.
 	Obs *obsv.Recorder
+	// Timeline, when non-nil, receives every grid point's simulated-machine
+	// timeline (one Perfetto process per point). Concurrent points
+	// interleave their events, which the trace format permits; rows are
+	// unaffected.
+	Timeline *timeline.Writer
 	// Progress, when non-nil, receives one step per completed grid point.
 	Progress *obsv.Progress
 }
@@ -110,7 +116,7 @@ func Run(spec Spec) ([]Row, error) {
 		if spec.Obs.Enabled() {
 			t0 = time.Now()
 		}
-		row, err := runPoint(spec.Base, p)
+		row, err := runPoint(spec.Base, p, spec.Timeline)
 		if err != nil {
 			return Row{}, fmt.Errorf("batch: %s on %dx%d %v: %w",
 				p.Topology.Name, p.Array[0], p.Array[1], p.Dataflow, err)
@@ -145,14 +151,14 @@ func NewManifest(spec Spec, rows []Row, rec *obsv.Recorder) *obsv.Manifest {
 	return m
 }
 
-func runPoint(base config.Config, p Point) (Row, error) {
+func runPoint(base config.Config, p Point, tl *timeline.Writer) (Row, error) {
 	cfg := base.
 		WithArray(p.Array[0], p.Array[1]).
 		WithDataflow(p.Dataflow).
 		WithSRAM(p.SRAM[0], p.SRAM[1], p.SRAM[2])
 	// Grid points already saturate the worker pool; keep each point's
 	// layer execution sequential rather than multiplying the two levels.
-	sim, err := core.New(cfg, core.Options{Workers: 1})
+	sim, err := core.New(cfg, core.Options{Workers: 1, Timeline: tl})
 	if err != nil {
 		return Row{}, err
 	}

@@ -25,6 +25,7 @@ import (
 	"scalesim/internal/engine"
 	"scalesim/internal/memory"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
@@ -60,6 +61,13 @@ type Options struct {
 	// factory runs once per layer, possibly from concurrent worker
 	// goroutines, and must wire fresh consumers each time.
 	Sinks engine.Registry
+	// Timeline, when non-nil, receives the run as a Chrome Trace Event
+	// timeline: per-layer and per-fold spans, stall intervals and windowed
+	// bandwidth counters on the simulated-cycle axis, plus the engine's
+	// scheduler spans on the host wall-clock axis. Purely additive — all
+	// simulation output is byte-identical with or without it. One Writer
+	// serves one Simulate call.
+	Timeline *timeline.Writer
 	// Obs, when non-nil, records run instrumentation: phase wall-clock
 	// timings, per-layer wall times and stage histograms, and the
 	// engine's scheduler spans. Purely additive — simulation results and
@@ -143,6 +151,7 @@ type Simulator struct {
 	opt Options
 	em  energy.Model
 	reg engine.Registry
+	tl  timelineState
 }
 
 // SinkSet value keys the built-in factories deposit their per-layer probes
@@ -184,7 +193,11 @@ func New(cfg config.Config, opt Options) (*Simulator, error) {
 		reg = append(reg, stallSink(opt.DRAMBandwidth))
 	}
 	reg = append(reg, opt.Sinks...)
-	return &Simulator{cfg: cfg, opt: opt, em: em, reg: reg}, nil
+	s := &Simulator{cfg: cfg, opt: opt, em: em, reg: reg}
+	if opt.Timeline != nil {
+		s.reg = append(s.reg, s.timelineSink())
+	}
+	return s, nil
 }
 
 // Config returns the simulator's architecture configuration.
@@ -238,6 +251,9 @@ func (s *Simulator) simulateLayer(index int, l topology.Layer) (LayerResult, err
 	memOpt := s.opt.Memory
 	memOpt.DRAMRead = set.Tap(engine.DRAMRead, memOpt.DRAMRead)
 	memOpt.DRAMWrite = set.Tap(engine.DRAMWrite, memOpt.DRAMWrite)
+	memOpt.DRAMIfmapTap = set.Tap(engine.DRAMReadIfmap, memOpt.DRAMIfmapTap)
+	memOpt.DRAMFilterTap = set.Tap(engine.DRAMReadFilter, memOpt.DRAMFilterTap)
+	memOpt.DRAMOfmapTap = set.Tap(engine.DRAMWriteOfmap, memOpt.DRAMOfmapTap)
 	if memOpt.Metrics == nil {
 		memOpt.Metrics = s.opt.Obs.Metrics()
 	}
@@ -252,18 +268,31 @@ func (s *Simulator) simulateLayer(index int, l topology.Layer) (LayerResult, err
 		s.cfg.OfmapOffset, l.OfmapWords(),
 	)
 
+	rec, _ := set.Value(timelineProbeKey).(*timeline.LayerRecorder)
+	var folds systolic.FoldObserver
+	if rec != nil {
+		folds = systolic.FoldObserverFunc(func(f systolic.FoldInfo) {
+			rec.AddFold(f.FR, f.FC, f.Rows, f.Cols, f.Start, f.Cycles)
+		})
+	}
+
 	stopCompute := s.opt.Obs.Time("core.layer.compute_seconds")
 	comp, err := systolic.Run(l, s.cfg, systolic.Sinks{
 		IfmapRead:  set.Tap(engine.SRAMReadIfmap, sys.Ifmap),
 		FilterRead: set.Tap(engine.SRAMReadFilter, sys.Filter),
 		OfmapWrite: set.Tap(engine.SRAMWriteOfmap, sys.Ofmap),
+		Folds:      folds,
 	})
 	stopCompute()
 	if err != nil {
 		return LayerResult{}, err
 	}
 	defer s.opt.Obs.Time("core.layer.report_seconds")()
-	sys.Ofmap.Flush(comp.Cycles)
+	drained := sys.Ofmap.Flush(comp.Cycles)
+	if rec != nil {
+		rec.Finish(comp.Cycles, drained)
+		s.tl.put(index, rec)
+	}
 	mrep := sys.Report(comp.Cycles)
 
 	res := LayerResult{
@@ -312,8 +341,14 @@ func (s *Simulator) Simulate(topo topology.Topology) (RunResult, error) {
 	}
 	s.opt.Progress.Start(len(topo.Layers))
 	obs := s.opt.Obs
+	spanSink := obs.SpanSink()
+	var tlSpans *obsv.SpanRecorder
+	if s.opt.Timeline != nil {
+		tlSpans = &obsv.SpanRecorder{}
+		spanSink = obsv.TeeSpans(spanSink, tlSpans)
+	}
 	stop = obs.Phase("core.simulate")
-	layers, err := engine.RunObserved(s.workers(), len(topo.Layers), obs.SpanSink(),
+	layers, err := engine.RunObserved(s.workers(), len(topo.Layers), spanSink,
 		func(i int) (lr LayerResult, err error) {
 			// A panicking layer fails the run with its index and name; the
 			// engine's own recovery would only know the index.
@@ -349,6 +384,9 @@ func (s *Simulator) Simulate(topo topology.Topology) (RunResult, error) {
 		run.TotalCycles += lr.Compute.Cycles
 		run.TotalMACs += lr.Compute.MACs
 		run.TotalEnergy = run.TotalEnergy.Add(lr.Energy)
+	}
+	if s.opt.Timeline != nil {
+		s.emitTimeline(run, tlSpans.Spans())
 	}
 	return run, nil
 }

@@ -41,5 +41,26 @@ func (s *Simulator) Manifest(res RunResult) *obsv.Manifest {
 		}
 		m.Layers = append(m.Layers, lm)
 	}
+	if w := s.opt.Timeline; w != nil {
+		tl := &obsv.TimelineSummary{
+			Events:       w.Events(),
+			WindowCycles: w.Window(),
+		}
+		if peaks := w.CounterPeaks(); len(peaks) > 0 {
+			tl.PeakWordsPerCycle = peaks
+		}
+		for i, lr := range res.Layers {
+			if lr.StallCycles <= 0 {
+				continue
+			}
+			tl.LayerStalls = append(tl.LayerStalls, obsv.LayerStall{
+				Index: i,
+				Name:  res.Topology.Layers[i].Name,
+				StallFraction: float64(lr.StallCycles) /
+					float64(lr.StalledCycles()),
+			})
+		}
+		m.Timeline = tl
+	}
 	return m
 }

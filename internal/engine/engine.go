@@ -103,7 +103,8 @@ func RunObserved[T any](workers, n int, sink obsv.SpanSink, job func(i int) (T, 
 			var err error
 			results[i], err = runJob(i, job)
 			if sink != nil {
-				sink.Emit(obsv.Span{Index: i, Exec: time.Since(start), Err: err != nil})
+				sink.Emit(obsv.Span{Index: i, Exec: time.Since(start), Err: err != nil,
+					Enqueued: start})
 			}
 			if err != nil {
 				return results, err
@@ -148,6 +149,7 @@ func RunObserved[T any](workers, n int, sink obsv.SpanSink, job func(i int) (T, 
 						QueueWait: start.Sub(enq[i]),
 						Exec:      end.Sub(start),
 						Err:       err != nil,
+						Enqueued:  enq[i],
 					}
 					ends[i] = end
 				}

@@ -25,6 +25,21 @@ const (
 // Streams lists every stream in canonical order.
 var Streams = []Stream{SRAMReadIfmap, SRAMReadFilter, SRAMWriteOfmap, DRAMRead, DRAMWrite}
 
+// Per-operand DRAM streams: split views of DRAMRead/DRAMWrite by the SRAM
+// buffer that caused the traffic. They are not part of Streams (no trace
+// CSVs by default) and stay silent unless a sink attaches to them — the
+// simulator only wires the memory system's per-operand taps when a
+// consumer is present, so the default path pays nothing.
+const (
+	DRAMReadIfmap  Stream = "dram_read_ifmap"
+	DRAMReadFilter Stream = "dram_read_filter"
+	DRAMWriteOfmap Stream = "dram_write_ofmap"
+)
+
+// OperandDRAMStreams lists the per-operand DRAM streams in canonical
+// order.
+var OperandDRAMStreams = []Stream{DRAMReadIfmap, DRAMReadFilter, DRAMWriteOfmap}
+
 // Job identifies the unit of work a sink set is being built for: its
 // position in the execution order plus the run and layer names sinks may
 // use for labeling (e.g. trace file names).

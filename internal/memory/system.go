@@ -22,6 +22,11 @@ type Options struct {
 	// DRAMRead and DRAMWrite optionally receive the DRAM traces (e.g. CSV
 	// writers or a DRAM timing model).
 	DRAMRead, DRAMWrite trace.Consumer
+	// DRAMIfmapTap, DRAMFilterTap and DRAMOfmapTap optionally receive the
+	// per-operand slice of the DRAM traffic in addition to the merged
+	// DRAMRead/DRAMWrite consumers (e.g. per-operand timeline counters).
+	// Nil taps leave the merged consumers untouched and cost nothing.
+	DRAMIfmapTap, DRAMFilterTap, DRAMOfmapTap trace.Consumer
 	// Metrics, when non-nil, receives the system's health counters
 	// (currently "memory.region_fallbacks": accesses outside a declared
 	// region that demoted a buffer off its dense residency table).
@@ -58,15 +63,18 @@ func NewSystem(cfg config.Config, opt Options) (*System, error) {
 	}
 	double := !opt.SingleBuffered
 	var err error
-	s.Ifmap, err = NewReadBuffer("ifmap", cfg.IfmapSRAMWords(), double, opt.DRAMRead, s.IfmapBW)
+	s.Ifmap, err = NewReadBuffer("ifmap", cfg.IfmapSRAMWords(), double,
+		trace.Tee(opt.DRAMRead, opt.DRAMIfmapTap), s.IfmapBW)
 	if err != nil {
 		return nil, err
 	}
-	s.Filter, err = NewReadBuffer("filter", cfg.FilterSRAMWords(), double, opt.DRAMRead, s.FilterBW)
+	s.Filter, err = NewReadBuffer("filter", cfg.FilterSRAMWords(), double,
+		trace.Tee(opt.DRAMRead, opt.DRAMFilterTap), s.FilterBW)
 	if err != nil {
 		return nil, err
 	}
-	s.Ofmap, err = NewWriteBuffer("ofmap", cfg.OfmapSRAMWords(), double, opt.DRAMWrite, s.OfmapBW)
+	s.Ofmap, err = NewWriteBuffer("ofmap", cfg.OfmapSRAMWords(), double,
+		trace.Tee(opt.DRAMWrite, opt.DRAMOfmapTap), s.OfmapBW)
 	if err != nil {
 		return nil, err
 	}

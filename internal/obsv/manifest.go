@@ -9,8 +9,12 @@ import (
 	"time"
 )
 
-// Schema identifies the manifest document format.
-const Schema = "scalesim.manifest/v1"
+// Schema identifies the manifest document format. v2 added the optional
+// timeline summary; v1 documents are still accepted by Validate.
+const (
+	Schema   = "scalesim.manifest/v2"
+	SchemaV1 = "scalesim.manifest/v1"
+)
 
 // TopologyInfo identifies the workload a manifest describes.
 type TopologyInfo struct {
@@ -50,6 +54,26 @@ type RuntimeStats struct {
 	GoroutineHighWater int     `json:"goroutine_high_water"`
 }
 
+// LayerStall is one layer's share of bounded-link stalling in the
+// timeline summary.
+type LayerStall struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	// StallFraction is stall cycles over stalled runtime (compute +
+	// stall), in [0, 1).
+	StallFraction float64 `json:"stall_fraction"`
+}
+
+// TimelineSummary condenses an exported timeline into the manifest: how
+// big the export was, its sampling granularity, the peak windowed demand
+// per counter track, and which layers stalled under the bounded link.
+type TimelineSummary struct {
+	Events            int64              `json:"events"`
+	WindowCycles      int64              `json:"window_cycles"`
+	PeakWordsPerCycle map[string]float64 `json:"peak_words_per_cycle,omitempty"`
+	LayerStalls       []LayerStall       `json:"layer_stalls,omitempty"`
+}
+
 // Manifest is the machine-readable record of one run: identity (tool,
 // run name, config hash, topology), results (per-layer cycles,
 // utilizations, stalls), and cost (phase wall-clock timings, engine span
@@ -67,6 +91,7 @@ type Manifest struct {
 	Spans       *SpanStats       `json:"spans,omitempty"`
 	Runtime     RuntimeStats     `json:"runtime"`
 	Metrics     *MetricsSnapshot `json:"metrics,omitempty"`
+	Timeline    *TimelineSummary `json:"timeline,omitempty"`
 	WallSeconds float64          `json:"wall_seconds,omitempty"`
 }
 
@@ -158,7 +183,7 @@ func ParseManifest(data []byte) (*Manifest, error) {
 // Validate checks the fields every manifest must carry.
 func (m *Manifest) Validate() error {
 	switch {
-	case m.Schema != Schema:
+	case m.Schema != Schema && m.Schema != SchemaV1:
 		return fmt.Errorf("obsv: manifest schema %q, want %q", m.Schema, Schema)
 	case m.Created == "":
 		return fmt.Errorf("obsv: manifest missing created timestamp")

@@ -80,6 +80,25 @@ func TestManifestValidateRejects(t *testing.T) {
 	}
 }
 
+// TestManifestSchemaVersions pins the compatibility contract: the current
+// schema and v1 both validate, anything else is rejected.
+func TestManifestSchemaVersions(t *testing.T) {
+	for _, schema := range []string{Schema, SchemaV1} {
+		m := (*Recorder)(nil).Manifest()
+		m.Schema = schema
+		if err := m.Validate(); err != nil {
+			t.Errorf("schema %q rejected: %v", schema, err)
+		}
+	}
+	for _, schema := range []string{"", "scalesim.manifest/v0", "scalesim.manifest/v3", "other/v2"} {
+		m := (*Recorder)(nil).Manifest()
+		m.Schema = schema
+		if err := m.Validate(); err == nil {
+			t.Errorf("unknown schema %q accepted", schema)
+		}
+	}
+}
+
 func TestLayerTimingsOrdered(t *testing.T) {
 	rec := NewRecorder()
 	rec.ObserveLayer(2, "c", time.Millisecond)

@@ -23,12 +23,44 @@ type Span struct {
 	Join time.Duration `json:"join_ns"`
 	// Err reports whether the job returned an error.
 	Err bool `json:"err,omitempty"`
+	// Enqueued is the wall-clock instant the job was dispatched; the
+	// timeline exporter places spans on the host axis with it. Absolute
+	// times don't belong in serialized manifests, so it is not emitted.
+	Enqueued time.Time `json:"-"`
 }
 
 // SpanSink receives engine job spans. The engine emits spans after its
 // deterministic join, in index order, from a single goroutine; sinks that
 // are also fed from elsewhere must handle concurrent Emit calls.
 type SpanSink interface{ Emit(Span) }
+
+// spanTee fans spans out to several sinks.
+type spanTee []SpanSink
+
+func (t spanTee) Emit(s Span) {
+	for _, sink := range t {
+		sink.Emit(s)
+	}
+}
+
+// TeeSpans fans spans out to every non-nil sink, returning the sole
+// survivor directly and nil when nothing remains — the span-side analogue
+// of trace.Tee, so optional sinks compose without nil checks.
+func TeeSpans(sinks ...SpanSink) SpanSink {
+	live := make(spanTee, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
 
 // SpanRecorder is a SpanSink that retains every span and aggregates
 // per-worker and whole-pool statistics. Safe for concurrent use.

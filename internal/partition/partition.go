@@ -21,8 +21,10 @@ import (
 	"scalesim/internal/memory"
 	"scalesim/internal/noc"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
+	"scalesim/internal/trace"
 )
 
 // Spec describes a scale-out system: the partition grid and the per-array
@@ -100,6 +102,12 @@ type Options struct {
 	// every partition task and the "partition.run" phase. Results are
 	// unaffected.
 	Obs *obsv.Recorder
+	// Timeline, when non-nil, receives the scale-out run as a Chrome Trace
+	// Event timeline: one thread per partition carrying its span and fold
+	// schedule, per-partition bandwidth counters (track names prefixed
+	// "p<i>."), and the engine's scheduler spans on the host axis. Purely
+	// additive; results are unaffected.
+	Timeline *timeline.Writer
 }
 
 // Run executes the layer on the scale-out system described by spec. The
@@ -169,10 +177,33 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 		comp systolic.Result
 		mem  memory.Report
 	}
+	recs := make([]*timeline.LayerRecorder, len(tasks))
+	spanSink := opt.Obs.SpanSink()
+	var tlSpans *obsv.SpanRecorder
+	if opt.Timeline != nil {
+		tlSpans = &obsv.SpanRecorder{}
+		spanSink = obsv.TeeSpans(spanSink, tlSpans)
+	}
 	stop := opt.Obs.Phase("partition.run")
-	outcomes, err := engine.RunObserved(opt.Parallel, len(tasks), opt.Obs.SpanSink(), func(i int) (outcome, error) {
+	outcomes, err := engine.RunObserved(opt.Parallel, len(tasks), spanSink, func(i int) (outcome, error) {
 		t := tasks[i]
-		sys, err := memory.NewSystem(cfg, opt.Memory)
+		memOpt := opt.Memory
+		sinks := systolic.Sinks{}
+		var rec *timeline.LayerRecorder
+		if opt.Timeline != nil {
+			rec = timeline.NewLayerRecorder(
+				fmt.Sprintf("partition %d,%d", t.pi, t.pj), i, opt.Timeline.Window())
+			recs[i] = rec
+			memOpt.DRAMRead = trace.Tee(memOpt.DRAMRead, rec.Sampler(timeline.TrackDRAMRead))
+			memOpt.DRAMWrite = trace.Tee(memOpt.DRAMWrite, rec.Sampler(timeline.TrackDRAMWrite))
+			memOpt.DRAMIfmapTap = rec.Sampler(timeline.TrackDRAMIfmapRead)
+			memOpt.DRAMFilterTap = rec.Sampler(timeline.TrackDRAMFilterRead)
+			memOpt.DRAMOfmapTap = rec.Sampler(timeline.TrackDRAMOfmapWrite)
+			sinks.Folds = systolic.FoldObserverFunc(func(f systolic.FoldInfo) {
+				rec.AddFold(f.FR, f.FC, f.Rows, f.Cols, f.Start, f.Cycles)
+			})
+		}
+		sys, err := memory.NewSystem(cfg, memOpt)
 		if err != nil {
 			return outcome{}, err
 		}
@@ -181,20 +212,30 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 			cfg.FilterOffset, l.FilterWords(),
 			cfg.OfmapOffset, l.OfmapWords(),
 		)
-		comp, err := systolic.RunWindow(l, cfg, t.win, systolic.Sinks{
-			IfmapRead:  sys.Ifmap,
-			FilterRead: sys.Filter,
-			OfmapWrite: sys.Ofmap,
-		})
+		sinks.IfmapRead = sys.Ifmap
+		sinks.FilterRead = sys.Filter
+		sinks.OfmapWrite = sys.Ofmap
+		if rec != nil {
+			sinks.IfmapRead = trace.Tee(sinks.IfmapRead, rec.Sampler(timeline.TrackSRAMIfmapRead))
+			sinks.FilterRead = trace.Tee(sinks.FilterRead, rec.Sampler(timeline.TrackSRAMFilterRead))
+			sinks.OfmapWrite = trace.Tee(sinks.OfmapWrite, rec.Sampler(timeline.TrackSRAMOfmapWrite))
+		}
+		comp, err := systolic.RunWindow(l, cfg, t.win, sinks)
 		if err != nil {
 			return outcome{}, err
 		}
-		sys.Ofmap.Flush(comp.Cycles)
+		drained := sys.Ofmap.Flush(comp.Cycles)
+		if rec != nil {
+			rec.Finish(comp.Cycles, drained)
+		}
 		return outcome{comp: comp, mem: sys.Report(comp.Cycles)}, nil
 	})
 	stop()
 	if err != nil {
 		return Result{}, err
+	}
+	if opt.Timeline != nil {
+		emitTimeline(opt.Timeline, l, spec, recs, tlSpans.Spans())
 	}
 
 	res := Result{Layer: l, Spec: spec}

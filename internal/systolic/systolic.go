@@ -34,7 +34,35 @@ type Sinks struct {
 	FilterRead trace.Consumer
 	// OfmapWrite receives OFMAP SRAM write events.
 	OfmapWrite trace.Consumer
+	// Folds, when non-nil, observes every fold's placement in the
+	// schedule as it is generated. Purely observational: trace output and
+	// results are unaffected, and a nil observer costs one comparison per
+	// fold.
+	Folds FoldObserver
 }
+
+// FoldInfo describes one fold of the schedule: its coordinates in the
+// fold grid, the mapped array extent, and its interval on the layer-local
+// cycle axis.
+type FoldInfo struct {
+	// FR and FC are the fold's coordinates along the spatial dimensions.
+	FR, FC int64
+	// Rows and Cols are the mapped rows and columns (<= R, C).
+	Rows, Cols int64
+	// T is the mapping's temporal extent.
+	T int64
+	// Start is the fold's first cycle; Cycles its duration (Eq. 3).
+	Start, Cycles int64
+}
+
+// FoldObserver receives fold placements during a run.
+type FoldObserver interface{ ObserveFold(FoldInfo) }
+
+// FoldObserverFunc adapts a function to the FoldObserver interface.
+type FoldObserverFunc func(FoldInfo)
+
+// ObserveFold calls f.
+func (f FoldObserverFunc) ObserveFold(fi FoldInfo) { f(fi) }
 
 // runSinks is the resolved run-path view of Sinks.
 type runSinks struct {
@@ -127,6 +155,7 @@ func RunWindow(l topology.Layer, cfg config.Config, win Window, sinks Sinks) (Re
 		m:     mp.Mapping(),
 		win:   win,
 		sinks: sinks.runs(),
+		folds: sinks.Folds,
 	}
 	return sim.run(l)
 }
@@ -138,6 +167,7 @@ type sim struct {
 	m     dataflow.Mapping
 	win   Window
 	sinks runSinks
+	folds FoldObserver
 	runs  []trace.Run // reusable batch buffer
 }
 
@@ -183,6 +213,10 @@ func (s *sim) run(l topology.Layer) (Result, error) {
 				return Result{}, fmt.Errorf("systolic: unknown dataflow %v", s.cfg.Dataflow)
 			}
 			dur := foldCycles(R, C, rows, cols, s.m.T, s.cfg.EdgeTrim)
+			if s.folds != nil {
+				s.folds.ObserveFold(FoldInfo{FR: fr, FC: fc, Rows: rows,
+					Cols: cols, T: s.m.T, Start: base, Cycles: dur})
+			}
 			base += dur
 			mappedPE += rows * cols
 			totalPE += R * C

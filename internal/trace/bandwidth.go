@@ -1,5 +1,7 @@
 package trace
 
+import "sort"
+
 // BandwidthMeter aggregates a trace into a bandwidth profile: the access
 // volume per fixed-size cycle window, from which average and peak demand
 // bandwidths are derived. The paper reports interface bandwidth in
@@ -101,3 +103,22 @@ func (b *BandwidthMeter) PeakBytesPerCycle() float64 {
 
 // Windows returns the number of active windows.
 func (b *BandwidthMeter) Windows() int { return len(b.windows) }
+
+// ProfilePoint is one window of a bandwidth profile.
+type ProfilePoint struct {
+	// StartCycle is the window's first cycle.
+	StartCycle int64
+	// Words is the access volume in the window.
+	Words int64
+}
+
+// Profile returns the active windows as (start cycle, words) points in
+// cycle order — the meter's contents as a plottable series.
+func (b *BandwidthMeter) Profile() []ProfilePoint {
+	out := make([]ProfilePoint, 0, len(b.windows))
+	for w, words := range b.windows {
+		out = append(out, ProfilePoint{StartCycle: w * b.WindowCycles, Words: words})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartCycle < out[j].StartCycle })
+	return out
+}

@@ -1,0 +1,204 @@
+// Command benchdiff compares a fresh `go test -bench` run against a
+// recorded baseline and fails on wall-clock regressions. Pipe benchmark
+// output into it:
+//
+//	go test -run XXX -bench . -benchmem -benchtime=1x . | go run ./results/benchdiff.go
+//	go run ./results/benchdiff.go -baseline results/BENCH_PR3.json < bench.txt
+//
+// Without -baseline it picks the lexically newest results/BENCH_*.json.
+// Baseline entries may be flat measurements ({"ns_per_op": ...}) or the
+// before/after pairs of a PR record; the "after" side is the baseline
+// then. Benchmarks present on only one side are reported and skipped. A
+// measured ns/op more than -threshold (default 25%) above the baseline
+// exits non-zero; single-iteration smoke runs are noisy, so the driver
+// (make benchdiff, the CI step) treats the verdict as advisory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// measurement is one benchmark's recorded cost.
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// baselineEntry accepts both recorded shapes: a flat measurement, or a
+// before/after pair whose "after" side is this tree's recorded cost.
+type baselineEntry struct {
+	measurement
+	After *measurement `json:"after"`
+}
+
+// resolved returns the entry's effective baseline measurement.
+func (e baselineEntry) resolved() measurement {
+	if e.After != nil {
+		return *e.After
+	}
+	return e.measurement
+}
+
+type baselineFile struct {
+	Description string                   `json:"description"`
+	Benchmarks  map[string]baselineEntry `json:"benchmarks"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "", "baseline JSON (default: newest results/BENCH_*.json)")
+		threshold    = fs.Float64("threshold", 0.25, "allowed fractional ns/op regression")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	path := *baselinePath
+	if path == "" {
+		var err error
+		if path, err = newestBaseline(); err != nil {
+			return err
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+
+	current, err := parseBenchOutput(stdin)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin; pipe `go test -bench` output in")
+	}
+
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(stdout, "baseline: %s\n", path)
+	fmt.Fprintf(stdout, "%-40s %15s %15s %8s\n", "benchmark", "base ns/op", "now ns/op", "delta")
+	var regressions []string
+	for _, name := range names {
+		entry, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-40s %15s %15.0f %8s\n", name, "-", current[name].NsPerOp, "new")
+			continue
+		}
+		b := entry.resolved()
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		delta := current[name].NsPerOp/b.NsPerOp - 1
+		mark := ""
+		if delta > *threshold {
+			mark = " REGRESSION"
+			regressions = append(regressions, name)
+		}
+		fmt.Fprintf(stdout, "%-40s %15.0f %15.0f %+7.1f%%%s\n",
+			name, b.NsPerOp, current[name].NsPerOp, 100*delta, mark)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := current[name]; !ok {
+			fmt.Fprintf(stdout, "%-40s (in baseline, not measured)\n", name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >%.0f%%: %s",
+			len(regressions), 100**threshold, strings.Join(regressions, ", "))
+	}
+	fmt.Fprintln(stdout, "ok: no regressions above threshold")
+	return nil
+}
+
+// newestBaseline picks the lexically last results/BENCH_*.json, checking
+// both the repo root and the results directory as working directory.
+func newestBaseline() (string, error) {
+	for _, pattern := range []string{"results/BENCH_*.json", "BENCH_*.json"} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			return "", err
+		}
+		if len(matches) > 0 {
+			sort.Strings(matches)
+			return matches[len(matches)-1], nil
+		}
+	}
+	return "", fmt.Errorf("no results/BENCH_*.json baseline found; pass -baseline")
+}
+
+// parseBenchOutput extracts per-benchmark measurements from `go test
+// -bench` stdout. Lines look like
+//
+//	BenchmarkTableIV-4   3   69700569 ns/op   42064912 B/op   4299 allocs/op
+//
+// the trailing -N on the name being GOMAXPROCS, which is stripped so
+// names match recorded baselines across machines. Sub-benchmark names
+// (BenchmarkFoldTrace/os-4) keep their slash path. Custom metrics are
+// ignored.
+func parseBenchOutput(r io.Reader) (map[string]measurement, error) {
+	out := make(map[string]measurement)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := out[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if m.NsPerOp > 0 {
+			out[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

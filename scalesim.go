@@ -44,6 +44,7 @@ import (
 	"scalesim/internal/memory"
 	"scalesim/internal/noc"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/partition"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
@@ -210,6 +211,23 @@ type (
 	// Progress reports live per-unit completion to a writer.
 	Progress = obsv.Progress
 )
+
+// Timeline types: attach a TimelineWriter through Options.Timeline (or
+// the ScaleOutOptions / sweep-spec equivalents) to export the run as
+// Chrome Trace Event JSON — per-layer and per-fold spans, stall
+// intervals and windowed bandwidth counters on the simulated-cycle axis,
+// plus the engine's scheduler spans on the host wall-clock axis. View the
+// output in Perfetto (ui.perfetto.dev) or chrome://tracing.
+type (
+	// TimelineWriter streams Chrome Trace Event JSON.
+	TimelineWriter = timeline.Writer
+	// TimelineOptions tunes the export (counter window).
+	TimelineOptions = timeline.Options
+)
+
+// NewTimeline wraps w in a timeline writer for Options.Timeline. Call
+// Close after the run to terminate the JSON array and flush.
+func NewTimeline(w io.Writer, opt TimelineOptions) *TimelineWriter { return timeline.New(w, opt) }
 
 // NewMetrics returns an enabled metrics recorder for Options.Obs.
 func NewMetrics() *Metrics { return obsv.NewRecorder() }

@@ -13,6 +13,7 @@ import (
 
 	"scalesim"
 	"scalesim/internal/analytical"
+	"scalesim/internal/batch"
 	"scalesim/internal/config"
 	"scalesim/internal/dataflow"
 	"scalesim/internal/dram"
@@ -20,6 +21,7 @@ import (
 	"scalesim/internal/memory"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/rtlref"
+	"scalesim/internal/simcache"
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
@@ -500,6 +502,45 @@ func BenchmarkSimulateTinyNet(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSweepCached measures the per-layer result cache on a repeated
+// design-space sweep. The "off" sub-benchmark is the PR4 baseline: every
+// grid point simulates live. The "on" sub-benchmark warms a shared cache
+// once outside the timed region, then each iteration replays the whole grid
+// from memoized results — the speedup is the cache's value on re-runs of
+// the same grid (a re-measured sweep, a CI re-run, a figure regeneration).
+// Rows are byte-identical either way (TestGridCacheEquivalence pins that).
+func BenchmarkSweepCached(b *testing.B) {
+	spec := batch.Spec{
+		Base:       config.New(),
+		Arrays:     [][2]int{{8, 8}, {16, 16}},
+		Dataflows:  []config.Dataflow{config.OutputStationary, config.WeightStationary},
+		SRAMs:      [][3]int{{2, 2, 1}},
+		Topologies: []topology.Topology{topology.TinyNet()},
+		Parallel:   1,
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := batch.Run(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		cached := spec
+		cached.Cache = simcache.New()
+		if _, err := batch.Run(cached); err != nil { // warm outside the timer
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := batch.Run(cached); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(cached.Cache.Len()), "entries")
+	})
 }
 
 // BenchmarkEngineParallel measures the layer-execution engine's scaling:

@@ -7,6 +7,7 @@
 //	scalesim -config scale.cfg [-topology net.csv] [-outdir out] [-traces] [-dram]
 //	scalesim -net Resnet50 -array 128x128 -dataflow ws [-workers 4]
 //	scalesim -net Resnet50 -metrics run.json -progress -pprof localhost:6060
+//	scalesim -net Resnet50 -cache-dir .simcache -metrics run.json
 //
 // Either -config or the individual flags describe the hardware; -topology
 // overrides the config's topology path and -net selects a built-in network.
@@ -59,6 +60,8 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		tlPath   = fs.String("timeline", "", "write a Chrome Trace Event timeline (Perfetto/chrome://tracing) to this path")
 		tlWindow = fs.Int64("timeline-window", 0, "timeline counter sampling window in cycles (default 64)")
 		dramBW   = fs.Float64("dram-bw", 0, "bound the DRAM link in words/cycle and compute stall cycles (0 = unbounded)")
+		useCache = fs.Bool("cache", false, "memoize per-layer compute results in memory (repeated shapes replay)")
+		cacheDir = fs.String("cache-dir", "", "persist the result cache in this directory (implies -cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +118,16 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		return err
 	}
 
+	var cache *scalesim.Cache
+	switch {
+	case *cacheDir != "":
+		if cache, err = scalesim.NewDiskCache(*cacheDir); err != nil {
+			return err
+		}
+	case *useCache:
+		cache = scalesim.NewCache()
+	}
+
 	var tlw *scalesim.TimelineWriter
 	if *tlPath != "" {
 		f, err := os.Create(*tlPath)
@@ -137,11 +150,11 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		if err != nil {
 			return fmt.Errorf("invalid -parts %q (want PrxPc)", *partsArg)
 		}
-		return runScaleOut(stdout, cfg, topo, pr, pc, rec, prog, *metrics, tlw)
+		return runScaleOut(stdout, cfg, topo, pr, pc, rec, prog, *metrics, tlw, cache)
 	}
 
 	opt := scalesim.Options{Workers: *workers, Obs: rec, Progress: prog,
-		Timeline: tlw, DRAMBandwidth: *dramBW}
+		Timeline: tlw, DRAMBandwidth: *dramBW, Cache: cache}
 	if *traces {
 		if *outDir == "" {
 			return fmt.Errorf("-traces requires -outdir")
@@ -188,7 +201,8 @@ func run(args []string, stdout io.Writer) (retErr error) {
 // prints a per-layer scale-out report. With rec attached it also emits a
 // run manifest (one entry per layer, partition-level engine spans).
 func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, pr, pc int,
-	rec *obsv.Recorder, prog *obsv.Progress, metricsPath string, tlw *scalesim.TimelineWriter) error {
+	rec *obsv.Recorder, prog *obsv.Progress, metricsPath string, tlw *scalesim.TimelineWriter,
+	cache *scalesim.Cache) error {
 	spec := scalesim.ScaleOutSpec{
 		Parts: scalesim.Partitioning{Pr: int64(pr), Pc: int64(pc)},
 		Shape: scalesim.Shape{R: int64(cfg.ArrayHeight), C: int64(cfg.ArrayWidth)},
@@ -204,7 +218,7 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 		if rec.Enabled() {
 			t0 = time.Now()
 		}
-		res, err := scalesim.RunScaleOut(l, cfg, spec, scalesim.ScaleOutOptions{Obs: rec, Timeline: tlw})
+		res, err := scalesim.RunScaleOut(l, cfg, spec, scalesim.ScaleOutOptions{Obs: rec, Timeline: tlw, Cache: cache})
 		if err != nil {
 			return fmt.Errorf("layer %s: %w", l.Name, err)
 		}
@@ -228,9 +242,13 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 		m := rec.Manifest()
 		m.Tool = "scalesim"
 		m.Run = cfg.RunName
-		m.ConfigHash = obsv.Hash(cfg)
+		m.ConfigHash = cfg.Hash()
 		m.Topology = &obsv.TopologyInfo{Name: topo.Name, Layers: len(topo.Layers)}
 		m.Layers = layers
+		if cache != nil {
+			st := cache.Stats()
+			m.Cache = &obsv.CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+		}
 		return m.WriteFile(metricsPath)
 	}
 	return nil

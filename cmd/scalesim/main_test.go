@@ -188,6 +188,55 @@ func TestScaleOutMetricsManifest(t *testing.T) {
 	}
 }
 
+// TestRunDiskCache runs the same network twice against one -cache-dir and
+// requires identical summary output, a warm manifest that reports disk
+// replays, and the same behaviour through the scale-out path.
+func TestRunDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	base := []string{"-net", "TinyNet", "-array", "8x8", "-sram", "2,2,1", "-cache-dir", cacheDir}
+	var cold, warm bytes.Buffer
+	warmManifest := filepath.Join(dir, "warm.json")
+	if err := run(base, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "-metrics", warmManifest), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != warm.String() {
+		t.Fatalf("warm output differs:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+	data, err := os.ReadFile(warmManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obsv.ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache == nil || m.Cache.Hits == 0 {
+		t.Fatalf("warm manifest cache = %+v, want hits > 0", m.Cache)
+	}
+
+	// Scale-out shares the same cache flags and manifest surface.
+	soManifest := filepath.Join(dir, "so.json")
+	var so bytes.Buffer
+	soArgs := []string{"-net", "TinyNet", "-array", "8x8", "-sram", "4,4,2",
+		"-parts", "1x2", "-cache", "-metrics", soManifest}
+	if err := run(soArgs, &so); err != nil {
+		t.Fatal(err)
+	}
+	if data, err = os.ReadFile(soManifest); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = obsv.ParseManifest(data); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache == nil || m.Cache.Misses == 0 {
+		t.Fatalf("scale-out manifest cache = %+v, want misses > 0", m.Cache)
+	}
+}
+
 func TestScaleOutMode(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{"-net", "TinyNet", "-array", "8x8", "-sram", "4,4,2", "-parts", "1x2"}, &buf)

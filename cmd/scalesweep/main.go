@@ -8,6 +8,7 @@
 //	scalesweep -spec sweep.cfg [-config base.cfg] [-o results.csv]
 //	scalesweep -arrays 16x16,32x32 -dataflows os,ws -nets AlexNet
 //	scalesweep -nets TinyNet -metrics sweep.json -progress -pprof localhost:6060
+//	scalesweep -nets Resnet50 -arrays 16x16,32x32 -cache-dir .simcache -metrics sweep.json
 //
 // -metrics writes a sweep manifest (one entry per grid point plus engine
 // span aggregates and runtime stats), -progress reports per-point
@@ -58,6 +59,8 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address during the sweep")
 		tlPath    = fs.String("timeline", "", "write a Chrome Trace Event timeline (one process per grid point) to this path")
 		tlWindow  = fs.Int64("timeline-window", 0, "timeline counter sampling window in cycles (default 64)")
+		useCache  = fs.Bool("cache", false, "share a per-layer result cache across the grid (repeated shapes replay)")
+		cacheDir  = fs.String("cache-dir", "", "persist the result cache in this directory (implies -cache)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +113,16 @@ func run(args []string, stdout io.Writer) (retErr error) {
 	}
 	if *parallel > 0 {
 		spec.Parallel = *parallel
+	}
+	switch {
+	case *cacheDir != "":
+		cache, err := scalesim.NewDiskCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		spec.Cache = cache
+	case *useCache:
+		spec.Cache = scalesim.NewCache()
 	}
 	var rec *obsv.Recorder
 	if *metrics != "" {

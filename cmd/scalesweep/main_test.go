@@ -80,6 +80,56 @@ func TestSweepMetricsManifest(t *testing.T) {
 	}
 }
 
+// TestSweepDiskCache runs the same grid twice against one -cache-dir: the
+// second run must replay from disk (manifest cache.hits > 0) and its CSV
+// must be byte-identical to the first's.
+func TestSweepDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	grid := []string{
+		"-arrays", "8x8", "-dataflows", "os,ws", "-srams", "2/2/1",
+		"-nets", "TinyNet", "-cache-dir", cacheDir,
+	}
+	var cold, warm bytes.Buffer
+	coldManifest := filepath.Join(dir, "cold.json")
+	warmManifest := filepath.Join(dir, "warm.json")
+	if err := run(append(grid, "-metrics", coldManifest), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(grid, "-metrics", warmManifest), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != warm.String() {
+		t.Fatalf("warm CSV differs from cold:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+	parse := func(path string) *obsv.CacheStats {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := obsv.ParseManifest(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cache == nil {
+			t.Fatalf("%s: manifest has no cache stats", path)
+		}
+		return m.Cache
+	}
+	if st := parse(coldManifest); st.Misses == 0 {
+		t.Errorf("cold run misses = %d, want > 0", st.Misses)
+	}
+	if st := parse(warmManifest); st.Hits == 0 {
+		t.Errorf("warm run hits = %d, want > 0 (disk replay)", st.Hits)
+	}
+	// -cache without a directory memoizes within the run only.
+	var mem bytes.Buffer
+	if err := run([]string{"-arrays", "8x8", "-dataflows", "os", "-srams", "2/2/1",
+		"-nets", "TinyNet", "-cache"}, &mem); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSweepErrors(t *testing.T) {
 	var buf bytes.Buffer
 	cases := [][]string{

@@ -5,7 +5,13 @@
 // Usage:
 //
 //	topogen -net Resnet50 [-o resnet50.csv]
+//	topogen -net Resnet50 -stats
 //	topogen -list
+//
+// -stats prints the canonical shape keys (topology.Layer.Key) instead of
+// the CSV: one row per distinct key with its repeat count, so users can see
+// how much reuse a workload exposes to the per-layer result cache before
+// running a sweep.
 package main
 
 import (
@@ -29,9 +35,10 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
 	var (
-		net  = fs.String("net", "", "built-in topology name")
-		out  = fs.String("o", "", "output file (default stdout)")
-		list = fs.Bool("list", false, "list built-in topologies and exit")
+		net   = fs.String("net", "", "built-in topology name")
+		out   = fs.String("o", "", "output file (default stdout)")
+		list  = fs.Bool("list", false, "list built-in topologies and exit")
+		stats = fs.Bool("stats", false, "print shape-key dedup stats instead of the CSV")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,5 +68,27 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		w = f
 	}
+	if *stats {
+		return writeKeyStats(w, topo)
+	}
 	return topology.WriteCSV(w, topo)
+}
+
+// writeKeyStats prints one row per distinct canonical shape key with its
+// repeat count and a summary line: the layers-to-keys ratio is the fraction
+// of simulations a memoizing result cache skips on this workload.
+func writeKeyStats(w io.Writer, topo scalesim.Topology) error {
+	keys := topo.KeyStats()
+	fmt.Fprintf(w, "%s: %d layers, %d distinct shapes\n", topo.Name, len(topo.Layers), len(keys))
+	fmt.Fprintf(w, "%-28s %6s %12s  %s\n", "KEY", "COUNT", "MACS", "FIRST")
+	repeated := 0
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-28s %6d %12d  %s\n", k.Key, k.Count, k.MACs, k.First)
+		if k.Count > 1 {
+			repeated += k.Count - 1
+		}
+	}
+	fmt.Fprintf(w, "cacheable repeats: %d of %d layers (%.0f%%)\n",
+		repeated, len(topo.Layers), 100*float64(repeated)/float64(len(topo.Layers)))
+	return nil
 }

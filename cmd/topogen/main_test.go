@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,6 +48,41 @@ func TestEmitToFile(t *testing.T) {
 	}
 	if len(topo.Layers) != 8 {
 		t.Errorf("layers = %d", len(topo.Layers))
+	}
+}
+
+// TestStats checks the dedup view: ResNet50's repeated residual blocks
+// must collapse to far fewer distinct shape keys than layers, and the
+// Table IV GEMMs (distinct shapes) must show zero cacheable repeats.
+func TestStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-net", "Resnet50", "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	rn := topology.ResNet50()
+	unique := len(rn.KeyStats())
+	header := fmt.Sprintf("%s: %d layers, %d distinct shapes", rn.Name, len(rn.Layers), unique)
+	if !strings.Contains(out, header) {
+		t.Errorf("stats output missing %q:\n%s", header, out)
+	}
+	if unique >= len(rn.Layers) {
+		t.Fatalf("ResNet50 exposes no reuse: %d keys for %d layers", unique, len(rn.Layers))
+	}
+	if !strings.Contains(out, "cacheable repeats:") {
+		t.Errorf("stats output missing summary line:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := run([]string{"-net", "LanguageModels", "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lm := topology.LanguageModels()
+	if n := len(lm.KeyStats()); n != len(lm.Layers) {
+		t.Fatalf("Table IV GEMMs share keys: %d keys for %d layers", n, len(lm.Layers))
+	}
+	if !strings.Contains(buf.String(), "cacheable repeats: 0 of") {
+		t.Errorf("GEMM stats should report zero repeats:\n%s", buf.String())
 	}
 }
 

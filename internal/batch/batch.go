@@ -14,6 +14,7 @@ import (
 	"scalesim/internal/engine"
 	"scalesim/internal/obsv"
 	"scalesim/internal/obsv/timeline"
+	"scalesim/internal/simcache"
 	"scalesim/internal/topology"
 )
 
@@ -56,6 +57,12 @@ type Spec struct {
 	Topologies []topology.Topology
 	// Parallel bounds concurrent runs (default GOMAXPROCS).
 	Parallel int
+	// Cache, when non-nil, memoizes per-layer compute results across the
+	// whole grid: points that share a (config, layer-shape) pair — every
+	// SRAM/array point re-running the same nets, or repeated shapes inside
+	// one net — replay instead of re-simulating. Safe to share across
+	// concurrent points; ignored for points with live sinks (Timeline).
+	Cache *simcache.Cache
 	// Obs, when non-nil, records the sweep: grid-level engine spans, the
 	// "batch.run" phase and per-point wall timings. Rows are unaffected.
 	Obs *obsv.Recorder
@@ -116,7 +123,7 @@ func Run(spec Spec) ([]Row, error) {
 		if spec.Obs.Enabled() {
 			t0 = time.Now()
 		}
-		row, err := runPoint(spec.Base, p, spec.Timeline)
+		row, err := runPoint(spec.Base, p, spec.Timeline, spec.Cache)
 		if err != nil {
 			return Row{}, fmt.Errorf("batch: %s on %dx%d %v: %w",
 				p.Topology.Name, p.Array[0], p.Array[1], p.Dataflow, err)
@@ -134,7 +141,11 @@ func Run(spec Spec) ([]Row, error) {
 func NewManifest(spec Spec, rows []Row, rec *obsv.Recorder) *obsv.Manifest {
 	m := rec.Manifest()
 	m.Tool = "scalesweep"
-	m.ConfigHash = obsv.Hash(spec.Base)
+	m.ConfigHash = spec.Base.Hash()
+	if spec.Cache != nil {
+		st := spec.Cache.Stats()
+		m.Cache = &obsv.CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+	}
 	m.Layers = make([]obsv.LayerMetrics, 0, len(rows))
 	for i, r := range rows {
 		m.Layers = append(m.Layers, obsv.LayerMetrics{
@@ -151,14 +162,14 @@ func NewManifest(spec Spec, rows []Row, rec *obsv.Recorder) *obsv.Manifest {
 	return m
 }
 
-func runPoint(base config.Config, p Point, tl *timeline.Writer) (Row, error) {
+func runPoint(base config.Config, p Point, tl *timeline.Writer, cache *simcache.Cache) (Row, error) {
 	cfg := base.
 		WithArray(p.Array[0], p.Array[1]).
 		WithDataflow(p.Dataflow).
 		WithSRAM(p.SRAM[0], p.SRAM[1], p.SRAM[2])
 	// Grid points already saturate the worker pool; keep each point's
 	// layer execution sequential rather than multiplying the two levels.
-	sim, err := core.New(cfg, core.Options{Workers: 1, Timeline: tl})
+	sim, err := core.New(cfg, core.Options{Workers: 1, Timeline: tl, Cache: cache})
 	if err != nil {
 		return Row{}, err
 	}

@@ -9,6 +9,8 @@
 package config
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 )
@@ -168,6 +170,32 @@ func (c Config) FilterSRAMWords() int64 {
 // OfmapSRAMWords returns the OFMAP SRAM capacity in elements.
 func (c Config) OfmapSRAMWords() int64 {
 	return int64(c.OfmapSRAMKB) * 1024 / int64(c.WordBytes)
+}
+
+// CanonicalKey serializes every simulation-relevant parameter in a fixed
+// field order: the array shape, the three SRAM sizes, the three address
+// offsets, the dataflow, the word size and the edge-trim mode. Labels
+// that do not influence simulation results — RunName and TopologyPath —
+// are excluded, so two configurations that simulate identically share one
+// key regardless of how their files were written: key order in the INI
+// source, explicit-versus-defaulted fields, and naming all collapse to
+// the same canonical string. This is the identity the result cache and
+// the run manifest group runs by.
+func (c Config) CanonicalKey() string {
+	return fmt.Sprintf("a%dx%d;s%d/%d/%d;o%d/%d/%d;df=%s;wb%d;et=%t",
+		c.ArrayHeight, c.ArrayWidth,
+		c.IfmapSRAMKB, c.FilterSRAMKB, c.OfmapSRAMKB,
+		c.IfmapOffset, c.FilterOffset, c.OfmapOffset,
+		c.Dataflow, c.WordBytes, c.EdgeTrim)
+}
+
+// Hash returns "sha256:<hex>" over the canonical key: a stable identifier
+// for the simulated architecture. Equal configurations always hash equal,
+// even when parsed from differently-ordered or differently-defaulted
+// files; see CanonicalKey for what participates.
+func (c Config) Hash() string {
+	sum := sha256.Sum256([]byte(c.CanonicalKey()))
+	return "sha256:" + hex.EncodeToString(sum[:])
 }
 
 // Validate reports the first structural problem with the configuration, or

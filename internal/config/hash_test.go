@@ -1,0 +1,128 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHashCanonicalizesKeyOrder pins the regression the result cache
+// depends on: two files describing the same architecture — one with keys
+// in Table I order, one shuffled and using the alternate separators —
+// must parse to equal canonical keys and equal hashes.
+func TestHashCanonicalizesKeyOrder(t *testing.T) {
+	ordered := `[general]
+run_name = run_a
+
+[architecture_presets]
+ArrayHeight : 16
+ArrayWidth : 64
+IfmapSramSz : 128
+FilterSramSz : 128
+OfmapSramSz : 64
+IfmapOffset : 0
+FilterOffset : 10000000
+OfmapOffset : 20000000
+Dataflow : ws
+WordBytes : 2
+`
+	shuffled := `[general]
+run_name = run_b
+
+[architecture_presets]
+Dataflow = WS
+OfmapOffset = 20000000
+WordBytes = 2
+ArrayWidth = 64
+OfmapSramSz = 64
+FilterOffset = 10000000
+FilterSramSz = 128
+IfmapOffset = 0
+IfmapSramSz = 128
+ArrayHeight = 16
+`
+	a, err := Parse(strings.NewReader(ordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(strings.NewReader(shuffled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Fatalf("canonical keys differ:\n%s\n%s", a.CanonicalKey(), b.CanonicalKey())
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("hashes differ: %s vs %s", a.Hash(), b.Hash())
+	}
+	if !strings.HasPrefix(a.Hash(), "sha256:") {
+		t.Fatalf("hash format: %q", a.Hash())
+	}
+}
+
+// TestHashCanonicalizesDefaults checks that a file spelling out the
+// default values hashes equal to one that omits them, and that the
+// run-label fields (RunName, TopologyPath) never enter the hash.
+func TestHashCanonicalizesDefaults(t *testing.T) {
+	explicit := `[general]
+run_name = explicit
+
+[architecture_presets]
+ArrayHeight : 32
+ArrayWidth : 32
+IfmapSramSz : 512
+FilterSramSz : 512
+OfmapSramSz : 256
+IfmapOffset : 0
+FilterOffset : 10000000
+OfmapOffset : 20000000
+Dataflow : os
+WordBytes : 1
+EdgeTrim : false
+Topology : nets/some.csv
+`
+	defaulted := `[general]
+run_name = defaulted
+
+[architecture_presets]
+Dataflow : os
+`
+	a, err := Parse(strings.NewReader(explicit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(strings.NewReader(defaulted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("explicit defaults hash %s, omitted defaults hash %s", a.Hash(), b.Hash())
+	}
+	if a.Hash() != New().Hash() {
+		t.Fatalf("parsed defaults != programmatic defaults")
+	}
+}
+
+// TestHashDistinguishesParameters ensures every simulation-relevant field
+// moves the hash.
+func TestHashDistinguishesParameters(t *testing.T) {
+	base := New()
+	variants := map[string]Config{
+		"array":    base.WithArray(16, 32),
+		"sram":     base.WithSRAM(128, 512, 256),
+		"dataflow": base.WithDataflow(WeightStationary),
+	}
+	off := base
+	off.FilterOffset = 11_000_000
+	variants["offset"] = off
+	wb := base
+	wb.WordBytes = 2
+	variants["wordbytes"] = wb
+	et := base
+	et.EdgeTrim = true
+	variants["edgetrim"] = et
+	for name, v := range variants {
+		if v.Hash() == base.Hash() {
+			t.Errorf("%s: variant hash equals base hash", name)
+		}
+	}
+}

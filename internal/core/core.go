@@ -26,6 +26,7 @@ import (
 	"scalesim/internal/memory"
 	"scalesim/internal/obsv"
 	"scalesim/internal/obsv/timeline"
+	"scalesim/internal/simcache"
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
@@ -49,6 +50,15 @@ type Options struct {
 	// from the demand traces (LayerResult.StallCycles). Zero means an
 	// unbounded link, the paper's stall-free operating point.
 	DRAMBandwidth float64
+	// Cache, when non-nil, memoizes the pure compute stage of each layer
+	// under its canonical key (config hash x layer shape x memory and DRAM
+	// bounds): repeated shapes replay their recorded cycles, traffic and
+	// stall results instead of re-simulating, with byte-identical reports.
+	// The cache is consulted only when no option demands a live per-layer
+	// consumer — trace files, timelines, caller sinks, or shared DRAM
+	// consumers/taps disable it for the run. One cache may be shared by
+	// many simulators and goroutines.
+	Cache *simcache.Cache
 	// Workers bounds how many layers Simulate executes concurrently. Zero
 	// picks GOMAXPROCS — unless Memory.DRAMRead or Memory.DRAMWrite is set,
 	// in which case layers serialize so the shared consumer never observes
@@ -152,6 +162,9 @@ type Simulator struct {
 	em  energy.Model
 	reg engine.Registry
 	tl  timelineState
+	// cache marks that Options permit replaying compute results from
+	// opt.Cache; decided once at New (see cacheable in pipeline.go).
+	cache bool
 }
 
 // SinkSet value keys the built-in factories deposit their per-layer probes
@@ -193,7 +206,7 @@ func New(cfg config.Config, opt Options) (*Simulator, error) {
 		reg = append(reg, stallSink(opt.DRAMBandwidth))
 	}
 	reg = append(reg, opt.Sinks...)
-	s := &Simulator{cfg: cfg, opt: opt, em: em, reg: reg}
+	s := &Simulator{cfg: cfg, opt: opt, em: em, reg: reg, cache: cacheable(opt)}
 	if opt.Timeline != nil {
 		s.reg = append(s.reg, s.timelineSink())
 	}
@@ -230,91 +243,29 @@ func stallSink(wordsPerCycle float64) engine.Factory {
 	}
 }
 
-// SimulateLayer runs one layer through compute, memory, optional DRAM
-// timing, and energy accounting.
+// SimulateLayer runs one layer through the map/sinks/compute/analyze
+// pipeline (see pipeline.go): mapping and cache lookup, live trace
+// consumers, the systolic and memory simulation, DRAM timing, stall and
+// energy accounting.
 func (s *Simulator) SimulateLayer(l topology.Layer) (LayerResult, error) {
 	return s.simulateLayer(0, l)
 }
 
 func (s *Simulator) simulateLayer(index int, l topology.Layer) (LayerResult, error) {
-	if err := l.Validate(); err != nil {
-		return LayerResult{}, err
+	ctx := &LayerContext{Index: index, Layer: l}
+	defer ctx.close()
+	for _, st := range pipeline {
+		if st.liveOnly && ctx.CacheHit {
+			continue
+		}
+		stop := s.opt.Obs.Time("core.layer." + st.name + "_seconds")
+		err := st.fn(s, ctx)
+		stop()
+		if err != nil {
+			return LayerResult{}, err
+		}
 	}
-	stopSinks := s.opt.Obs.Time("core.layer.sinks_seconds")
-	set, err := s.reg.NewSinkSet(engine.Job{Index: index, Run: s.cfg.RunName, Layer: l.Name})
-	stopSinks()
-	if err != nil {
-		return LayerResult{}, err
-	}
-	defer set.Close()
-
-	memOpt := s.opt.Memory
-	memOpt.DRAMRead = set.Tap(engine.DRAMRead, memOpt.DRAMRead)
-	memOpt.DRAMWrite = set.Tap(engine.DRAMWrite, memOpt.DRAMWrite)
-	memOpt.DRAMIfmapTap = set.Tap(engine.DRAMReadIfmap, memOpt.DRAMIfmapTap)
-	memOpt.DRAMFilterTap = set.Tap(engine.DRAMReadFilter, memOpt.DRAMFilterTap)
-	memOpt.DRAMOfmapTap = set.Tap(engine.DRAMWriteOfmap, memOpt.DRAMOfmapTap)
-	if memOpt.Metrics == nil {
-		memOpt.Metrics = s.opt.Obs.Metrics()
-	}
-
-	sys, err := memory.NewSystem(s.cfg, memOpt)
-	if err != nil {
-		return LayerResult{}, err
-	}
-	sys.SetRegions(
-		s.cfg.IfmapOffset, l.IfmapWords(),
-		s.cfg.FilterOffset, l.FilterWords(),
-		s.cfg.OfmapOffset, l.OfmapWords(),
-	)
-
-	rec, _ := set.Value(timelineProbeKey).(*timeline.LayerRecorder)
-	var folds systolic.FoldObserver
-	if rec != nil {
-		folds = systolic.FoldObserverFunc(func(f systolic.FoldInfo) {
-			rec.AddFold(f.FR, f.FC, f.Rows, f.Cols, f.Start, f.Cycles)
-		})
-	}
-
-	stopCompute := s.opt.Obs.Time("core.layer.compute_seconds")
-	comp, err := systolic.Run(l, s.cfg, systolic.Sinks{
-		IfmapRead:  set.Tap(engine.SRAMReadIfmap, sys.Ifmap),
-		FilterRead: set.Tap(engine.SRAMReadFilter, sys.Filter),
-		OfmapWrite: set.Tap(engine.SRAMWriteOfmap, sys.Ofmap),
-		Folds:      folds,
-	})
-	stopCompute()
-	if err != nil {
-		return LayerResult{}, err
-	}
-	defer s.opt.Obs.Time("core.layer.report_seconds")()
-	drained := sys.Ofmap.Flush(comp.Cycles)
-	if rec != nil {
-		rec.Finish(comp.Cycles, drained)
-		s.tl.put(index, rec)
-	}
-	mrep := sys.Report(comp.Cycles)
-
-	res := LayerResult{
-		Compute: comp,
-		Memory:  mrep,
-		Energy: s.em.Compute(
-			int64(s.cfg.MACs()), comp.Cycles,
-			mrep.IfmapSRAMReads+mrep.FilterSRAMReads+mrep.OfmapSRAMWrites,
-			mrep.DRAMAccesses(),
-		),
-	}
-	if m, ok := set.Value(dramProbeKey).(*dram.Model); ok {
-		stats := m.Stats()
-		res.DRAMStats = &stats
-	}
-	if a, ok := set.Value(stallProbeKey).(*trace.StallAnalyzer); ok {
-		res.StallCycles = a.StallCycles()
-	}
-	if err := set.Finish(); err != nil {
-		return LayerResult{}, err
-	}
-	return res, nil
+	return ctx.Result, nil
 }
 
 // workers resolves the effective layer-level parallelism; see

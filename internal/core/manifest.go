@@ -17,7 +17,7 @@ func (s *Simulator) Manifest(res RunResult) *obsv.Manifest {
 	m := rec.Manifest()
 	m.Tool = "scalesim"
 	m.Run = res.Config.RunName
-	m.ConfigHash = obsv.Hash(res.Config)
+	m.ConfigHash = res.Config.Hash()
 	if m.Workers = s.workers(); m.Workers <= 0 {
 		m.Workers = runtime.GOMAXPROCS(0) // the engine's default resolution
 	}
@@ -40,6 +40,10 @@ func (s *Simulator) Manifest(res RunResult) *obsv.Manifest {
 			lm.Utilization = float64(lr.Compute.MACs) / (peakMACs * float64(lr.Compute.Cycles))
 		}
 		m.Layers = append(m.Layers, lm)
+	}
+	if c := s.opt.Cache; c != nil {
+		st := c.Stats()
+		m.Cache = &obsv.CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
 	}
 	if w := s.opt.Timeline; w != nil {
 		tl := &obsv.TimelineSummary{

@@ -27,8 +27,11 @@ func TestSimulatorManifest(t *testing.T) {
 	if m.Tool != "scalesim" || m.Run != cfg.RunName {
 		t.Errorf("identity = %q/%q, want scalesim/%q", m.Tool, m.Run, cfg.RunName)
 	}
-	if m.ConfigHash != obsv.Hash(cfg) {
+	if m.ConfigHash != cfg.Hash() {
 		t.Errorf("config hash not reproducible from the config")
+	}
+	if m.ConfigHash != cfg.WithArray(cfg.ArrayHeight, cfg.ArrayWidth).Hash() {
+		t.Errorf("equal configs hash differently")
 	}
 	if m.Topology == nil || m.Topology.Name != topo.Name || m.Topology.Layers != len(topo.Layers) {
 		t.Errorf("topology info = %+v", m.Topology)

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"scalesim/internal/dram"
+	"scalesim/internal/engine"
+	"scalesim/internal/memory"
+	"scalesim/internal/obsv/timeline"
+	"scalesim/internal/simcache"
+	"scalesim/internal/systolic"
+	"scalesim/internal/topology"
+	"scalesim/internal/trace"
+)
+
+// The per-layer simulation is an explicit pipeline of stages over a shared
+// LayerContext:
+//
+//	map -> sinks -> compute -> analyze
+//
+// The map stage resolves the layer's canonical identity and consults the
+// result cache; sinks builds the per-layer trace consumers; compute runs
+// the systolic array, streaming its traces through the memory system into
+// those sinks; analyze collects probe results, stores the cache entry and
+// derives the final LayerResult (energy is computed here, outside the
+// cached portion, so changing the energy model never invalidates entries).
+//
+// The compute stage is a pure function of the canonical key assembled in
+// stageMap: the configuration's canonical parameters, the layer's shape
+// key, the memory-system options and the DRAM bound/model. Everything it
+// produces lands in LayerContext.Entry — exactly the simcache.Entry
+// payload — so a cache hit skips the sinks and compute stages wholesale
+// and replays the entry. Stages that exist only to feed live consumers
+// are marked liveOnly and never run on a hit; conversely, any option that
+// demands a live consumer (trace files, timelines, caller sinks, shared
+// DRAM consumers or taps) disables caching for the whole run at New time,
+// so a hit can never starve a sink.
+
+// LayerContext is the state one layer threads through the pipeline
+// stages. Exported fields are the stage contract; unexported fields carry
+// live-run plumbing between consecutive stages.
+type LayerContext struct {
+	// Index is the layer's position in the topology.
+	Index int
+	// Layer is the layer being simulated.
+	Layer topology.Layer
+	// Key is the canonical compute key, empty when the run is uncacheable
+	// (then every layer runs live).
+	Key string
+	// CacheHit reports that Entry was replayed from the cache and the
+	// liveOnly stages were skipped.
+	CacheHit bool
+	// Entry is the pure compute-stage outcome: filled by the compute and
+	// analyze stages on a live run, by the cache on a hit.
+	Entry simcache.Entry
+	// Result is the layer's final outcome, assembled by the analyze stage.
+	Result LayerResult
+
+	set *engine.SinkSet
+	sys *memory.System
+	rec *timeline.LayerRecorder
+}
+
+// close releases the context's live resources; safe to call at any stage.
+func (ctx *LayerContext) close() {
+	if ctx.set != nil {
+		ctx.set.Close()
+		ctx.set = nil
+	}
+}
+
+// stage is one step of the per-layer pipeline.
+type stage struct {
+	// name labels the stage's wall-clock histogram
+	// ("core.layer.<name>_seconds").
+	name string
+	// liveOnly marks stages that only feed live consumers; skipped when
+	// the map stage satisfies the layer from the cache.
+	liveOnly bool
+	fn       func(*Simulator, *LayerContext) error
+}
+
+// pipeline is the per-layer stage order.
+var pipeline = []stage{
+	{name: "map", fn: (*Simulator).stageMap},
+	{name: "sinks", liveOnly: true, fn: (*Simulator).stageSinks},
+	{name: "compute", liveOnly: true, fn: (*Simulator).stageCompute},
+	{name: "analyze", fn: (*Simulator).stageAnalyze},
+}
+
+// cacheable reports whether the run's compute stage is observable only
+// through its results — no option demands a live per-layer consumer — so
+// entries may be replayed from a cache. Metrics and observability are
+// allowed: they are additive and never alter simulation output.
+func cacheable(opt Options) bool {
+	m := opt.Memory
+	return opt.Cache != nil &&
+		opt.TraceDir == "" &&
+		opt.Timeline == nil &&
+		len(opt.Sinks) == 0 &&
+		m.DRAMRead == nil && m.DRAMWrite == nil &&
+		m.DRAMIfmapTap == nil && m.DRAMFilterTap == nil && m.DRAMOfmapTap == nil
+}
+
+// layerKey assembles the canonical compute key: everything the compute
+// stage's outcome depends on, and nothing it does not (run names, energy
+// model, observability). The "core|" namespace keeps whole-layer entries
+// apart from partition windows sharing one cache directory.
+func (s *Simulator) layerKey(l topology.Layer) string {
+	key := "core|" + s.cfg.CanonicalKey() + "|" + l.Key() +
+		fmt.Sprintf("|sb=%t;win=%d", s.opt.Memory.SingleBuffered, s.opt.Memory.BandwidthWindow)
+	if s.opt.DRAMBandwidth > 0 {
+		key += fmt.Sprintf(";bw=%g", s.opt.DRAMBandwidth)
+	}
+	if s.opt.DRAM != nil {
+		key += fmt.Sprintf(";dram=%+v", *s.opt.DRAM)
+	}
+	return key
+}
+
+// stageMap resolves the layer's identity: validation, canonical key, and
+// the cache consultation. On a hit the cached entry is adopted with its
+// Layer relabeled to this layer — shape keys guarantee the simulated
+// shape is identical, but the entry carries whichever layer name filled
+// it first, and reports print names.
+func (s *Simulator) stageMap(ctx *LayerContext) error {
+	if err := ctx.Layer.Validate(); err != nil {
+		return err
+	}
+	if !s.cache {
+		return nil
+	}
+	ctx.Key = s.layerKey(ctx.Layer)
+	if e, ok := s.opt.Cache.Get(ctx.Key); ok {
+		e.Compute.Layer = ctx.Layer
+		ctx.Entry = e
+		ctx.CacheHit = true
+		s.opt.Obs.Metrics().Counter("core.simcache.hits").Inc()
+		return nil
+	}
+	s.opt.Obs.Metrics().Counter("core.simcache.misses").Inc()
+	return nil
+}
+
+// stageSinks builds the layer's fresh trace consumers from the sink
+// factory registry.
+func (s *Simulator) stageSinks(ctx *LayerContext) error {
+	set, err := s.reg.NewSinkSet(engine.Job{
+		Index: ctx.Index, Run: s.cfg.RunName, Layer: ctx.Layer.Name, Key: ctx.Key,
+	})
+	if err != nil {
+		return err
+	}
+	ctx.set = set
+	return nil
+}
+
+// stageCompute runs the systolic array, streaming its SRAM traces through
+// the memory system — and every tapped sink — then summarizes the memory
+// traffic. Its entire outcome lands in ctx.Entry.
+func (s *Simulator) stageCompute(ctx *LayerContext) error {
+	l := ctx.Layer
+	memOpt := s.opt.Memory
+	memOpt.DRAMRead = ctx.set.Tap(engine.DRAMRead, memOpt.DRAMRead)
+	memOpt.DRAMWrite = ctx.set.Tap(engine.DRAMWrite, memOpt.DRAMWrite)
+	memOpt.DRAMIfmapTap = ctx.set.Tap(engine.DRAMReadIfmap, memOpt.DRAMIfmapTap)
+	memOpt.DRAMFilterTap = ctx.set.Tap(engine.DRAMReadFilter, memOpt.DRAMFilterTap)
+	memOpt.DRAMOfmapTap = ctx.set.Tap(engine.DRAMWriteOfmap, memOpt.DRAMOfmapTap)
+	if memOpt.Metrics == nil {
+		memOpt.Metrics = s.opt.Obs.Metrics()
+	}
+
+	sys, err := memory.NewSystem(s.cfg, memOpt)
+	if err != nil {
+		return err
+	}
+	ctx.sys = sys
+	sys.SetRegions(
+		s.cfg.IfmapOffset, l.IfmapWords(),
+		s.cfg.FilterOffset, l.FilterWords(),
+		s.cfg.OfmapOffset, l.OfmapWords(),
+	)
+
+	ctx.rec, _ = ctx.set.Value(timelineProbeKey).(*timeline.LayerRecorder)
+	var folds systolic.FoldObserver
+	if ctx.rec != nil {
+		rec := ctx.rec
+		folds = systolic.FoldObserverFunc(func(f systolic.FoldInfo) {
+			rec.AddFold(f.FR, f.FC, f.Rows, f.Cols, f.Start, f.Cycles)
+		})
+	}
+
+	comp, err := systolic.Run(l, s.cfg, systolic.Sinks{
+		IfmapRead:  ctx.set.Tap(engine.SRAMReadIfmap, sys.Ifmap),
+		FilterRead: ctx.set.Tap(engine.SRAMReadFilter, sys.Filter),
+		OfmapWrite: ctx.set.Tap(engine.SRAMWriteOfmap, sys.Ofmap),
+		Folds:      folds,
+	})
+	if err != nil {
+		return err
+	}
+	drained := sys.Ofmap.Flush(comp.Cycles)
+	if ctx.rec != nil {
+		ctx.rec.Finish(comp.Cycles, drained)
+		s.tl.put(ctx.Index, ctx.rec)
+	}
+	ctx.Entry.Compute = comp
+	ctx.Entry.Memory = sys.Report(comp.Cycles)
+	return nil
+}
+
+// stageAnalyze finishes the layer: on a live run it collects the DRAM
+// timing and stall probe results into the entry, stores the entry under
+// the canonical key and finalizes the sinks; on both paths it derives the
+// energy breakdown — a function of the entry, not part of it — and
+// assembles the LayerResult.
+func (s *Simulator) stageAnalyze(ctx *LayerContext) error {
+	if !ctx.CacheHit {
+		if m, ok := ctx.set.Value(dramProbeKey).(*dram.Model); ok {
+			stats := m.Stats()
+			ctx.Entry.DRAMStats = &stats
+		}
+		if a, ok := ctx.set.Value(stallProbeKey).(*trace.StallAnalyzer); ok {
+			ctx.Entry.StallCycles = a.StallCycles()
+		}
+		if ctx.Key != "" {
+			s.opt.Cache.Put(ctx.Key, ctx.Entry)
+		}
+		if err := ctx.set.Finish(); err != nil {
+			return err
+		}
+	}
+	comp, mrep := ctx.Entry.Compute, ctx.Entry.Memory
+	ctx.Result = LayerResult{
+		Compute:     comp,
+		Memory:      mrep,
+		DRAMStats:   ctx.Entry.DRAMStats,
+		StallCycles: ctx.Entry.StallCycles,
+		Energy: s.em.Compute(
+			int64(s.cfg.MACs()), comp.Cycles,
+			mrep.IfmapSRAMReads+mrep.FilterSRAMReads+mrep.OfmapSRAMWrites,
+			mrep.DRAMAccesses(),
+		),
+	}
+	return nil
+}

@@ -50,6 +50,11 @@ type Job struct {
 	Run string
 	// Layer is the layer (or grid point) name.
 	Layer string
+	// Key is the job's canonical identity when the caller computes one
+	// (config hash x layer shape); empty otherwise. Factories may use it
+	// to address content-keyed stores, but must not use it for file names
+	// — Run and Layer stay the user-facing labels.
+	Key string
 }
 
 // SinkSet is the set of trace consumers wired to one job's streams,

@@ -11,6 +11,7 @@ import (
 	"scalesim/internal/engine"
 	"scalesim/internal/obsv"
 	"scalesim/internal/partition"
+	"scalesim/internal/simcache"
 	"scalesim/internal/topology"
 )
 
@@ -21,6 +22,11 @@ import (
 type Obs struct {
 	Rec      *obsv.Recorder
 	Progress *obsv.Progress
+	// Cache, when non-nil, memoizes per-partition compute results across
+	// the sweep's series: Fig. 11's layers and Fig. 12's MAC budgets
+	// revisit the same (shape, window) pairs, and a repeated figure run
+	// replays entirely. Results are byte-identical with or without it.
+	Cache *simcache.Cache
 }
 
 // --- Fig. 11 / Fig. 12: cycle-accurate partition sweeps ------------------
@@ -94,7 +100,7 @@ func Fig11Obs(totalMACs int64, partCounts []int64, obs Obs) (map[string][]SweepR
 	defer obs.Rec.Phase("experiments.fig11")()
 	series, err := engine.RunObserved(0, len(layers), obs.Rec.SpanSink(), func(i int) ([]SweepRow, error) {
 		rows, err := sweepSeries(obs, i, layers[i].Name, func() ([]SweepRow, error) {
-			return partitionSweep(layers[i], totalMACs, partCounts, partition.Options{Parallel: 1})
+			return partitionSweep(layers[i], totalMACs, partCounts, partition.Options{Parallel: 1, Cache: obs.Cache})
 		})
 		return rows, err
 	})
@@ -122,7 +128,7 @@ func Fig12Obs(l topology.Layer, macBudgets []int64, partCounts []int64, obs Obs)
 	series, err := engine.RunObserved(0, len(macBudgets), obs.Rec.SpanSink(), func(i int) ([]SweepRow, error) {
 		name := fmt.Sprintf("%s@%dMACs", l.Name, macBudgets[i])
 		return sweepSeries(obs, i, name, func() ([]SweepRow, error) {
-			return partitionSweep(l, macBudgets[i], partCounts, partition.Options{Parallel: 1})
+			return partitionSweep(l, macBudgets[i], partCounts, partition.Options{Parallel: 1, Cache: obs.Cache})
 		})
 	})
 	if err != nil {

@@ -74,6 +74,25 @@ type TimelineSummary struct {
 	LayerStalls       []LayerStall       `json:"layer_stalls,omitempty"`
 }
 
+// CacheStats summarizes the result cache attached to a run: how many
+// layer simulations were replayed (hits) versus computed (misses), and
+// how many distinct entries the cache held afterwards. The counters are
+// the cache's lifetime totals — for a cache created for one run they are
+// that run's totals; a cache shared across runs accumulates.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int64 `json:"entries,omitempty"`
+}
+
+// HitRate returns hits over lookups, zero when nothing was looked up.
+func (c CacheStats) HitRate() float64 {
+	if total := c.Hits + c.Misses; total > 0 {
+		return float64(c.Hits) / float64(total)
+	}
+	return 0
+}
+
 // Manifest is the machine-readable record of one run: identity (tool,
 // run name, config hash, topology), results (per-layer cycles,
 // utilizations, stalls), and cost (phase wall-clock timings, engine span
@@ -91,6 +110,7 @@ type Manifest struct {
 	Spans       *SpanStats       `json:"spans,omitempty"`
 	Runtime     RuntimeStats     `json:"runtime"`
 	Metrics     *MetricsSnapshot `json:"metrics,omitempty"`
+	Cache       *CacheStats      `json:"cache,omitempty"`
 	Timeline    *TimelineSummary `json:"timeline,omitempty"`
 	WallSeconds float64          `json:"wall_seconds,omitempty"`
 }

@@ -22,6 +22,7 @@ import (
 	"scalesim/internal/noc"
 	"scalesim/internal/obsv"
 	"scalesim/internal/obsv/timeline"
+	"scalesim/internal/simcache"
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
@@ -98,6 +99,13 @@ type Options struct {
 	// (default: GOMAXPROCS). Partitions are independent, so results are
 	// deterministic regardless of the value.
 	Parallel int
+	// Cache, when non-nil, memoizes per-partition compute results under
+	// their canonical key (per-partition config x layer shape x spatial
+	// window): a partition sweep revisits the same windows across grid
+	// candidates, and Fig. 11/12 sweeps revisit whole grids. Ignored
+	// whenever an option demands a live consumer (Timeline, shared DRAM
+	// consumers or taps), so cached runs stay byte-identical to live ones.
+	Cache *simcache.Cache
 	// Obs, when non-nil, records the partition fan-out: engine spans for
 	// every partition task and the "partition.run" phase. Results are
 	// unaffected.
@@ -184,9 +192,27 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 		tlSpans = &obsv.SpanRecorder{}
 		spanSink = obsv.TeeSpans(spanSink, tlSpans)
 	}
+	// The per-partition simulation is pure whenever nothing taps its
+	// traces live, so each window's outcome can replay from the cache;
+	// the window offsets are part of the key because a slice's fold
+	// schedule depends on where it sits in the spatial space.
+	m2 := opt.Memory
+	cacheOK := opt.Cache != nil && opt.Timeline == nil &&
+		m2.DRAMRead == nil && m2.DRAMWrite == nil &&
+		m2.DRAMIfmapTap == nil && m2.DRAMFilterTap == nil && m2.DRAMOfmapTap == nil
 	stop := opt.Obs.Phase("partition.run")
 	outcomes, err := engine.RunObserved(opt.Parallel, len(tasks), spanSink, func(i int) (outcome, error) {
 		t := tasks[i]
+		var key string
+		if cacheOK {
+			key = windowKey(cfg, l, t.win, opt.Memory)
+			if e, ok := opt.Cache.Get(key); ok {
+				e.Compute.Layer = l
+				opt.Obs.Metrics().Counter("partition.simcache.hits").Inc()
+				return outcome{comp: e.Compute, mem: e.Memory}, nil
+			}
+			opt.Obs.Metrics().Counter("partition.simcache.misses").Inc()
+		}
 		memOpt := opt.Memory
 		sinks := systolic.Sinks{}
 		var rec *timeline.LayerRecorder
@@ -228,7 +254,11 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 		if rec != nil {
 			rec.Finish(comp.Cycles, drained)
 		}
-		return outcome{comp: comp, mem: sys.Report(comp.Cycles)}, nil
+		mrep := sys.Report(comp.Cycles)
+		if key != "" {
+			opt.Cache.Put(key, simcache.Entry{Compute: comp, Memory: mrep})
+		}
+		return outcome{comp: comp, mem: mrep}, nil
 	})
 	stop()
 	if err != nil {
@@ -330,6 +360,18 @@ func BestSpec(m dataflow.Mapping, totalMACs, parts, minDim int64) (Spec, bool) {
 		}
 	}
 	return best, true
+}
+
+// windowKey is the canonical identity of one partition's compute task:
+// the per-partition configuration, the layer shape, the spatial window
+// slice (offsets included — a slice's folds depend on its position) and
+// the memory-system options. Namespaced "part|" so whole-layer entries
+// from core ("core|") never alias window entries in a shared cache.
+func windowKey(cfg config.Config, l topology.Layer, win systolic.Window, m memory.Options) string {
+	return fmt.Sprintf("part|%s|%s|w%d,%d,%d,%d|sb=%t;win=%d",
+		cfg.CanonicalKey(), l.Key(),
+		win.SrOff, win.ScOff, win.SrLen, win.ScLen,
+		m.SingleBuffered, m.BandwidthWindow)
 }
 
 // sramShare divides a KiB budget among p partitions, at least 1 KiB each.

@@ -1,0 +1,244 @@
+// Package simcache memoizes the pure compute stage of per-layer
+// simulations. A layer's cycle-accurate result is a function of nothing
+// but its canonical key — the configuration's canonical parameters, the
+// layer's shape key, and the bandwidth/DRAM-model bounds the caller folds
+// into the key — so any workflow that revisits a (config, shape) pair can
+// replay the recorded outcome instead of regenerating and re-walking the
+// trace: ResNet50 repeats identical convolution shapes across its residual
+// blocks, a design-space sweep re-runs every network per grid point, and a
+// repeated sweep re-runs everything.
+//
+// The cache is content-addressed: callers build keys from canonical
+// identities (config.Config.CanonicalKey, topology.Layer.Key), never from
+// user-facing names, so two differently-named layers with equal shapes
+// share one entry and near-identical layers (a different stride) never
+// collide. Entries carry everything the compute stage produces — the
+// systolic result, the memory-system report, optional DRAM timing
+// statistics and bounded-link stall cycles; downstream stages (energy
+// accounting, report rendering) are recomputed from the entry, which is
+// why cached runs are byte-identical to live ones.
+//
+// A Cache is safe for concurrent use and nil-safe (a nil *Cache never
+// hits and drops stores), so callers thread it unconditionally. With a
+// directory attached the cache is also persistent: entries are spilled as
+// JSON documents named by the SHA-256 of their key, and loaded back on
+// miss — including by later processes. Go's JSON float encoding
+// round-trips float64 exactly, so disk hits preserve byte-identical
+// reports too. Corrupt, mismatched or foreign files degrade to misses,
+// never to errors.
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"scalesim/internal/dram"
+	"scalesim/internal/memory"
+	"scalesim/internal/systolic"
+)
+
+// diskSchema versions the on-disk document; a mismatch is a miss.
+const diskSchema = "scalesim.simcache/v1"
+
+// Entry is one compute-stage outcome: everything a layer simulation
+// produces that is a pure function of its canonical key.
+type Entry struct {
+	// Compute is the cycle-accurate systolic result. Its Layer field
+	// holds the shape that was simulated; consumers re-label it with
+	// their own layer (names are not part of the key).
+	Compute systolic.Result `json:"compute"`
+	// Memory is the SRAM/DRAM traffic summary, including the per-stream
+	// average and peak bandwidth profile.
+	Memory memory.Report `json:"memory"`
+	// DRAMStats holds the DRAM timing-model statistics when the run
+	// replayed its traces through one (the model's configuration is part
+	// of the key).
+	DRAMStats *dram.Stats `json:"dram_stats,omitempty"`
+	// StallCycles is the bounded-link stall count when the key includes a
+	// DRAM bandwidth bound.
+	StallCycles int64 `json:"stall_cycles,omitempty"`
+}
+
+// Stats is a point-in-time summary of cache effectiveness.
+type Stats struct {
+	// Hits and Misses count Get outcomes (disk loads count as hits).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Entries is the in-memory entry count.
+	Entries int64 `json:"entries"`
+}
+
+// Cache is a content-addressed store of compute-stage results: an
+// in-memory map, optionally backed by a directory of JSON spill files.
+// The zero value is not usable; construct with New or NewDisk. All
+// methods are safe for concurrent use and safe on a nil receiver.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+	dir     string
+
+	hits, misses, diskErrs atomic.Int64
+}
+
+// New returns an empty in-memory cache.
+func New() *Cache {
+	return &Cache{entries: make(map[string]Entry)}
+}
+
+// NewDisk returns a cache backed by dir: stores spill to disk, misses
+// consult it, and entries persist across processes. The directory is
+// created if absent.
+func NewDisk(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	c := New()
+	c.dir = dir
+	return c, nil
+}
+
+// Get returns the entry stored under key. A nil cache always misses
+// without counting.
+func (c *Cache) Get(key string) (Entry, bool) {
+	if c == nil {
+		return Entry{}, false
+	}
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if !ok && c.dir != "" {
+		e, ok = c.load(key)
+		if ok {
+			c.mu.Lock()
+			c.entries[key] = e
+			c.mu.Unlock()
+		}
+	}
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// Put stores the entry under key, spilling to disk when a directory is
+// attached. Concurrent puts of one key are idempotent — the compute stage
+// is pure, so every writer stores the same value. No-op on nil.
+func (c *Cache) Put(key string, e Entry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	_, existed := c.entries[key]
+	c.entries[key] = e
+	c.mu.Unlock()
+	if c.dir != "" && !existed {
+		c.store(key, e)
+	}
+}
+
+// Len returns the number of in-memory entries; zero on nil.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Hits returns the lifetime hit count; zero on nil.
+func (c *Cache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses returns the lifetime miss count; zero on nil.
+func (c *Cache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// DiskErrors returns how many spill loads or stores failed (corrupt
+// files, permission problems); such failures degrade to misses.
+func (c *Cache) DiskErrors() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.diskErrs.Load()
+}
+
+// Stats snapshots the cache's effectiveness counters; zero on nil.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: int64(c.Len())}
+}
+
+// document is the on-disk spill format. The full key is stored and
+// verified on load, so a SHA-256 filename collision (or a file from a
+// different key scheme) reads as a miss rather than a wrong result.
+type document struct {
+	Schema string `json:"schema"`
+	Key    string `json:"key"`
+	Entry  Entry  `json:"entry"`
+}
+
+// path maps a key to its spill file.
+func (c *Cache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// load reads a spill file; any failure is a miss.
+func (c *Cache) load(key string) (Entry, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.diskErrs.Add(1)
+		}
+		return Entry{}, false
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Schema != diskSchema || doc.Key != key {
+		c.diskErrs.Add(1)
+		return Entry{}, false
+	}
+	return doc.Entry, true
+}
+
+// store writes a spill file via a temp-file rename, so concurrent
+// processes sharing a directory never observe partial documents. Failures
+// are counted, not raised — the in-memory entry already serves this
+// process.
+func (c *Cache) store(key string, e Entry) {
+	data, err := json.Marshal(document{Schema: diskSchema, Key: key, Entry: e})
+	if err != nil {
+		c.diskErrs.Add(1)
+		return
+	}
+	path := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		c.diskErrs.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
+		_ = os.Remove(tmp.Name())
+		c.diskErrs.Add(1)
+	}
+}

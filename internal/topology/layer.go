@@ -117,6 +117,21 @@ func (l Layer) GEMM() (m, k, n int64) {
 	return l.NumOfmapPx(), l.WindowSize(), int64(l.NumFilters)
 }
 
+// Key returns the layer's canonical shape key: every hyper-parameter that
+// determines its simulation (IFMAP and filter dimensions, channels, filter
+// count, stride) in a fixed order, with the user-facing name excluded. Two
+// layers with equal keys produce identical traces, cycle counts and memory
+// behaviour under the same configuration — ResNet50's repeated residual
+// blocks, for example, collapse to a handful of keys — so the key is what
+// the per-layer result cache and reuse statistics address layers by.
+// Near-identical layers (a different stride, a different window) get
+// distinct keys.
+func (l Layer) Key() string {
+	return fmt.Sprintf("i%dx%dx%d/f%dx%dx%d/s%d",
+		l.IfmapH, l.IfmapW, l.Channels,
+		l.FilterH, l.FilterW, l.NumFilters, l.Stride)
+}
+
 // String returns a compact human-readable description.
 func (l Layer) String() string {
 	return fmt.Sprintf("%s: ifmap %dx%dx%d, filter %dx%dx%d x%d, stride %d",
@@ -168,4 +183,36 @@ func (t Topology) TotalMACOps() int64 {
 		total += l.MACOps()
 	}
 	return total
+}
+
+// KeyCount is one canonical shape key's usage within a topology: how many
+// layers share the key and which layer introduced it.
+type KeyCount struct {
+	// Key is the canonical shape key (Layer.Key).
+	Key string
+	// Count is the number of layers with this key.
+	Count int
+	// First is the name of the first layer carrying the key, MACs its
+	// per-occurrence work.
+	First string
+	// MACs is one occurrence's MAC count.
+	MACs int64
+}
+
+// KeyStats groups the topology's layers by canonical shape key, in
+// first-seen order. The ratio of layers to distinct keys is the reuse a
+// memoizing per-layer cache can exploit: every repeated key simulates once.
+func (t Topology) KeyStats() []KeyCount {
+	index := make(map[string]int, len(t.Layers))
+	out := make([]KeyCount, 0, len(t.Layers))
+	for _, l := range t.Layers {
+		k := l.Key()
+		if i, ok := index[k]; ok {
+			out[i].Count++
+			continue
+		}
+		index[k] = len(out)
+		out = append(out, KeyCount{Key: k, Count: 1, First: l.Name, MACs: l.MACOps()})
+	}
+	return out
 }

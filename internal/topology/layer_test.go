@@ -187,3 +187,62 @@ func TestLayerString(t *testing.T) {
 		}
 	}
 }
+
+// TestLayerKey pins the canonical shape key: name-independent, sensitive
+// to every simulation-relevant hyper-parameter (the near-identical-layer
+// collision case the result cache must not merge).
+func TestLayerKey(t *testing.T) {
+	base := Layer{Name: "a", IfmapH: 28, IfmapW: 28, FilterH: 3, FilterW: 3,
+		Channels: 64, NumFilters: 128, Stride: 1}
+	renamed := base
+	renamed.Name = "b"
+	if base.Key() != renamed.Key() {
+		t.Errorf("renamed layer changed key: %q vs %q", base.Key(), renamed.Key())
+	}
+	strided := base
+	strided.Stride = 2
+	if base.Key() == strided.Key() {
+		t.Errorf("stride change did not change key: %q", base.Key())
+	}
+	variants := []func(*Layer){
+		func(l *Layer) { l.IfmapH = 56 },
+		func(l *Layer) { l.IfmapW = 56 },
+		func(l *Layer) { l.FilterH = 1 },
+		func(l *Layer) { l.FilterW = 1 },
+		func(l *Layer) { l.Channels = 32 },
+		func(l *Layer) { l.NumFilters = 64 },
+	}
+	for i, mutate := range variants {
+		v := base
+		mutate(&v)
+		if v.Key() == base.Key() {
+			t.Errorf("variant %d did not change key %q", i, base.Key())
+		}
+	}
+}
+
+// TestKeyStats checks grouping order and counts, and that ResNet50's
+// repeated residual blocks actually expose reuse.
+func TestKeyStats(t *testing.T) {
+	topo := Topology{Name: "t", Layers: []Layer{
+		{Name: "c1", IfmapH: 8, IfmapW: 8, FilterH: 3, FilterW: 3, Channels: 4, NumFilters: 8, Stride: 1},
+		{Name: "c2", IfmapH: 8, IfmapW: 8, FilterH: 3, FilterW: 3, Channels: 8, NumFilters: 8, Stride: 1},
+		{Name: "c3", IfmapH: 8, IfmapW: 8, FilterH: 3, FilterW: 3, Channels: 4, NumFilters: 8, Stride: 1},
+	}}
+	stats := topo.KeyStats()
+	if len(stats) != 2 {
+		t.Fatalf("KeyStats len = %d, want 2", len(stats))
+	}
+	if stats[0].First != "c1" || stats[0].Count != 2 || stats[1].First != "c2" || stats[1].Count != 1 {
+		t.Errorf("KeyStats = %+v", stats)
+	}
+	if stats[0].MACs != topo.Layers[0].MACOps() {
+		t.Errorf("MACs = %d", stats[0].MACs)
+	}
+
+	rn := ResNet50()
+	unique := len(rn.KeyStats())
+	if unique >= len(rn.Layers) {
+		t.Errorf("ResNet50 exposes no reuse: %d layers, %d unique keys", len(rn.Layers), unique)
+	}
+}

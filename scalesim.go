@@ -46,6 +46,7 @@ import (
 	"scalesim/internal/obsv"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/partition"
+	"scalesim/internal/simcache"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
 )
@@ -238,6 +239,26 @@ func NewProgress(w io.Writer, label string) *Progress { return obsv.NewProgress(
 
 // NewSimulator builds a cycle-accurate simulator for the configuration.
 func NewSimulator(cfg Config, opt Options) (*Simulator, error) { return core.New(cfg, opt) }
+
+// Cache memoizes pure per-layer compute results under canonical keys
+// (config hash x layer shape x memory/DRAM bounds). Attach one through
+// Options.Cache (or the ScaleOutOptions / sweep-spec equivalents): layers
+// whose identity was already simulated replay their recorded cycles,
+// traffic, stall and DRAM statistics, byte-identical to a live run. One
+// cache may be shared across simulators, sweeps and goroutines. Any
+// option demanding a live per-layer consumer (trace files, timelines,
+// custom sinks, shared DRAM consumers) bypasses the cache automatically.
+type Cache = simcache.Cache
+
+// CacheStats snapshots a cache's hit/miss counters.
+type CacheStats = simcache.Stats
+
+// NewCache returns an empty in-memory result cache.
+func NewCache() *Cache { return simcache.New() }
+
+// NewDiskCache returns a result cache persisted under dir: entries spill
+// to JSON files and later processes (or runs) reload them on miss.
+func NewDiskCache(dir string) (*Cache, error) { return simcache.NewDisk(dir) }
 
 // DDR3 returns the default DRAM timing parameters.
 func DDR3() DRAMConfig { return dram.DDR3() }

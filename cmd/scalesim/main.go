@@ -10,11 +10,14 @@
 //	scalesim -net Resnet50 -cache-dir .simcache -metrics run.json
 //
 // Either -config or the individual flags describe the hardware; -topology
-// overrides the config's topology path and -net selects a built-in network.
-// -metrics writes a machine-readable run manifest (per-layer cycles and
-// wall timings, engine span aggregates, runtime stats), -progress reports
-// per-layer completion to stderr, and -pprof serves net/http/pprof for the
-// duration of the run.
+// overrides the config's topology path and -net selects a built-in
+// workload — a flat network or a native operator graph such as BERTTiny.
+// -graph loads an operator-graph JSON file (scalesim.graph/v1); graph
+// workloads run through the dependency-aware scheduler and additionally
+// emit an operators report. -metrics writes a machine-readable run
+// manifest (per-layer cycles and wall timings, engine span aggregates,
+// runtime stats), -progress reports per-layer completion to stderr, and
+// -pprof serves net/http/pprof for the duration of the run.
 package main
 
 import (
@@ -44,7 +47,8 @@ func run(args []string, stdout io.Writer) (retErr error) {
 	var (
 		cfgPath  = fs.String("config", "", "hardware configuration file (Table I format)")
 		topoPath = fs.String("topology", "", "topology CSV (overrides the config's Topology entry)")
-		netName  = fs.String("net", "", "built-in topology: "+strings.Join(scalesim.BuiltInTopologyNames(), ", "))
+		netName  = fs.String("net", "", "built-in workload: "+strings.Join(append(scalesim.BuiltInTopologyNames(), scalesim.BuiltInGraphNames()...), ", "))
+		grPath   = fs.String("graph", "", "operator-graph JSON file (scalesim.graph/v1)")
 		array    = fs.String("array", "", "array dimensions as RxC (e.g. 32x32)")
 		df       = fs.String("dataflow", "", "dataflow: os, ws or is")
 		sram     = fs.String("sram", "", "SRAM sizes in KiB as ifmap,filter,ofmap (e.g. 512,512,256)")
@@ -60,6 +64,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		tlPath   = fs.String("timeline", "", "write a Chrome Trace Event timeline (Perfetto/chrome://tracing) to this path")
 		tlWindow = fs.Int64("timeline-window", 0, "timeline counter sampling window in cycles (default 64)")
 		dramBW   = fs.Float64("dram-bw", 0, "bound the DRAM link in words/cycle and compute stall cycles (0 = unbounded)")
+		vlanes   = fs.Int("vector-lanes", 0, "vector-unit lanes for softmax/layernorm/eltwise nodes (0 = array width)")
 		useCache = fs.Bool("cache", false, "memoize per-layer compute results in memory (repeated shapes replay)")
 		cacheDir = fs.String("cache-dir", "", "persist the result cache in this directory (implies -cache)")
 	)
@@ -113,7 +118,11 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		cfg = cfg.WithSRAM(i, f, o)
 	}
 
-	topo, err := pickTopology(cfg, *topoPath, *netName)
+	if *vlanes != 0 {
+		cfg.VectorLanes = *vlanes
+	}
+
+	topo, graph, err := pickWorkload(cfg, *topoPath, *netName, *grPath)
 	if err != nil {
 		return err
 	}
@@ -146,6 +155,9 @@ func run(args []string, stdout io.Writer) (retErr error) {
 	}
 
 	if *partsArg != "" {
+		if graph != nil {
+			return fmt.Errorf("-parts runs layers on a partitioned system and does not support operator graphs")
+		}
 		pr, pc, err := parseArray(*partsArg)
 		if err != nil {
 			return fmt.Errorf("invalid -parts %q (want PrxPc)", *partsArg)
@@ -170,7 +182,12 @@ func run(args []string, stdout io.Writer) (retErr error) {
 	if err != nil {
 		return err
 	}
-	res, err := sim.Simulate(topo)
+	var res scalesim.RunResult
+	if graph != nil {
+		res, err = sim.SimulateGraph(*graph)
+	} else {
+		res, err = sim.Simulate(topo)
+	}
 	if err != nil {
 		return err
 	}
@@ -191,8 +208,17 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		enc.SetIndent("", "  ")
 		return enc.Encode(res)
 	}
-	fmt.Fprintf(stdout, "run: %s | topology: %s (%d layers) | array %dx%d %s\n",
-		cfg.RunName, topo.Name, len(topo.Layers), cfg.ArrayHeight, cfg.ArrayWidth, cfg.Dataflow)
+	if graph != nil {
+		fmt.Fprintf(stdout, "run: %s | graph: %s (%d nodes, %d edges) | array %dx%d %s | %d lanes\n",
+			cfg.RunName, graph.Name, len(graph.Nodes), graph.Edges(),
+			cfg.ArrayHeight, cfg.ArrayWidth, cfg.Dataflow, cfg.Lanes())
+		if err := report.WriteOperators(stdout, res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "run: %s | topology: %s (%d layers) | array %dx%d %s\n",
+			cfg.RunName, topo.Name, len(topo.Layers), cfg.ArrayHeight, cfg.ArrayWidth, cfg.Dataflow)
+	}
 	return report.WriteSummary(stdout, res)
 }
 
@@ -254,21 +280,36 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 	return nil
 }
 
-func pickTopology(cfg scalesim.Config, topoPath, netName string) (scalesim.Topology, error) {
+// pickWorkload resolves the flags to either a flat topology or an
+// operator graph (graph non-nil). -net names resolve to flat built-ins
+// first, then to native operator graphs (BERTTiny, BERTBase).
+func pickWorkload(cfg scalesim.Config, topoPath, netName, graphPath string) (scalesim.Topology, *scalesim.Graph, error) {
 	switch {
-	case netName != "":
-		topo, ok := scalesim.BuiltInTopology(netName)
-		if !ok {
-			return scalesim.Topology{}, fmt.Errorf("unknown built-in %q (have %s)",
-				netName, strings.Join(scalesim.BuiltInTopologyNames(), ", "))
+	case graphPath != "":
+		g, err := scalesim.LoadGraph(graphPath)
+		if err != nil {
+			return scalesim.Topology{}, nil, err
 		}
-		return topo, nil
+		return scalesim.Topology{}, &g, nil
+	case netName != "":
+		if topo, ok := scalesim.BuiltInTopology(netName); ok {
+			return topo, nil, nil
+		}
+		g, err := scalesim.BuiltInGraph(netName)
+		if err != nil {
+			return scalesim.Topology{}, nil, fmt.Errorf("unknown built-in %q (have %s)",
+				netName, strings.Join(append(scalesim.BuiltInTopologyNames(),
+					scalesim.BuiltInGraphNames()...), ", "))
+		}
+		return scalesim.Topology{}, &g, nil
 	case topoPath != "":
-		return scalesim.LoadTopology(topoPath)
+		t, err := scalesim.LoadTopology(topoPath)
+		return t, nil, err
 	case cfg.TopologyPath != "":
-		return scalesim.LoadTopology(cfg.TopologyPath)
+		t, err := scalesim.LoadTopology(cfg.TopologyPath)
+		return t, nil, err
 	}
-	return scalesim.Topology{}, fmt.Errorf("no topology: pass -topology, -net, or a config with a Topology entry")
+	return scalesim.Topology{}, nil, fmt.Errorf("no workload: pass -topology, -graph, -net, or a config with a Topology entry")
 }
 
 func parseArray(s string) (r, c int, err error) {
@@ -282,12 +323,16 @@ func writeReports(dir, runName string, res scalesim.RunResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for name, write := range map[string]func(*os.File) error{
+	reports := map[string]func(*os.File) error{
 		"cycles":    func(f *os.File) error { return report.WriteCycles(f, res) },
 		"bandwidth": func(f *os.File) error { return report.WriteBandwidth(f, res) },
 		"detail":    func(f *os.File) error { return report.WriteDetail(f, res) },
 		"summary":   func(f *os.File) error { return report.WriteSummary(f, res) },
-	} {
+	}
+	if res.Graph != nil {
+		reports["operators"] = func(f *os.File) error { return report.WriteOperators(f, res) }
+	}
+	for name, write := range reports {
 		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_%s.csv", runName, name)))
 		if err != nil {
 			return err

@@ -52,7 +52,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		arrays    = fs.String("arrays", "", "inline axis: comma-separated RxC shapes")
 		dataflows = fs.String("dataflows", "", "inline axis: comma-separated os/ws/is")
 		srams     = fs.String("srams", "", "inline axis: comma-separated i/f/o KiB triples")
-		nets      = fs.String("nets", "", "inline axis: comma-separated built-in topologies")
+		nets      = fs.String("nets", "", "inline axis: comma-separated built-in workloads (flat nets or operator graphs)")
 		parallel  = fs.Int("parallel", 0, "concurrent runs (default GOMAXPROCS)")
 		metrics   = fs.String("metrics", "", "write a machine-readable sweep manifest (JSON) to this path")
 		progress  = fs.Bool("progress", false, "report per-point progress to stderr")

@@ -18,12 +18,23 @@ import (
 	"scalesim/internal/topology"
 )
 
-// Point is one grid coordinate.
+// Point is one grid coordinate. Exactly one of Topology and Graph is the
+// workload: flat points run core.Simulate, graph points run
+// core.SimulateGraph.
 type Point struct {
 	Array    [2]int
 	Dataflow config.Dataflow
 	SRAM     [3]int
 	Topology topology.Topology
+	Graph    *topology.Graph
+}
+
+// Net names the point's workload.
+func (p Point) Net() string {
+	if p.Graph != nil {
+		return p.Graph.Name
+	}
+	return p.Topology.Name
 }
 
 // Row is one completed run.
@@ -53,8 +64,11 @@ type Spec struct {
 	Arrays    [][2]int
 	Dataflows []config.Dataflow
 	SRAMs     [][3]int
-	// Topologies is the workload axis (at least one required).
+	// Topologies and Graphs together form the workload axis (at least one
+	// workload required); graphs run through the dependency-aware
+	// operator-graph path.
 	Topologies []topology.Topology
+	Graphs     []topology.Graph
 	// Parallel bounds concurrent runs (default GOMAXPROCS).
 	Parallel int
 	// Cache, when non-nil, memoizes per-layer compute results across the
@@ -77,7 +91,7 @@ type Spec struct {
 
 // PointLabel names one grid point for progress lines and manifests.
 func PointLabel(p Point) string {
-	return fmt.Sprintf("%s/%dx%d/%s/%d-%d-%d", p.Topology.Name,
+	return fmt.Sprintf("%s/%dx%d/%s/%d-%d-%d", p.Net(),
 		p.Array[0], p.Array[1], p.Dataflow, p.SRAM[0], p.SRAM[1], p.SRAM[2])
 }
 
@@ -96,14 +110,21 @@ func (s Spec) Points() []Point {
 		srams = [][3]int{{s.Base.IfmapSRAMKB, s.Base.FilterSRAMKB, s.Base.OfmapSRAMKB}}
 	}
 	var out []Point
-	for _, topo := range s.Topologies {
+	expand := func(p Point) {
 		for _, a := range arrays {
 			for _, df := range dfs {
 				for _, sr := range srams {
-					out = append(out, Point{Array: a, Dataflow: df, SRAM: sr, Topology: topo})
+					p.Array, p.Dataflow, p.SRAM = a, df, sr
+					out = append(out, p)
 				}
 			}
 		}
+	}
+	for _, topo := range s.Topologies {
+		expand(Point{Topology: topo})
+	}
+	for i := range s.Graphs {
+		expand(Point{Graph: &s.Graphs[i]})
 	}
 	return out
 }
@@ -111,7 +132,7 @@ func (s Spec) Points() []Point {
 // Run executes every grid point on the shared engine's worker pool and
 // returns rows in grid order.
 func Run(spec Spec) ([]Row, error) {
-	if len(spec.Topologies) == 0 {
+	if len(spec.Topologies) == 0 && len(spec.Graphs) == 0 {
 		return nil, fmt.Errorf("batch: no topologies")
 	}
 	points := spec.Points()
@@ -126,7 +147,7 @@ func Run(spec Spec) ([]Row, error) {
 		row, err := runPoint(spec.Base, p, spec.Timeline, spec.Cache)
 		if err != nil {
 			return Row{}, fmt.Errorf("batch: %s on %dx%d %v: %w",
-				p.Topology.Name, p.Array[0], p.Array[1], p.Dataflow, err)
+				p.Net(), p.Array[0], p.Array[1], p.Dataflow, err)
 		}
 		spec.Obs.ObserveLayer(i, PointLabel(p), time.Since(t0))
 		spec.Progress.Step(PointLabel(p))
@@ -173,12 +194,17 @@ func runPoint(base config.Config, p Point, tl *timeline.Writer, cache *simcache.
 	if err != nil {
 		return Row{}, err
 	}
-	res, err := sim.Simulate(p.Topology)
+	var res core.RunResult
+	if p.Graph != nil {
+		res, err = sim.SimulateGraph(*p.Graph)
+	} else {
+		res, err = sim.Simulate(p.Topology)
+	}
 	if err != nil {
 		return Row{}, err
 	}
 	row := Row{
-		Net:         p.Topology.Name,
+		Net:         p.Net(),
 		Array:       p.Array,
 		Dataflow:    p.Dataflow,
 		SRAM:        p.SRAM,

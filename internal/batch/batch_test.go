@@ -119,6 +119,39 @@ func TestParseSpec(t *testing.T) {
 	}
 }
 
+// TestParseSpecGraphNets: graph workloads mix with flat nets on the
+// nets axis and expand into runnable grid points.
+func TestParseSpecGraphNets(t *testing.T) {
+	in := "[sweep]\narrays = 8x8, 16x16\nnets = TinyNet, BERTTiny\n"
+	spec, err := ParseSpec(strings.NewReader(in), config.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Topologies) != 1 || len(spec.Graphs) != 1 || spec.Graphs[0].Name != "BERTTiny" {
+		t.Fatalf("topologies=%d graphs=%d", len(spec.Topologies), len(spec.Graphs))
+	}
+	points := spec.Points()
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	nets := map[string]int{}
+	for _, p := range points {
+		nets[p.Net()]++
+	}
+	if nets["TinyNet"] != 2 || nets["BERTTiny"] != 2 {
+		t.Fatalf("net expansion: %v", nets)
+	}
+	rows, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.TotalCycles <= 0 {
+			t.Errorf("%s %v: zero cycles", r.Net, r.Array)
+		}
+	}
+}
+
 func TestParseSpecErrors(t *testing.T) {
 	cases := []string{
 		"[sweep]\nnets = NoSuchNet\n",

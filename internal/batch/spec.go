@@ -58,12 +58,18 @@ func ParseSpec(r io.Reader, base config.Config) (Spec, error) {
 	}
 	if v, ok := get("nets"); ok {
 		for _, part := range splitList(v) {
-			topo, found := topology.BuiltIn(part)
-			if !found {
-				return Spec{}, fmt.Errorf("batch: unknown topology %q (built-ins: %s)",
-					part, strings.Join(topology.BuiltInNames(), ", "))
+			if topo, found := topology.BuiltIn(part); found {
+				spec.Topologies = append(spec.Topologies, topo)
+				continue
 			}
-			spec.Topologies = append(spec.Topologies, topo)
+			// Native operator graphs (BERT encoder blocks) by name.
+			g, err := topology.BuiltInGraph(part)
+			if err != nil {
+				return Spec{}, fmt.Errorf("batch: unknown workload %q (built-ins: %s)",
+					part, strings.Join(append(topology.BuiltInNames(),
+						topology.BuiltInGraphNames()...), ", "))
+			}
+			spec.Graphs = append(spec.Graphs, g)
 		}
 	}
 	if v, ok := get("parallel"); ok {
@@ -71,7 +77,7 @@ func ParseSpec(r io.Reader, base config.Config) (Spec, error) {
 			return Spec{}, fmt.Errorf("batch: invalid parallel %q", v)
 		}
 	}
-	if len(spec.Topologies) == 0 {
+	if len(spec.Topologies) == 0 && len(spec.Graphs) == 0 {
 		return Spec{}, fmt.Errorf("batch: spec has no nets")
 	}
 	return spec, nil

@@ -100,6 +100,12 @@ type Config struct {
 	// array dimensions of Eq. 3. Off by default to match the paper's
 	// analytical model exactly.
 	EdgeTrim bool
+
+	// VectorLanes is the vector unit's width in words per cycle, used by
+	// the non-matmul operators of operator-graph workloads (softmax,
+	// layernorm, element-wise). Zero defaults to ArrayWidth — one lane per
+	// array column, the common SIMD-alongside-systolic provisioning.
+	VectorLanes int
 }
 
 // Default values applied by New and by the file parser for absent keys.
@@ -157,6 +163,15 @@ func (c Config) WithSRAM(ifmapKB, filterKB, ofmapKB int) Config {
 // MACs returns the total number of multiply-accumulate units in the array.
 func (c Config) MACs() int { return c.ArrayHeight * c.ArrayWidth }
 
+// Lanes returns the effective vector-unit width: VectorLanes, or
+// ArrayWidth when unset.
+func (c Config) Lanes() int {
+	if c.VectorLanes > 0 {
+		return c.VectorLanes
+	}
+	return c.ArrayWidth
+}
+
 // IfmapSRAMWords returns the IFMAP SRAM capacity in elements.
 func (c Config) IfmapSRAMWords() int64 {
 	return int64(c.IfmapSRAMKB) * 1024 / int64(c.WordBytes)
@@ -182,11 +197,11 @@ func (c Config) OfmapSRAMWords() int64 {
 // the same canonical string. This is the identity the result cache and
 // the run manifest group runs by.
 func (c Config) CanonicalKey() string {
-	return fmt.Sprintf("a%dx%d;s%d/%d/%d;o%d/%d/%d;df=%s;wb%d;et=%t",
+	return fmt.Sprintf("a%dx%d;s%d/%d/%d;o%d/%d/%d;df=%s;wb%d;et=%t;vl%d",
 		c.ArrayHeight, c.ArrayWidth,
 		c.IfmapSRAMKB, c.FilterSRAMKB, c.OfmapSRAMKB,
 		c.IfmapOffset, c.FilterOffset, c.OfmapOffset,
-		c.Dataflow, c.WordBytes, c.EdgeTrim)
+		c.Dataflow, c.WordBytes, c.EdgeTrim, c.Lanes())
 }
 
 // Hash returns "sha256:<hex>" over the canonical key: a stable identifier
@@ -214,6 +229,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: OfmapSRAMSz must be >= 1 KB, got %d", c.OfmapSRAMKB)
 	case c.WordBytes < 1:
 		return fmt.Errorf("config: WordBytes must be >= 1, got %d", c.WordBytes)
+	case c.VectorLanes < 0:
+		return fmt.Errorf("config: VectorLanes must be >= 0, got %d", c.VectorLanes)
 	case c.IfmapOffset < 0 || c.FilterOffset < 0 || c.OfmapOffset < 0:
 		return fmt.Errorf("config: address offsets must be non-negative")
 	case c.Dataflow != OutputStationary && c.Dataflow != WeightStationary && c.Dataflow != InputStationary:

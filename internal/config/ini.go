@@ -193,6 +193,8 @@ func applyKey(cfg *Config, key, val string) error {
 		}
 		cfg.EdgeTrim = b
 		return nil
+	case "vectorlanes":
+		return setInt(&cfg.VectorLanes)
 	}
 	return fmt.Errorf("config: unknown key %q in [architecture_presets]", key)
 }
@@ -215,12 +217,13 @@ OfmapOffset : %d
 Dataflow : %s
 WordBytes : %d
 EdgeTrim : %t
+VectorLanes : %d
 `,
 		cfg.RunName,
 		cfg.ArrayHeight, cfg.ArrayWidth,
 		cfg.IfmapSRAMKB, cfg.FilterSRAMKB, cfg.OfmapSRAMKB,
 		cfg.IfmapOffset, cfg.FilterOffset, cfg.OfmapOffset,
-		cfg.Dataflow, cfg.WordBytes, cfg.EdgeTrim)
+		cfg.Dataflow, cfg.WordBytes, cfg.EdgeTrim, cfg.VectorLanes)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,7 @@ import (
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
+	"scalesim/internal/vector"
 )
 
 // Options tunes a Simulator beyond the architecture configuration.
@@ -90,10 +91,19 @@ type Options struct {
 	Progress *obsv.Progress
 }
 
-// LayerResult is everything the simulator learns about one layer.
+// LayerResult is everything the simulator learns about one layer (or
+// operator-graph node).
 type LayerResult struct {
-	// Compute is the cycle-accurate systolic result.
+	// Kind is the node's operator kind; flat-topology layers are conv.
+	Kind topology.OpKind
+	// Compute is the cycle-accurate systolic result. For vector-shaped
+	// nodes it is synthesized — the layer, the serialized cycle count and
+	// zero MACs (the array sits idle) — so cycle accounting, reports and
+	// manifests treat every node uniformly.
 	Compute systolic.Result
+	// Vector is the vector-unit result for non-matmul nodes, nil for
+	// systolic layers.
+	Vector *vector.Result
 	// Memory is the SRAM/DRAM traffic summary.
 	Memory memory.Report
 	// Energy is the layer's energy breakdown.
@@ -116,8 +126,13 @@ func (lr LayerResult) StalledCycles() int64 { return lr.Compute.Cycles + lr.Stal
 type RunResult struct {
 	// Config used for the run.
 	Config config.Config
-	// Topology that was executed.
+	// Topology that was executed. For graph runs it is synthesized from
+	// the deterministic execution order (one entry per node), so every
+	// report renders uniformly.
 	Topology topology.Topology
+	// Graph is the operator graph a SimulateGraph run executed; nil for
+	// flat-topology runs.
+	Graph *topology.Graph
 	// Layers holds one result per layer, in execution order.
 	Layers []LayerResult
 	// TotalCycles is the summed runtime (layers execute serially).
@@ -251,8 +266,20 @@ func (s *Simulator) SimulateLayer(l topology.Layer) (LayerResult, error) {
 	return s.simulateLayer(0, l)
 }
 
+// SimulateNode runs one operator-graph node through the same pipeline;
+// vector-shaped nodes take the vector-unit compute path.
+func (s *Simulator) SimulateNode(n topology.Node) (LayerResult, error) {
+	return s.simulateNode(0, n)
+}
+
 func (s *Simulator) simulateLayer(index int, l topology.Layer) (LayerResult, error) {
-	ctx := &LayerContext{Index: index, Layer: l}
+	return s.simulateNode(index, topology.NodeOf(l))
+}
+
+func (s *Simulator) simulateNode(index int, n topology.Node) (LayerResult, error) {
+	l := n.Layer
+	l.Name = n.Name
+	ctx := &LayerContext{Index: index, Node: n, Layer: l}
 	defer ctx.close()
 	for _, st := range pipeline {
 		if st.liveOnly && ctx.CacheHit {

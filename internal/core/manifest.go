@@ -22,12 +22,17 @@ func (s *Simulator) Manifest(res RunResult) *obsv.Manifest {
 		m.Workers = runtime.GOMAXPROCS(0) // the engine's default resolution
 	}
 	m.Topology = &obsv.TopologyInfo{Name: res.Topology.Name, Layers: len(res.Topology.Layers)}
+	if res.Graph != nil {
+		m.Topology.Nodes = len(res.Graph.Nodes)
+		m.Topology.Edges = res.Graph.Edges()
+	}
 	peakMACs := float64(res.Config.MACs())
 	m.Layers = make([]obsv.LayerMetrics, 0, len(res.Layers))
 	for i, lr := range res.Layers {
 		lm := obsv.LayerMetrics{
 			Index:       i,
 			Name:        res.Topology.Layers[i].Name,
+			Op:          string(lr.Kind),
 			Cycles:      lr.Compute.Cycles,
 			StallCycles: lr.StallCycles,
 			StartCycle:  lr.StartCycle,
@@ -35,6 +40,9 @@ func (s *Simulator) Manifest(res RunResult) *obsv.Manifest {
 			DRAMReads:   lr.Memory.DRAMReads(),
 			DRAMWrites:  lr.Memory.OfmapDRAMWrites,
 			WallSeconds: rec.LayerSeconds(i),
+		}
+		if lr.Vector != nil {
+			lm.VectorOps = lr.Vector.Ops
 		}
 		if lr.Compute.Cycles > 0 && peakMACs > 0 {
 			lm.Utilization = float64(lr.Compute.MACs) / (peakMACs * float64(lr.Compute.Cycles))

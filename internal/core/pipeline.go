@@ -11,6 +11,7 @@ import (
 	"scalesim/internal/systolic"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
+	"scalesim/internal/vector"
 )
 
 // The per-layer simulation is an explicit pipeline of stages over a shared
@@ -40,9 +41,14 @@ import (
 // stages. Exported fields are the stage contract; unexported fields carry
 // live-run plumbing between consecutive stages.
 type LayerContext struct {
-	// Index is the layer's position in the topology.
+	// Index is the layer's position in the execution order.
 	Index int
-	// Layer is the layer being simulated.
+	// Node is the operator being simulated. Flat-topology layers arrive as
+	// conv nodes (topology.NodeOf); its Layer field is the shape the
+	// matmul path runs.
+	Node topology.Node
+	// Layer is Node.Layer, relabeled with the node's name — the shape the
+	// systolic path simulates and reports print.
 	Layer topology.Layer
 	// Key is the canonical compute key, empty when the run is uncacheable
 	// (then every layer runs live).
@@ -102,12 +108,15 @@ func cacheable(opt Options) bool {
 		m.DRAMIfmapTap == nil && m.DRAMFilterTap == nil && m.DRAMOfmapTap == nil
 }
 
-// layerKey assembles the canonical compute key: everything the compute
+// nodeKey assembles the canonical compute key: everything the compute
 // stage's outcome depends on, and nothing it does not (run names, energy
-// model, observability). The "core|" namespace keeps whole-layer entries
-// apart from partition windows sharing one cache directory.
-func (s *Simulator) layerKey(l topology.Layer) string {
-	key := "core|" + s.cfg.CanonicalKey() + "|" + l.Key() +
+// model, observability). The node key includes the operator kind, so a
+// GEMM and a same-shaped attention-score matmul — or a softmax and a
+// layernorm over one tensor shape — never share an entry. The "core|"
+// namespace keeps whole-layer entries apart from partition windows
+// sharing one cache directory.
+func (s *Simulator) nodeKey(n topology.Node) string {
+	key := "core|" + s.cfg.CanonicalKey() + "|" + n.Key() +
 		fmt.Sprintf("|sb=%t;win=%d", s.opt.Memory.SingleBuffered, s.opt.Memory.BandwidthWindow)
 	if s.opt.DRAMBandwidth > 0 {
 		key += fmt.Sprintf(";bw=%g", s.opt.DRAMBandwidth)
@@ -118,19 +127,19 @@ func (s *Simulator) layerKey(l topology.Layer) string {
 	return key
 }
 
-// stageMap resolves the layer's identity: validation, canonical key, and
+// stageMap resolves the node's identity: validation, canonical key, and
 // the cache consultation. On a hit the cached entry is adopted with its
-// Layer relabeled to this layer — shape keys guarantee the simulated
-// shape is identical, but the entry carries whichever layer name filled
-// it first, and reports print names.
+// Layer relabeled to this layer — node keys guarantee the simulated
+// shape and operator are identical, but the entry carries whichever node
+// name filled it first, and reports print names.
 func (s *Simulator) stageMap(ctx *LayerContext) error {
-	if err := ctx.Layer.Validate(); err != nil {
+	if err := ctx.Node.Validate(); err != nil {
 		return err
 	}
 	if !s.cache {
 		return nil
 	}
-	ctx.Key = s.layerKey(ctx.Layer)
+	ctx.Key = s.nodeKey(ctx.Node)
 	if e, ok := s.opt.Cache.Get(ctx.Key); ok {
 		e.Compute.Layer = ctx.Layer
 		ctx.Entry = e
@@ -155,10 +164,14 @@ func (s *Simulator) stageSinks(ctx *LayerContext) error {
 	return nil
 }
 
-// stageCompute runs the systolic array, streaming its SRAM traces through
-// the memory system — and every tapped sink — then summarizes the memory
-// traffic. Its entire outcome lands in ctx.Entry.
+// stageCompute dispatches on the node's operator kind: matmul-shaped
+// nodes run the systolic array through the memory system; vector-shaped
+// nodes run the vector-unit model. Either way the entire outcome lands in
+// ctx.Entry.
 func (s *Simulator) stageCompute(ctx *LayerContext) error {
+	if ctx.Node.Kind.Vector() {
+		return s.computeVector(ctx)
+	}
 	l := ctx.Layer
 	memOpt := s.opt.Memory
 	memOpt.DRAMRead = ctx.set.Tap(engine.DRAMRead, memOpt.DRAMRead)
@@ -209,6 +222,103 @@ func (s *Simulator) stageCompute(ctx *LayerContext) error {
 	return nil
 }
 
+// computeVector runs a vector-shaped node through the vector-unit model,
+// streaming its traces into the same per-job sinks the systolic path
+// feeds (trace files, DRAM timing, stall analysis, timeline samplers),
+// then synthesizes the Entry: the vector result, a minimal systolic
+// result carrying the serialized cycle count (MACs zero — the array is
+// idle), and a memory report with the closed-form traffic totals.
+func (s *Simulator) computeVector(ctx *LayerContext) error {
+	n := ctx.Node
+	memOpt := s.opt.Memory
+	params := vector.Params{
+		Kind: n.Kind,
+		Rows: n.Rows(), Cols: n.Cols(),
+		Operands: n.OperandCount(),
+		Lanes:    s.cfg.Lanes(),
+	}
+	lay := vector.Layout{
+		IfmapBase: s.cfg.IfmapOffset,
+		ParamBase: s.cfg.FilterOffset,
+		OfmapBase: s.cfg.OfmapOffset,
+	}
+
+	ctx.rec, _ = ctx.set.Value(timelineProbeKey).(*timeline.LayerRecorder)
+	var passes vector.PassObserver
+	if ctx.rec != nil {
+		rec := ctx.rec
+		rec.SetOp(string(n.Kind))
+		passes = vector.PassObserverFunc(func(p vector.PassInfo) {
+			rec.AddPass(p.Label, p.Start, p.Cycles)
+		})
+	}
+
+	vres, err := vector.RunAt(params, lay, vector.Sinks{
+		IfmapRead:  ctx.set.Consumer(engine.SRAMReadIfmap),
+		FilterRead: ctx.set.Consumer(engine.SRAMReadFilter),
+		OfmapWrite: ctx.set.Consumer(engine.SRAMWriteOfmap),
+		IfmapDRAM: trace.Tee(
+			ctx.set.Tap(engine.DRAMRead, memOpt.DRAMRead),
+			ctx.set.Tap(engine.DRAMReadIfmap, memOpt.DRAMIfmapTap)),
+		FilterDRAM: trace.Tee(
+			ctx.set.Tap(engine.DRAMRead, memOpt.DRAMRead),
+			ctx.set.Tap(engine.DRAMReadFilter, memOpt.DRAMFilterTap)),
+		OfmapDRAM: trace.Tee(
+			ctx.set.Tap(engine.DRAMWrite, memOpt.DRAMWrite),
+			ctx.set.Tap(engine.DRAMWriteOfmap, memOpt.DRAMOfmapTap)),
+		Passes: passes,
+	})
+	if err != nil {
+		return err
+	}
+	if ctx.rec != nil {
+		// Write-back is modeled in-pass, so nothing drains after the end.
+		ctx.rec.Finish(vres.Cycles, 0)
+		s.tl.put(ctx.Index, ctx.rec)
+	}
+	ctx.Entry.Vector = &vres
+	ctx.Entry.Compute = systolic.Result{
+		Layer:    ctx.Layer,
+		Dataflow: s.cfg.Dataflow,
+		Cycles:   vres.Cycles,
+	}
+	ctx.Entry.Memory = vectorMemoryReport(params, vres, int64(s.cfg.WordBytes))
+	return nil
+}
+
+// vectorMemoryReport derives the memory.Report of a vector execution from
+// its closed-form traffic totals. Averages are normalized over the full
+// runtime like memory.System.Report; peaks are the steady streaming rates
+// (the unit moves min(lanes, elems) words per stream per active cycle).
+func vectorMemoryReport(p vector.Params, res vector.Result, wordBytes int64) memory.Report {
+	t := vector.Traffic(p)
+	rep := memory.Report{
+		IfmapSRAMReads:  t.InputSRAMReads,
+		FilterSRAMReads: t.ParamSRAMReads,
+		OfmapSRAMWrites: t.OutputSRAMWrites,
+		IfmapDRAMReads:  t.InputDRAMReads,
+		FilterDRAMReads: t.ParamDRAMReads,
+		OfmapDRAMWrites: t.OutputDRAMWrites,
+		Cycles:          res.Cycles,
+		WordBytes:       wordBytes,
+	}
+	if res.Cycles > 0 {
+		c := float64(res.Cycles)
+		rep.AvgReadBW = float64((rep.IfmapDRAMReads+rep.FilterDRAMReads)*wordBytes) / c
+		rep.AvgWriteBW = float64(rep.OfmapDRAMWrites*wordBytes) / c
+	}
+	burst := p.Elems()
+	if l := int64(p.Lanes); l < burst {
+		burst = l
+	}
+	rep.PeakIfmapBW = float64(int64(p.Operands) * burst * wordBytes)
+	if t.ParamDRAMReads > 0 {
+		rep.PeakFilterBW = float64(2 * burst * wordBytes)
+	}
+	rep.PeakOfmapBW = float64(burst * wordBytes)
+	return rep
+}
+
 // stageAnalyze finishes the layer: on a live run it collects the DRAM
 // timing and stall probe results into the entry, stores the entry under
 // the canonical key and finalizes the sinks; on both paths it derives the
@@ -232,10 +342,15 @@ func (s *Simulator) stageAnalyze(ctx *LayerContext) error {
 	}
 	comp, mrep := ctx.Entry.Compute, ctx.Entry.Memory
 	ctx.Result = LayerResult{
+		Kind:        ctx.Node.Kind,
 		Compute:     comp,
+		Vector:      ctx.Entry.Vector,
 		Memory:      mrep,
 		DRAMStats:   ctx.Entry.DRAMStats,
 		StallCycles: ctx.Entry.StallCycles,
+		// The array is provisioned (and charged leakage-equivalent MAC
+		// cycles) for the full runtime even when a vector node leaves it
+		// idle; SRAM and DRAM words are charged from the traffic totals.
 		Energy: s.em.Compute(
 			int64(s.cfg.MACs()), comp.Cycles,
 			mrep.IfmapSRAMReads+mrep.FilterSRAMReads+mrep.OfmapSRAMWrites,

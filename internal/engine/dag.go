@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"scalesim/internal/obsv"
+)
+
+// minHeap is a min-heap of job indices: the DAG dispatcher always hands
+// the lowest-index ready job to the next free worker, keeping the
+// schedule as close to the sequential order as the dependencies allow.
+type minHeap []int
+
+func (h minHeap) Len() int           { return len(h) }
+func (h minHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *minHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunDAG executes n jobs over a bounded worker pool, honoring dependency
+// edges: job i may only start once every job in deps(i) has completed
+// successfully. deps(i) must contain indices strictly below i — callers
+// schedule in a topological order (see topology.Graph.Schedule), which
+// guarantees exactly that — and RunDAG rejects any other shape. Results
+// are returned in job order.
+//
+// Determinism matches Run: per-job state is never shared, results join in
+// index order, so every result and trace byte is identical for every
+// worker count. When jobs fail, the error returned is the lowest-index
+// failure among the jobs that ran; dispatch stops at the first observed
+// failure and inflight jobs are drained. (Unlike Run's independent jobs,
+// a sequential DAG run below a higher-index failure may fail differently
+// when several jobs would fail — dependents of a failed job never run.)
+func RunDAG[T any](workers, n int, deps func(i int) []int, job func(i int) (T, error)) ([]T, error) {
+	return RunDAGObserved(workers, n, deps, nil, job)
+}
+
+// RunDAGObserved is RunDAG with a span sink, mirroring RunObserved: one
+// obsv.Span per executed job, stamped while running, emitted after the
+// final join in index order. A job's queue wait measures ready-to-start —
+// the time between its last dependency completing (or dispatch start for
+// root jobs) and a worker picking it up.
+func RunDAGObserved[T any](workers, n int, deps func(i int) []int, sink obsv.SpanSink, job func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+
+	// Resolve and validate the dependency structure up front.
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, d := range deps(i) {
+			if d < 0 || d >= i {
+				return results, fmt.Errorf("engine: job %d depends on %d; dependencies must precede the job", i, d)
+			}
+			indeg[i]++
+			succs[d] = append(succs[d], i)
+		}
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Index order is a topological order (deps point strictly down), so
+		// the sequential path is a plain loop, identical to Run's.
+		for i := 0; i < n; i++ {
+			var start time.Time
+			if sink != nil {
+				start = time.Now()
+			}
+			var err error
+			results[i], err = runJob(i, job)
+			if sink != nil {
+				sink.Emit(obsv.Span{Index: i, Exec: time.Since(start), Err: err != nil,
+					Enqueued: start})
+			}
+			if err != nil {
+				return results, err
+			}
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	var enq, ends []time.Time
+	var spans []obsv.Span
+	if sink != nil {
+		enq = make([]time.Time, n)
+		ends = make([]time.Time, n)
+		spans = make([]obsv.Span, n)
+	}
+
+	type completion struct {
+		index  int
+		failed bool
+	}
+	next := make(chan int)
+	done := make(chan completion)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				var start time.Time
+				if sink != nil {
+					start = time.Now()
+				}
+				var err error
+				if results[i], err = runJob(i, job); err != nil {
+					errs[i] = err
+				}
+				if sink != nil {
+					end := time.Now()
+					spans[i] = obsv.Span{
+						Index:     i,
+						Worker:    w,
+						QueueWait: start.Sub(enq[i]),
+						Exec:      end.Sub(start),
+						Err:       err != nil,
+						Enqueued:  enq[i],
+					}
+					ends[i] = end
+				}
+				done <- completion{index: i, failed: err != nil}
+			}
+		}()
+	}
+
+	// Coordinator: dispatch the lowest-index ready job whenever a worker is
+	// free, retire completions, and release dependents as their last
+	// predecessor finishes. Runs on the calling goroutine; the select's nil
+	// send channel disables dispatch while nothing is ready (or after a
+	// failure), leaving only completions to wait on.
+	ready := &minHeap{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			heap.Push(ready, i)
+		}
+	}
+	if sink != nil {
+		now := time.Now()
+		for _, i := range *ready {
+			enq[i] = now
+		}
+	}
+	inflight := 0
+	failed := false
+	for {
+		if inflight == 0 && (failed || ready.Len() == 0) {
+			break
+		}
+		var send chan int
+		var candidate int
+		if !failed && ready.Len() > 0 {
+			candidate = (*ready)[0]
+			send = next
+		}
+		select {
+		case send <- candidate:
+			heap.Pop(ready)
+			inflight++
+		case c := <-done:
+			inflight--
+			if c.failed {
+				failed = true
+				continue
+			}
+			if failed {
+				continue
+			}
+			now := time.Time{}
+			if sink != nil {
+				now = time.Now()
+			}
+			for _, s := range succs[c.index] {
+				if indeg[s]--; indeg[s] == 0 {
+					heap.Push(ready, s)
+					if sink != nil {
+						enq[s] = now
+					}
+				}
+			}
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if sink != nil {
+		join := time.Now()
+		for i := range spans {
+			if ends[i].IsZero() {
+				continue // never dispatched
+			}
+			spans[i].Join = join.Sub(ends[i])
+			sink.Emit(spans[i])
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

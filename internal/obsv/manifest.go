@@ -16,10 +16,14 @@ const (
 	SchemaV1 = "scalesim.manifest/v1"
 )
 
-// TopologyInfo identifies the workload a manifest describes.
+// TopologyInfo identifies the workload a manifest describes. Nodes and
+// Edges are set for operator-graph runs: the node count (equal to Layers,
+// which counts the serialized execution) and the dependency-edge count.
 type TopologyInfo struct {
 	Name   string `json:"name"`
 	Layers int    `json:"layers"`
+	Nodes  int    `json:"nodes,omitempty"`
+	Edges  int    `json:"edges,omitempty"`
 }
 
 // LayerMetrics is one unit of work in the manifest: a topology layer for
@@ -29,10 +33,12 @@ type TopologyInfo struct {
 type LayerMetrics struct {
 	Index       int     `json:"index"`
 	Name        string  `json:"name"`
+	Op          string  `json:"op,omitempty"`
 	Cycles      int64   `json:"cycles"`
 	StallCycles int64   `json:"stall_cycles,omitempty"`
 	StartCycle  int64   `json:"start_cycle,omitempty"`
 	MACs        int64   `json:"macs,omitempty"`
+	VectorOps   int64   `json:"vector_ops,omitempty"`
 	Utilization float64 `json:"utilization,omitempty"`
 	DRAMReads   int64   `json:"dram_reads,omitempty"`
 	DRAMWrites  int64   `json:"dram_writes,omitempty"`

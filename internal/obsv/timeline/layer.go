@@ -44,6 +44,15 @@ type FoldSpan struct {
 	Start, Cycles int64
 }
 
+// PassSpan is one pass of a vector-unit operator — the vector analogue of
+// a fold span.
+type PassSpan struct {
+	// Label names the pass ("max", "exp-sum", "normalize", "map").
+	Label string
+	// Start and Cycles place the pass on the layer-local cycle axis.
+	Start, Cycles int64
+}
+
 // LayerRecorder buffers one layer's (or partition's) machine-domain
 // events while the layer simulates on a worker goroutine. Nothing is
 // written until Emit, which the caller invokes after the engine's
@@ -62,6 +71,8 @@ type LayerRecorder struct {
 	samplers   map[string]*Sampler
 	stall      *StallProfiler
 	folds      []FoldSpan
+	passes     []PassSpan
+	op         string
 	cycles     int64
 	drainWords int64
 }
@@ -102,6 +113,16 @@ func (r *LayerRecorder) AddFold(fr, fc, rows, cols, start, cycles int64) {
 	r.folds = append(r.folds, FoldSpan{FR: fr, FC: fc, Rows: rows, Cols: cols,
 		Start: start, Cycles: cycles})
 }
+
+// AddPass records one pass of a vector-unit operator.
+func (r *LayerRecorder) AddPass(label string, start, cycles int64) {
+	r.passes = append(r.passes, PassSpan{Label: label, Start: start, Cycles: cycles})
+}
+
+// SetOp tags the recorder with the node's operator kind; it is attached
+// to the layer span's arguments so the viewer can tell vector operators
+// from systolic layers.
+func (r *LayerRecorder) SetOp(op string) { r.op = op }
 
 // Finish records the layer's total runtime and the OFMAP words drained at
 // the end of it.
@@ -145,6 +166,9 @@ func DefaultPlacement(offset int64) Placement {
 func (r *LayerRecorder) Emit(w *Writer, pid int64, pl Placement) {
 	if pl.Array >= 0 && r.cycles > 0 {
 		args := map[string]any{"index": r.Index}
+		if r.op != "" {
+			args["op"] = r.op
+		}
 		if sc := r.StallCycles(); sc > 0 {
 			args["stall_cycles"] = sc
 		}
@@ -153,6 +177,9 @@ func (r *LayerRecorder) Emit(w *Writer, pid int64, pl Placement) {
 			w.Span(pid, pl.Array, fmt.Sprintf("fold %d,%d", f.FR, f.FC),
 				pl.Offset+f.Start, f.Cycles,
 				map[string]any{"rows": f.Rows, "cols": f.Cols})
+		}
+		for _, p := range r.passes {
+			w.Span(pid, pl.Array, "pass "+p.Label, pl.Offset+p.Start, p.Cycles, nil)
 		}
 	}
 	if pl.DRAM >= 0 {

@@ -62,6 +62,32 @@ func WriteDetail(w io.Writer, run core.RunResult) error {
 	return nil
 }
 
+// WriteOperators emits one row per executed node of an operator-graph
+// run: the operator kind, runtime, work (MACs for matmul nodes, vector
+// ops for vector nodes) and stall cycles, in execution order. Returns
+// without output when the run carries no graph.
+func WriteOperators(w io.Writer, run core.RunResult) error {
+	if run.Graph == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "Node,Op,Cycles,StartCycle,MACs,VectorOps,StallCycles"); err != nil {
+		return err
+	}
+	for _, lr := range run.Layers {
+		var vops int64
+		if lr.Vector != nil {
+			vops = lr.Vector.Ops
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d\n",
+			lr.Compute.Layer.Name, lr.Kind,
+			lr.Compute.Cycles, lr.StartCycle,
+			lr.Compute.MACs, vops, lr.StallCycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteSummary emits whole-run totals including the energy breakdown.
 func WriteSummary(w io.Writer, run core.RunResult) error {
 	_, err := fmt.Fprintf(w,

@@ -41,10 +41,13 @@ import (
 	"scalesim/internal/dram"
 	"scalesim/internal/memory"
 	"scalesim/internal/systolic"
+	"scalesim/internal/vector"
 )
 
-// diskSchema versions the on-disk document; a mismatch is a miss.
-const diskSchema = "scalesim.simcache/v1"
+// diskSchema versions the on-disk document; a mismatch is a miss. v2
+// added operator kinds to the key scheme and the vector-unit result to
+// the entry, so v1 spill files (keyed without kinds) read as misses.
+const diskSchema = "scalesim.simcache/v2"
 
 // Entry is one compute-stage outcome: everything a layer simulation
 // produces that is a pure function of its canonical key.
@@ -53,6 +56,9 @@ type Entry struct {
 	// holds the shape that was simulated; consumers re-label it with
 	// their own layer (names are not part of the key).
 	Compute systolic.Result `json:"compute"`
+	// Vector is the vector-unit result when the entry belongs to a
+	// non-matmul operator node; nil for systolic layers.
+	Vector *vector.Result `json:"vector,omitempty"`
 	// Memory is the SRAM/DRAM traffic summary, including the per-stream
 	// average and peak bandwidth profile.
 	Memory memory.Report `json:"memory"`

@@ -2,6 +2,7 @@ package topology
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -20,32 +21,48 @@ var CSVHeader = []string{
 // ParseCSV reads a topology in the SCALE-Sim CSV dialect: one layer per row,
 // eight columns per Table II, an optional header row, optional trailing empty
 // column (the original files end rows with a comma), and blank lines ignored.
+// Errors report the physical line of the failing record — blank lines, which
+// encoding/csv skips silently, still count — so the numbers match the file.
 func ParseCSV(name string, r io.Reader) (Topology, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	cr.TrimLeadingSpace = true
 	topo := Topology{Name: name}
-	row := 0
+	seen := make(map[string]bool)
+	first := true
 	for {
 		record, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return Topology{}, fmt.Errorf("topology: row %d: %w", row+1, err)
+			line := 0
+			var perr *csv.ParseError
+			if errors.As(err, &perr) {
+				line = perr.Line
+			}
+			return Topology{}, fmt.Errorf("topology: line %d: %w", line, err)
 		}
-		row++
+		// FieldPos is only valid right after a successful Read; it gives
+		// the physical line the record started on, counting blank lines.
+		line, _ := cr.FieldPos(0)
 		record = trimRecord(record)
 		if len(record) == 0 {
 			continue
 		}
-		if row == 1 && isHeader(record) {
+		if first && isHeader(record) {
+			first = false
 			continue
 		}
+		first = false
 		layer, err := parseRow(record)
 		if err != nil {
-			return Topology{}, fmt.Errorf("topology: row %d: %w", row, err)
+			return Topology{}, fmt.Errorf("topology: line %d: %w", line, err)
 		}
+		if seen[layer.Name] {
+			return Topology{}, fmt.Errorf("topology: line %d: duplicate layer name %q", line, layer.Name)
+		}
+		seen[layer.Name] = true
 		topo.Layers = append(topo.Layers, layer)
 	}
 	if err := topo.Validate(); err != nil {

@@ -64,6 +64,39 @@ func TestParseCSVErrors(t *testing.T) {
 	}
 }
 
+// TestParseCSVErrorLineNumbers pins the physical-row contract: error
+// messages count every line of the file — header and blank lines
+// included — so the reported number matches what an editor shows.
+func TestParseCSVErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		name, in string
+		wantLine string
+	}{
+		{"bad value after header and blanks",
+			"Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,\n" +
+				"Conv1, 8, 8, 3, 3, 1, 4, 1,\n" +
+				"\n\n" +
+				"Conv2, 8, eight, 3, 3, 1, 4, 1,\n",
+			"line 5"},
+		{"short row without header",
+			"Conv1, 8, 8, 3, 3, 1, 4, 1,\nConv2, 8, 8,\n",
+			"line 2"},
+		{"duplicate name after blank",
+			"C, 8, 8, 3, 3, 1, 4, 1,\n\nC, 8, 8, 3, 3, 1, 4, 1,\n",
+			"line 3"},
+	}
+	for _, tc := range cases {
+		_, err := ParseCSV("x", strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: error missing", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantLine) {
+			t.Errorf("%s: error %q does not report %s", tc.name, err, tc.wantLine)
+		}
+	}
+}
+
 func TestCSVRoundTripBuiltIns(t *testing.T) {
 	for _, name := range BuiltInNames() {
 		topo, _ := BuiltIn(name)

@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// GraphSchema is the schema tag of the operator-graph JSON format.
+const GraphSchema = "scalesim.graph/v1"
+
+// graphDoc is the on-disk form of a Graph.
+type graphDoc struct {
+	Schema string    `json:"schema"`
+	Name   string    `json:"name"`
+	Nodes  []nodeDoc `json:"nodes"`
+}
+
+// nodeDoc is the on-disk form of a Node. Matmul-shaped kinds carry the
+// full Table II hyper-parameters; vector-shaped kinds carry just the
+// tensor dimensions.
+type nodeDoc struct {
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"`
+	Inputs   []string `json:"inputs,omitempty"`
+	Operands int      `json:"operands,omitempty"`
+
+	// Matmul kinds (Table II hyper-parameters).
+	IfmapH     int `json:"ifmap_h,omitempty"`
+	IfmapW     int `json:"ifmap_w,omitempty"`
+	FilterH    int `json:"filter_h,omitempty"`
+	FilterW    int `json:"filter_w,omitempty"`
+	Channels   int `json:"channels,omitempty"`
+	NumFilters int `json:"num_filters,omitempty"`
+	Stride     int `json:"stride,omitempty"`
+
+	// Vector kinds (tensor dimensions).
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+}
+
+// WriteGraph serializes the graph in the scalesim.graph/v1 JSON dialect.
+func WriteGraph(w io.Writer, g Graph) error {
+	doc := graphDoc{Schema: GraphSchema, Name: g.Name, Nodes: make([]nodeDoc, 0, len(g.Nodes))}
+	for _, n := range g.Nodes {
+		nd := nodeDoc{Name: n.Name, Kind: string(n.Kind), Inputs: n.Inputs, Operands: n.Operands}
+		if n.Kind.Matmul() {
+			l := n.Layer
+			nd.IfmapH, nd.IfmapW = l.IfmapH, l.IfmapW
+			nd.FilterH, nd.FilterW = l.FilterH, l.FilterW
+			nd.Channels, nd.NumFilters, nd.Stride = l.Channels, l.NumFilters, l.Stride
+		} else {
+			nd.Rows, nd.Cols = int(n.Rows()), int(n.Cols())
+		}
+		doc.Nodes = append(doc.Nodes, nd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ParseGraph reads a graph in the scalesim.graph/v1 JSON dialect and
+// validates it. An empty document name falls back to the given name.
+func ParseGraph(name string, r io.Reader) (Graph, error) {
+	var doc graphDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return Graph{}, fmt.Errorf("topology: graph: %w", err)
+	}
+	if doc.Schema != GraphSchema {
+		return Graph{}, fmt.Errorf("topology: graph: schema %q, want %q", doc.Schema, GraphSchema)
+	}
+	g := Graph{Name: doc.Name, Nodes: make([]Node, 0, len(doc.Nodes))}
+	if g.Name == "" {
+		g.Name = name
+	}
+	for i, nd := range doc.Nodes {
+		kind, err := ParseOpKind(nd.Kind)
+		if err != nil {
+			return Graph{}, fmt.Errorf("topology: graph node %d (%q): %w", i, nd.Name, err)
+		}
+		n := Node{Name: nd.Name, Kind: kind, Inputs: nd.Inputs, Operands: nd.Operands}
+		if kind.Matmul() {
+			n.Layer = Layer{
+				Name:   nd.Name,
+				IfmapH: nd.IfmapH, IfmapW: nd.IfmapW,
+				FilterH: nd.FilterH, FilterW: nd.FilterW,
+				Channels: nd.Channels, NumFilters: nd.NumFilters, Stride: nd.Stride,
+			}
+		} else {
+			n.Layer = FromTensor(nd.Name, nd.Rows, nd.Cols)
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	if err := g.Validate(); err != nil {
+		return Graph{}, err
+	}
+	return g, nil
+}
+
+// LoadGraph reads a graph JSON file from disk; an unnamed document takes
+// the file's base name without extension.
+func LoadGraph(path string) (Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Graph{}, fmt.Errorf("topology: %w", err)
+	}
+	defer f.Close()
+	base := filepath.Base(path)
+	return ParseGraph(strings.TrimSuffix(base, filepath.Ext(base)), f)
+}

@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGraphJSONRoundTrip serializes every built-in graph and a lifted
+// flat net, parses them back, and requires semantic equality (vector
+// nodes normalize onto the FromTensor layer encoding on both sides).
+func TestGraphJSONRoundTrip(t *testing.T) {
+	graphs := []string{"BERTTiny", "BERTBase", "TinyNet"}
+	for _, name := range graphs {
+		g, err := BuiltInGraph(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		back, err := ParseGraph("fallback", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if !reflect.DeepEqual(back, g) {
+			t.Errorf("%s: round trip changed graph", name)
+		}
+	}
+}
+
+func TestParseGraphErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"bad-json", `{`, "graph"},
+		{"wrong-schema", `{"schema":"scalesim.graph/v99","nodes":[]}`, "schema"},
+		{"unknown-field", `{"schema":"scalesim.graph/v1","nodes":[],"extra":1}`, "unknown field"},
+		{"unknown-kind", `{"schema":"scalesim.graph/v1","nodes":[{"name":"a","kind":"pool","rows":4,"cols":4}]}`, "unknown operator kind"},
+		{"dangling", `{"schema":"scalesim.graph/v1","nodes":[{"name":"a","kind":"softmax","rows":4,"cols":4,"inputs":["ghost"]}]}`, "unknown input"},
+		{"empty", `{"schema":"scalesim.graph/v1","nodes":[]}`, "no nodes"},
+	}
+	for _, tc := range cases {
+		_, err := ParseGraph("x", strings.NewReader(tc.doc))
+		if err == nil {
+			t.Errorf("%s: error missing", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q lacks %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestLoadGraphNameFallback: an unnamed document takes the file's base
+// name without extension.
+func TestLoadGraphNameFallback(t *testing.T) {
+	doc := `{"schema":"scalesim.graph/v1","name":"","nodes":[
+		{"name":"a","kind":"conv","ifmap_h":4,"ifmap_w":1,"filter_h":1,"filter_w":1,"channels":4,"num_filters":4,"stride":1}]}`
+	path := filepath.Join(t.TempDir(), "my_graph.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "my_graph" {
+		t.Fatalf("name = %q, want my_graph", g.Name)
+	}
+}

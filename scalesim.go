@@ -49,6 +49,7 @@ import (
 	"scalesim/internal/simcache"
 	"scalesim/internal/topology"
 	"scalesim/internal/trace"
+	"scalesim/internal/vector"
 )
 
 // Core configuration and workload types.
@@ -61,6 +62,26 @@ type (
 	Layer = topology.Layer
 	// Topology is an ordered list of layers.
 	Topology = topology.Topology
+	// OpKind names an operator kind (conv/GEMM, attention score,
+	// attention value, softmax, layernorm, element-wise).
+	OpKind = topology.OpKind
+	// GraphNode is one operator-graph node: a kind, a layer shape and
+	// named input edges.
+	GraphNode = topology.Node
+	// Graph is an operator dependency DAG.
+	Graph = topology.Graph
+	// BERTConfig parameterizes a built-in BERT encoder block graph.
+	BERTConfig = topology.BERTConfig
+)
+
+// Operator kinds.
+const (
+	OpConv           = topology.OpConv
+	OpAttentionScore = topology.OpAttentionScore
+	OpAttentionValue = topology.OpAttentionValue
+	OpSoftmax        = topology.OpSoftmax
+	OpLayerNorm      = topology.OpLayerNorm
+	OpElementwise    = topology.OpElementwise
 )
 
 // Dataflow values.
@@ -78,6 +99,9 @@ type (
 	Options = core.Options
 	// LayerResult is one layer's simulation outcome.
 	LayerResult = core.LayerResult
+	// VectorResult is a vector-unit node's simulation outcome
+	// (LayerResult.Vector for softmax/layernorm/element-wise nodes).
+	VectorResult = vector.Result
 	// RunResult aggregates a topology run.
 	RunResult = core.RunResult
 	// MemoryOptions tunes the SRAM/DRAM memory system.
@@ -192,6 +216,34 @@ func BuiltInTopologyNames() []string { return topology.BuiltInNames() }
 
 // GEMMLayer expresses an M x K by K x N matrix multiplication as a layer.
 func GEMMLayer(name string, m, k, n int) Layer { return topology.FromGEMM(name, m, k, n) }
+
+// TensorLayer expresses a rows x cols tensor as a layer shape, for
+// vector-unit operator nodes (softmax, layernorm, element-wise).
+func TensorLayer(name string, rows, cols int) Layer { return topology.FromTensor(name, rows, cols) }
+
+// ChainGraph lifts a flat topology into a linear-chain operator graph:
+// every layer becomes a conv node depending on its predecessor.
+func ChainGraph(t Topology) Graph { return topology.ChainGraph(t) }
+
+// LoadGraph reads an operator-graph JSON file (scalesim.graph/v1).
+func LoadGraph(path string) (Graph, error) { return topology.LoadGraph(path) }
+
+// WriteGraph writes a graph as indented scalesim.graph/v1 JSON.
+func WriteGraph(w io.Writer, g Graph) error { return topology.WriteGraph(w, g) }
+
+// BuiltInGraph returns a bundled operator graph by name — the native
+// graphs from BuiltInGraphNames, or any BuiltInTopology name lifted
+// through ChainGraph.
+func BuiltInGraph(name string) (Graph, error) { return topology.BuiltInGraph(name) }
+
+// BuiltInGraphNames lists the native operator-graph workloads
+// ("BERTTiny", "BERTBase").
+func BuiltInGraphNames() []string { return topology.BuiltInGraphNames() }
+
+// BERTEncoder builds one transformer encoder block (QKV projections,
+// per-head attention, softmax, residuals, layernorms, FFN) as an
+// operator graph.
+func BERTEncoder(name string, c BERTConfig) (Graph, error) { return topology.BERTEncoder(name, c) }
 
 // GoogLeNetCells returns the parallel-branch structure of GoogLeNet's nine
 // inception modules, for cell-level schedulers (package pipeline).

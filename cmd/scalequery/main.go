@@ -1,0 +1,249 @@
+// Command scalequery queries a run registry written by the simulation
+// CLIs' -run-dir flag: the durable record of past runs that the paper's
+// comparative methodology works from. Four verbs:
+//
+//	list — every stored run, newest first (-ids for bare IDs)
+//	show — one run's manifest (ID or unique ID prefix)
+//	diff — per-layer cycle/stall/utilization deltas between two runs,
+//	       flagging layers that regressed beyond -threshold; exits
+//	       non-zero when the runs differ materially, zero when a replay
+//	       is identical
+//	top  — layers ranked by stall fraction across every stored run
+//
+// Usage:
+//
+//	scalequery -dir runs list
+//	scalequery -dir runs show 20260808T
+//	scalequery -dir runs diff <idA> <idB> [-threshold 0.05]
+//	scalequery -dir runs top [-n 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"scalesim/internal/runstore"
+)
+
+// errDiffers marks a diff that found material differences: the command
+// succeeded, but the exit status must say "not identical".
+var errDiffers = fmt.Errorf("runs differ")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err == errDiffers {
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalequery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scalequery", flag.ContinueOnError)
+	var (
+		dir       = fs.String("dir", "runs", "run registry directory (written by -run-dir)")
+		ids       = fs.Bool("ids", false, "list: print bare run IDs only, for scripting")
+		threshold = fs.Float64("threshold", 0.05, "diff: fractional cycle/stall growth that counts as a regression")
+		topN      = fs.Int("n", 10, "top: number of layers to show (0 = all)")
+		rebuild   = fs.Bool("rebuild", false, "regenerate the index from manifest files before querying")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	verb := fs.Arg(0)
+	if verb == "" {
+		return fmt.Errorf("pass a verb: list, show, diff or top")
+	}
+	s, err := runstore.Open(*dir)
+	if err != nil {
+		return err
+	}
+	if *rebuild {
+		if _, err := s.Rebuild(); err != nil {
+			return err
+		}
+	}
+	switch verb {
+	case "list":
+		return list(s, stdout, *ids)
+	case "show":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: show <run-id>")
+		}
+		return show(s, stdout, fs.Arg(1))
+	case "diff":
+		if fs.NArg() != 3 {
+			return fmt.Errorf("usage: diff <run-id-a> <run-id-b>")
+		}
+		return diff(s, stdout, fs.Arg(1), fs.Arg(2), *threshold)
+	case "top":
+		return top(s, stdout, *topN)
+	}
+	return fmt.Errorf("unknown verb %q (want list, show, diff or top)", verb)
+}
+
+func list(s *runstore.Store, stdout io.Writer, idsOnly bool) error {
+	runs, err := s.List()
+	if err != nil {
+		return err
+	}
+	if idsOnly {
+		for _, e := range runs {
+			fmt.Fprintln(stdout, e.ID)
+		}
+		return nil
+	}
+	if len(runs) == 0 {
+		fmt.Fprintln(stdout, "no runs stored")
+		return nil
+	}
+	fmt.Fprintf(stdout, "%-40s  %-10s  %-16s  %-12s  %6s  %12s  %s\n",
+		"ID", "TOOL", "RUN", "TOPOLOGY", "LAYERS", "CYCLES", "CREATED")
+	for _, e := range runs {
+		fmt.Fprintf(stdout, "%-40s  %-10s  %-16s  %-12s  %6d  %12d  %s\n",
+			e.ID, e.Tool, e.Run, e.Topology, e.Layers, e.TotalCycles, e.Created)
+	}
+	return nil
+}
+
+func show(s *runstore.Store, stdout io.Writer, id string) error {
+	e, m, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "id:          %s\n", e.ID)
+	fmt.Fprintf(stdout, "key:         %s\n", e.Key)
+	fmt.Fprintf(stdout, "tool/run:    %s/%s\n", m.Tool, m.Run)
+	fmt.Fprintf(stdout, "created:     %s\n", m.Created)
+	fmt.Fprintf(stdout, "config hash: %s\n", m.ConfigHash)
+	if m.Topology != nil {
+		fmt.Fprintf(stdout, "topology:    %s (%d layers)\n", m.Topology.Name, m.Topology.Layers)
+	}
+	if p := m.Provenance; p != nil {
+		if p.Hostname != "" {
+			fmt.Fprintf(stdout, "host:        %s\n", p.Hostname)
+		}
+		if p.VCSRevision != "" {
+			mod := ""
+			if p.VCSModified {
+				mod = " (modified)"
+			}
+			fmt.Fprintf(stdout, "revision:    %s%s\n", p.VCSRevision, mod)
+		}
+		if len(p.CommandLine) > 0 {
+			fmt.Fprintf(stdout, "command:     %v\n", p.CommandLine)
+		}
+	}
+	if m.WallSeconds > 0 {
+		fmt.Fprintf(stdout, "wall:        %.3fs\n", m.WallSeconds)
+	}
+	if c := m.Cache; c != nil {
+		fmt.Fprintf(stdout, "cache:       %d hits / %d misses (%.0f%% hit rate)\n",
+			c.Hits, c.Misses, 100*c.HitRate())
+	}
+	if len(m.Layers) > 0 {
+		fmt.Fprintf(stdout, "\n%-6s  %-20s  %12s  %12s  %8s\n", "INDEX", "NAME", "CYCLES", "STALLS", "UTIL")
+		for _, l := range m.Layers {
+			fmt.Fprintf(stdout, "%-6d  %-20s  %12d  %12d  %7.1f%%\n",
+				l.Index, l.Name, l.Cycles, l.StallCycles, 100*l.Utilization)
+		}
+	}
+	return nil
+}
+
+func diff(s *runstore.Store, stdout io.Writer, idA, idB string, threshold float64) error {
+	_, a, err := s.Get(idA)
+	if err != nil {
+		return err
+	}
+	_, b, err := s.Get(idB)
+	if err != nil {
+		return err
+	}
+	d := runstore.Diff(a, b, threshold)
+	if d.SameConfig {
+		fmt.Fprintf(stdout, "config: identical (%s)\n", a.ConfigHash)
+	} else {
+		fmt.Fprintf(stdout, "config: DIFFERS (%s vs %s)\n", a.ConfigHash, b.ConfigHash)
+	}
+	if len(d.Layers) > 0 {
+		fmt.Fprintf(stdout, "%-6s  %-20s  %12s  %12s  %9s  %s\n",
+			"INDEX", "NAME", "CYCLES A", "CYCLES B", "DELTA", "FLAG")
+		for _, l := range d.Layers {
+			name := l.Name
+			if l.NameB != "" {
+				name += "→" + l.NameB
+			}
+			flag := ""
+			switch {
+			case l.Regression:
+				flag = "REGRESSION"
+			case l.Improvement:
+				flag = "improved"
+			}
+			fmt.Fprintf(stdout, "%-6d  %-20s  %12d  %12d  %9s  %s\n",
+				l.Index, name, l.CyclesA, l.CyclesB, pct(l.CycleDelta), flag)
+			if l.StallA != l.StallB {
+				fmt.Fprintf(stdout, "%-6s  %-20s  %12d  %12d  %9s  stalls\n",
+					"", "", l.StallA, l.StallB, pct(fracDelta(l.StallA, l.StallB)))
+			}
+		}
+	}
+	for _, name := range d.OnlyA {
+		fmt.Fprintf(stdout, "only in A: %s\n", name)
+	}
+	for _, name := range d.OnlyB {
+		fmt.Fprintf(stdout, "only in B: %s\n", name)
+	}
+	if d.Identical() {
+		fmt.Fprintln(stdout, "runs are identical")
+		return nil
+	}
+	fmt.Fprintf(stdout, "runs differ: %d regression(s) beyond %.0f%%\n", d.Regressions, 100*threshold)
+	return errDiffers
+}
+
+func top(s *runstore.Store, stdout io.Writer, n int) error {
+	layers, err := s.Top(n)
+	if err != nil {
+		return err
+	}
+	if len(layers) == 0 {
+		fmt.Fprintln(stdout, "no stalled layers stored")
+		return nil
+	}
+	fmt.Fprintf(stdout, "%-8s  %-20s  %-16s  %12s  %12s  %s\n",
+		"STALL%", "LAYER", "RUN", "CYCLES", "STALLS", "RUN ID")
+	for _, l := range layers {
+		runName := l.Run
+		if l.Topology != "" {
+			runName = l.Topology
+		}
+		fmt.Fprintf(stdout, "%7.1f%%  %-20s  %-16s  %12d  %12d  %s\n",
+			100*l.StallFraction, l.Name, runName, l.Cycles, l.StallCycles, l.RunID)
+	}
+	return nil
+}
+
+// pct formats a fractional delta as a signed percentage.
+func pct(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*f)
+}
+
+func fracDelta(a, b int64) float64 {
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(b-a) / float64(a)
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scalesim/internal/obsv"
+	"scalesim/internal/runstore"
+)
+
+// seedStore populates a registry with two runs of one config (identical
+// replays) and one run of a regressed config, returning the three IDs.
+func seedStore(t *testing.T, dir string) (base, replay, regressed string) {
+	t.Helper()
+	s, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(hash string, cycles, stall int64) *obsv.Manifest {
+		m := (*obsv.Recorder)(nil).Manifest()
+		m.Tool = "scalesim"
+		m.Run = "unit"
+		m.ConfigHash = hash
+		m.Topology = &obsv.TopologyInfo{Name: "net", Layers: 2}
+		m.Layers = []obsv.LayerMetrics{
+			{Index: 0, Name: "conv1", Cycles: cycles, StallCycles: stall, Utilization: 0.8},
+			{Index: 1, Name: "fc", Cycles: 50, Utilization: 0.9},
+		}
+		return m
+	}
+	e1, err := s.Add(mk("sha256:aaaa", 100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := s.Add(mk("sha256:aaaa", 100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := s.Add(mk("sha256:bbbb", 160, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e1.ID, e2.ID, e3.ID
+}
+
+func TestListShowsRuns(t *testing.T) {
+	dir := t.TempDir()
+	base, replay, regressed := seedStore(t, dir)
+
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{base, replay, regressed} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s:\n%s", id, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-dir", dir, "-ids", "list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Errorf("-ids list = %d lines, want 3:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		if strings.ContainsAny(l, " \t") {
+			t.Errorf("-ids line not bare: %q", l)
+		}
+	}
+}
+
+func TestShowPrintsManifest(t *testing.T) {
+	dir := t.TempDir()
+	base, _, _ := seedStore(t, dir)
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "show", base}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sha256:aaaa", "conv1", "fc", "net (2 layers)", "command:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("show missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base, replay, regressed := seedStore(t, dir)
+
+	// Identical replays: exit 0, says so.
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "diff", base, replay}, &out); err != nil {
+		t.Fatalf("identical diff errored: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "runs are identical") {
+		t.Errorf("identical diff output:\n%s", out.String())
+	}
+
+	// Regressed config: errDiffers (mapped to exit 2 in main), REGRESSION flag.
+	out.Reset()
+	err := run([]string{"-dir", dir, "diff", base, regressed}, &out)
+	if err != errDiffers {
+		t.Fatalf("regressed diff err = %v, want errDiffers", err)
+	}
+	for _, want := range []string{"config: DIFFERS", "REGRESSION", "+60.0%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestTopRanksLayers(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "top", "-n", "0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The regressed run's conv1 stalls hardest (40/200 = 20%).
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[1], "20.0%") || !strings.Contains(lines[1], "conv1") {
+		t.Errorf("top output:\n%s", out.String())
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-dir", dir},
+		{"-dir", dir, "frobnicate"},
+		{"-dir", dir, "show"},
+		{"-dir", dir, "diff", "onlyone"},
+		{"-dir", dir, "show", "nosuchrun"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRebuildFlag(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	// Corrupt the index; -rebuild must recover it before querying.
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-dir", dir, "list"}, &out); err == nil {
+		t.Fatal("corrupt index not surfaced")
+	}
+	out.Reset()
+	if err := run([]string{"-dir", dir, "-rebuild", "list"}, &out); err != nil {
+		t.Fatalf("-rebuild list: %v", err)
+	}
+	if got := strings.Count(out.String(), "scalesim"); got != 3 {
+		t.Errorf("rebuilt list shows %d runs, want 3:\n%s", got, out.String())
+	}
+}

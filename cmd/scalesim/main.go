@@ -8,6 +8,7 @@
 //	scalesim -net Resnet50 -array 128x128 -dataflow ws [-workers 4]
 //	scalesim -net Resnet50 -metrics run.json -progress -pprof localhost:6060
 //	scalesim -net Resnet50 -cache-dir .simcache -metrics run.json
+//	scalesim -net Resnet50 -run-dir runs -log run.log -metrics-addr localhost:9911
 //
 // Either -config or the individual flags describe the hardware; -topology
 // overrides the config's topology path and -net selects a built-in
@@ -18,6 +19,12 @@
 // manifest (per-layer cycles and wall timings, engine span aggregates,
 // runtime stats), -progress reports per-layer completion to stderr, and
 // -pprof serves net/http/pprof for the duration of the run.
+//
+// Cross-run observability: -run-dir registers the manifest in a
+// content-addressed run registry queryable with scalequery; -log writes
+// a structured JSONL event log at -log-level; -metrics-addr serves live
+// Prometheus text at /metrics and -metrics-jsonl appends periodic
+// registry snapshots.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"scalesim"
+	"scalesim/internal/cliobs"
 	"scalesim/internal/obsv"
 	"scalesim/internal/report"
 )
@@ -68,6 +76,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		useCache = fs.Bool("cache", false, "memoize per-layer compute results in memory (repeated shapes replay)")
 		cacheDir = fs.String("cache-dir", "", "persist the result cache in this directory (implies -cache)")
 	)
+	obs := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,13 +90,25 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		fmt.Fprintf(os.Stderr, "scalesim: pprof at http://%s/debug/pprof/\n", addr)
 	}
 	var rec *obsv.Recorder
-	if *metrics != "" {
+	if *metrics != "" || obs.Active() {
 		rec = obsv.NewRecorder()
 	}
+	stopObs, err := obs.Start("scalesim", rec)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	var prog *obsv.Progress
 	if *progress {
 		prog = obsv.NewProgress(os.Stderr, "scalesim")
 	}
+	// An error on any path below terminates the progress stream; after a
+	// successful Finish the deferred Abort is a no-op.
+	defer func() {
+		if retErr != nil {
+			prog.Abort(retErr.Error())
+		}
+	}()
 
 	cfg := scalesim.NewConfig()
 	if *cfgPath != "" {
@@ -162,7 +183,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		if err != nil {
 			return fmt.Errorf("invalid -parts %q (want PrxPc)", *partsArg)
 		}
-		return runScaleOut(stdout, cfg, topo, pr, pc, rec, prog, *metrics, tlw, cache)
+		return runScaleOut(stdout, cfg, topo, pr, pc, rec, prog, *metrics, tlw, cache, obs)
 	}
 
 	opt := scalesim.Options{Workers: *workers, Obs: rec, Progress: prog,
@@ -193,8 +214,14 @@ func run(args []string, stdout io.Writer) (retErr error) {
 	}
 	prog.Finish()
 
-	if *metrics != "" {
-		if err := sim.Manifest(res).WriteFile(*metrics); err != nil {
+	if *metrics != "" || obs.RunDir() != "" {
+		m := sim.Manifest(res)
+		if *metrics != "" {
+			if err := m.WriteFile(*metrics); err != nil {
+				return err
+			}
+		}
+		if err := obs.StoreRun(m); err != nil {
 			return err
 		}
 	}
@@ -228,7 +255,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 // run manifest (one entry per layer, partition-level engine spans).
 func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, pr, pc int,
 	rec *obsv.Recorder, prog *obsv.Progress, metricsPath string, tlw *scalesim.TimelineWriter,
-	cache *scalesim.Cache) error {
+	cache *scalesim.Cache, obs *cliobs.Flags) error {
 	spec := scalesim.ScaleOutSpec{
 		Parts: scalesim.Partitioning{Pr: int64(pr), Pc: int64(pc)},
 		Shape: scalesim.Shape{R: int64(cfg.ArrayHeight), C: int64(cfg.ArrayWidth)},
@@ -264,7 +291,7 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 	}
 	fmt.Fprintf(stdout, "TOTAL,%d,,,,,\n", total)
 	prog.Finish()
-	if metricsPath != "" {
+	if metricsPath != "" || obs.RunDir() != "" {
 		m := rec.Manifest()
 		m.Tool = "scalesim"
 		m.Run = cfg.RunName
@@ -275,7 +302,12 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 			st := cache.Stats()
 			m.Cache = &obsv.CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
 		}
-		return m.WriteFile(metricsPath)
+		if metricsPath != "" {
+			if err := m.WriteFile(metricsPath); err != nil {
+				return err
+			}
+		}
+		return obs.StoreRun(m)
 	}
 	return nil
 }

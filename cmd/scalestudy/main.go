@@ -35,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 
+	"scalesim/internal/cliobs"
 	"scalesim/internal/config"
 	"scalesim/internal/experiments"
 	"scalesim/internal/obsv"
@@ -72,6 +73,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		progress = fs.Bool("progress", false, "report per-series progress to stderr")
 		pprof    = fs.String("pprof", "", "serve net/http/pprof on this address during the study")
 	)
+	obsFlags := cliobs.Register(fs)
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -85,19 +87,29 @@ func run(args []string, stdout io.Writer) (err error) {
 		fmt.Fprintf(os.Stderr, "scalestudy: pprof at http://%s/debug/pprof/\n", addr)
 	}
 	var obs experiments.Obs
-	if *metrics != "" {
+	if *metrics != "" || obsFlags.Active() {
 		obs.Rec = obsv.NewRecorder()
 	}
+	stopObs, err := obsFlags.Start("scalestudy", obs.Rec)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if *progress {
 		obs.Progress = obsv.NewProgress(os.Stderr, "scalestudy "+cmd)
 	}
 	// The whole subcommand runs under one phase; the manifest is written on
-	// the way out so every return path below is covered.
+	// the way out so every return path below is covered — and a failed
+	// study terminates its progress stream instead of finishing it.
 	stopPhase := obs.Rec.Phase("scalestudy." + cmd)
 	defer func() {
 		stopPhase()
+		if err != nil {
+			obs.Progress.Abort(err.Error())
+			return
+		}
 		obs.Progress.Finish()
-		if err != nil || *metrics == "" {
+		if *metrics == "" && obsFlags.RunDir() == "" {
 			return
 		}
 		m := obs.Rec.Manifest()
@@ -109,7 +121,12 @@ func run(args []string, stdout io.Writer) (err error) {
 				Index: lt.Index, Name: lt.Name, WallSeconds: lt.Seconds,
 			})
 		}
-		err = m.WriteFile(*metrics)
+		if *metrics != "" {
+			if err = m.WriteFile(*metrics); err != nil {
+				return
+			}
+		}
+		err = obsFlags.StoreRun(m)
 	}()
 
 	w := stdout

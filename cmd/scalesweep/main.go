@@ -13,6 +13,10 @@
 // -metrics writes a sweep manifest (one entry per grid point plus engine
 // span aggregates and runtime stats), -progress reports per-point
 // completion to stderr, and -pprof serves net/http/pprof during the run.
+// -run-dir registers the manifest in the scalequery run registry, -log
+// writes a structured JSONL event log, and -metrics-addr/-metrics-jsonl
+// expose the live metric registry (Prometheus text / periodic
+// snapshots).
 //
 // The spec file uses the same INI dialect as hardware configs:
 //
@@ -32,6 +36,7 @@ import (
 
 	"scalesim"
 	"scalesim/internal/batch"
+	"scalesim/internal/cliobs"
 	"scalesim/internal/config"
 	"scalesim/internal/obsv"
 )
@@ -62,6 +67,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		useCache  = fs.Bool("cache", false, "share a per-layer result cache across the grid (repeated shapes replay)")
 		cacheDir  = fs.String("cache-dir", "", "persist the result cache in this directory (implies -cache)")
 	)
+	obs := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,13 +131,25 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		spec.Cache = scalesim.NewCache()
 	}
 	var rec *obsv.Recorder
-	if *metrics != "" {
+	if *metrics != "" || obs.Active() {
 		rec = obsv.NewRecorder()
 		spec.Obs = rec
 	}
+	stopObs, err := obs.Start("scalesweep", rec)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if *progress {
 		spec.Progress = obsv.NewProgress(os.Stderr, "scalesweep")
 	}
+	// Terminate the progress stream on every error path; a no-op after the
+	// successful Finish below.
+	defer func() {
+		if retErr != nil {
+			spec.Progress.Abort(retErr.Error())
+		}
+	}()
 	if *tlPath != "" {
 		f, err := os.Create(*tlPath)
 		if err != nil {
@@ -154,8 +172,14 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		return err
 	}
 	spec.Progress.Finish()
-	if *metrics != "" {
-		if err := batch.NewManifest(spec, rows, rec).WriteFile(*metrics); err != nil {
+	if *metrics != "" || obs.RunDir() != "" {
+		m := batch.NewManifest(spec, rows, rec)
+		if *metrics != "" {
+			if err := m.WriteFile(*metrics); err != nil {
+				return err
+			}
+		}
+		if err := obs.StoreRun(m); err != nil {
 			return err
 		}
 	}

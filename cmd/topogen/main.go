@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"scalesim"
+	"scalesim/internal/cliobs"
 	"scalesim/internal/topology"
 )
 
@@ -47,9 +48,15 @@ func run(args []string, stdout io.Writer) error {
 		list   = fs.Bool("list", false, "list built-in workloads and exit")
 		stats  = fs.Bool("stats", false, "print shape-key dedup stats instead of the workload")
 	)
+	obs := cliobs.RegisterLog(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := obs.Start("topogen", nil)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if *list {
 		for _, name := range scalesim.BuiltInTopologyNames() {
 			topo, _ := scalesim.BuiltInTopology(name)

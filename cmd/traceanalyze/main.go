@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"scalesim/internal/cliobs"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/trace"
 	"scalesim/internal/tracetools"
@@ -55,9 +56,15 @@ func run(args []string, stdout io.Writer) error {
 		plot   = fs.Bool("plot", false, "render a chart: miss-ratio curve for one trace, overlaid bandwidth profiles for several")
 		tlPath = fs.String("timeline", "", "write the traces' bandwidth profiles as a Chrome Trace Event timeline to this path")
 	)
+	obs := cliobs.RegisterLog(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopObs, err := obs.Start("traceanalyze", nil)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
 	if len(tracePaths) == 0 {
 		return fmt.Errorf("pass -trace <file.csv> (repeatable)")
 	}

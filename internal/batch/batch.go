@@ -13,6 +13,7 @@ import (
 	"scalesim/internal/core"
 	"scalesim/internal/engine"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/log"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/simcache"
 	"scalesim/internal/topology"
@@ -138,7 +139,9 @@ func Run(spec Spec) ([]Row, error) {
 	points := spec.Points()
 	spec.Progress.Start(len(points))
 	defer spec.Obs.Phase("batch.run")()
-	return engine.RunObserved(spec.Parallel, len(points), spec.Obs.SpanSink(), func(i int) (Row, error) {
+	log.Default().Info("batch", "sweep start",
+		"points", len(points), "nets", len(spec.Topologies)+len(spec.Graphs))
+	rows, err := engine.RunObserved(spec.Parallel, len(points), spec.Obs.SpanSink(), func(i int) (Row, error) {
 		p := points[i]
 		var t0 time.Time
 		if spec.Obs.Enabled() {
@@ -151,8 +154,15 @@ func Run(spec Spec) ([]Row, error) {
 		}
 		spec.Obs.ObserveLayer(i, PointLabel(p), time.Since(t0))
 		spec.Progress.Step(PointLabel(p))
+		if lg := log.Default(); lg.Enabled(log.LevelDebug) {
+			lg.Debug("batch", "point done", "point", PointLabel(p), "cycles", row.TotalCycles)
+		}
 		return row, nil
 	})
+	if err != nil {
+		log.Default().Error("batch", "sweep failed", "points", len(points), "error", err)
+	}
+	return rows, err
 }
 
 // NewManifest assembles a sweep manifest: one manifest entry per grid

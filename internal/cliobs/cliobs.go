@@ -1,0 +1,144 @@
+// Package cliobs wires the cross-run observability surface into the
+// command-line tools: one flag set shared by every CLI, so -log,
+// -log-level, -metrics-addr, -metrics-jsonl and -run-dir mean the same
+// thing in scalesim, scalesweep and scalestudy, and the workload tools
+// (topogen, traceanalyze) share the logging subset.
+//
+//	-log / -log-level     install the process-wide structured logger
+//	-metrics-addr         serve /metrics (Prometheus text) + pprof live
+//	-metrics-jsonl        append periodic metric snapshots for headless runs
+//	-run-dir              register the run's manifest in a runstore
+//
+// Usage: Register the flags, then Start after parsing (deferred stop),
+// and StoreRun with the run's manifest on the way out.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/export"
+	"scalesim/internal/obsv/log"
+	"scalesim/internal/runstore"
+)
+
+// Flags holds the observability flag values for one CLI invocation.
+type Flags struct {
+	metricsAddr  string
+	metricsJSONL string
+	interval     time.Duration
+	logPath      string
+	logLevel     string
+	runDir       string
+}
+
+// Register adds the full observability flag set to fs.
+func Register(fs *flag.FlagSet) *Flags {
+	f := RegisterLog(fs)
+	fs.StringVar(&f.metricsAddr, "metrics-addr", "",
+		"serve live /metrics (Prometheus text format) and pprof on this address during the run")
+	fs.StringVar(&f.metricsJSONL, "metrics-jsonl", "",
+		"append periodic metric snapshots as JSON lines to this file")
+	fs.DurationVar(&f.interval, "metrics-interval", time.Second,
+		"snapshot period for -metrics-jsonl")
+	fs.StringVar(&f.runDir, "run-dir", "",
+		"register the run's manifest in this run registry directory (query with scalequery)")
+	return f
+}
+
+// RegisterLog adds only the structured-logging flags — enough for tools
+// that simulate nothing (topogen, traceanalyze).
+func RegisterLog(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.logPath, "log", "",
+		`write structured JSONL event logs to this path ("-" or "stderr" for stderr)`)
+	fs.StringVar(&f.logLevel, "log-level", "info",
+		"minimum level for -log: debug, info, warn or error")
+	return f
+}
+
+// Active reports whether any flag needs a metrics recorder attached to
+// the run: a live endpoint, a snapshot stream and a registered manifest
+// all want real numbers, not an empty registry.
+func (f *Flags) Active() bool {
+	return f.metricsAddr != "" || f.metricsJSONL != "" || f.runDir != ""
+}
+
+// RunDir returns the -run-dir value.
+func (f *Flags) RunDir() string { return f.runDir }
+
+// Start applies the parsed flags: installs the process logger, brings up
+// the /metrics endpoint and starts the snapshot writer, all reading from
+// rec's registry (nil-safe — an empty registry exports empty families).
+// The returned stop function flushes and shuts everything down; always
+// defer it. tool labels log lines and stderr notices.
+func (f *Flags) Start(tool string, rec *obsv.Recorder) (stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	fail := func(err error) (func(), error) {
+		stop()
+		return func() {}, err
+	}
+
+	if f.logPath != "" {
+		closeLog, err := log.Setup(f.logPath, f.logLevel)
+		if err != nil {
+			return fail(err)
+		}
+		log.Default().Info(tool, "run start", "pid", os.Getpid())
+		stops = append(stops, func() {
+			log.Default().Info(tool, "run end")
+			log.SetDefault(nil)
+			_ = closeLog()
+		})
+	}
+
+	src := func() obsv.MetricsSnapshot { return rec.Metrics().Snapshot() }
+	if f.metricsAddr != "" {
+		addr, stopServe, err := export.Serve(f.metricsAddr, src)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: metrics at http://%s/metrics\n", tool, addr)
+		stops = append(stops, func() { _ = stopServe() })
+	}
+	if f.metricsJSONL != "" {
+		file, err := os.Create(f.metricsJSONL)
+		if err != nil {
+			return fail(err)
+		}
+		snap := export.NewSnapshotter(file, src, f.interval)
+		stops = append(stops, func() {
+			_ = snap.Stop()
+			_ = file.Close()
+		})
+	}
+	return stop, nil
+}
+
+// StoreRun registers the manifest in the -run-dir registry; a no-op
+// without the flag. The stored entry is what scalequery list/diff/top
+// read back later.
+func (f *Flags) StoreRun(m *obsv.Manifest) error {
+	if f.runDir == "" {
+		return nil
+	}
+	s, err := runstore.Open(f.runDir)
+	if err != nil {
+		return err
+	}
+	e, err := s.Add(m)
+	if err != nil {
+		return err
+	}
+	log.Default().Info("runstore", "run registered", "id", e.ID, "key", e.Key, "dir", f.runDir)
+	fmt.Fprintf(os.Stderr, "run registered: %s (%s)\n", e.ID, f.runDir)
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"scalesim/internal/engine"
 	"scalesim/internal/memory"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/log"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/simcache"
 	"scalesim/internal/systolic"
@@ -289,7 +290,13 @@ func (s *Simulator) simulateNode(index int, n topology.Node) (LayerResult, error
 		err := st.fn(s, ctx)
 		stop()
 		if err != nil {
+			log.Default().Error("core", "stage failed",
+				"layer", l.Name, "index", index, "stage", st.name, "error", err)
 			return LayerResult{}, err
+		}
+		if lg := log.Default(); lg.Enabled(log.LevelDebug) {
+			lg.Debug("core", "stage done",
+				"layer", l.Name, "index", index, "stage", st.name, "cache_hit", ctx.CacheHit)
 		}
 	}
 	return ctx.Result, nil

@@ -8,7 +8,17 @@ import (
 	"time"
 
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/log"
 )
+
+// logSkipped warns when a failure leaves DAG nodes unexecuted: the
+// failed job's dependents and everything dispatch never reached. Nothing
+// else reports these nodes — they produce no spans and no results.
+func logSkipped(skipped int) {
+	if skipped > 0 {
+		log.Default().Warn("engine", "dag nodes skipped after failure", "skipped", skipped)
+	}
+}
 
 // minHeap is a min-heap of job indices: the DAG dispatcher always hands
 // the lowest-index ready job to the next free worker, keeping the
@@ -83,13 +93,16 @@ func RunDAGObserved[T any](workers, n int, deps func(i int) []int, sink obsv.Spa
 			if sink != nil {
 				start = time.Now()
 			}
+			logJobStart(i, 0)
 			var err error
 			results[i], err = runJob(i, job)
+			logJobDone(i, 0, err)
 			if sink != nil {
 				sink.Emit(obsv.Span{Index: i, Exec: time.Since(start), Err: err != nil,
 					Enqueued: start})
 			}
 			if err != nil {
+				logSkipped(n - 1 - i)
 				return results, err
 			}
 		}
@@ -121,10 +134,12 @@ func RunDAGObserved[T any](workers, n int, deps func(i int) []int, sink obsv.Spa
 				if sink != nil {
 					start = time.Now()
 				}
+				logJobStart(i, w)
 				var err error
 				if results[i], err = runJob(i, job); err != nil {
 					errs[i] = err
 				}
+				logJobDone(i, w, err)
 				if sink != nil {
 					end := time.Now()
 					spans[i] = obsv.Span{
@@ -160,6 +175,7 @@ func RunDAGObserved[T any](workers, n int, deps func(i int) []int, sink obsv.Spa
 		}
 	}
 	inflight := 0
+	dispatched := 0
 	failed := false
 	for {
 		if inflight == 0 && (failed || ready.Len() == 0) {
@@ -175,6 +191,7 @@ func RunDAGObserved[T any](workers, n int, deps func(i int) []int, sink obsv.Spa
 		case send <- candidate:
 			heap.Pop(ready)
 			inflight++
+			dispatched++
 		case c := <-done:
 			inflight--
 			if c.failed {
@@ -200,6 +217,9 @@ func RunDAGObserved[T any](workers, n int, deps func(i int) []int, sink obsv.Spa
 	}
 	close(next)
 	wg.Wait()
+	if failed {
+		logSkipped(n - dispatched)
+	}
 
 	if sink != nil {
 		join := time.Now()

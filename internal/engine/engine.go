@@ -26,6 +26,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/log"
 )
 
 // PanicError is a job panic converted into an error: instead of one bad
@@ -50,6 +52,33 @@ type PanicError struct {
 
 func (e *PanicError) Error() string {
 	return fmt.Sprintf("engine: job %d panicked: %v", e.Index, e.Value)
+}
+
+// logJobStart and logJobDone report per-job scheduling events to the
+// process logger. Failures always log at error level (panics carry their
+// value); completions only at debug, behind an Enabled check so the
+// common path pays one atomic load and a comparison. Logging observes
+// the schedule exactly like span sinks do — it never alters results.
+func logJobStart(i, worker int) {
+	if lg := log.Default(); lg.Enabled(log.LevelDebug) {
+		lg.Debug("engine", "job start", "job", i, "worker", worker)
+	}
+}
+
+func logJobDone(i, worker int, err error) {
+	lg := log.Default()
+	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			lg.Error("engine", "job panicked", "job", i, "worker", worker, "panic", fmt.Sprint(pe.Value))
+			return
+		}
+		lg.Error("engine", "job failed", "job", i, "worker", worker, "error", err)
+		return
+	}
+	if lg.Enabled(log.LevelDebug) {
+		lg.Debug("engine", "job done", "job", i, "worker", worker)
+	}
 }
 
 // runJob invokes job(i), converting a panic into a *PanicError so the
@@ -100,8 +129,10 @@ func RunObserved[T any](workers, n int, sink obsv.SpanSink, job func(i int) (T, 
 			if sink != nil {
 				start = time.Now()
 			}
+			logJobStart(i, 0)
 			var err error
 			results[i], err = runJob(i, job)
+			logJobDone(i, 0, err)
 			if sink != nil {
 				sink.Emit(obsv.Span{Index: i, Exec: time.Since(start), Err: err != nil,
 					Enqueued: start})
@@ -136,11 +167,13 @@ func RunObserved[T any](workers, n int, sink obsv.SpanSink, job func(i int) (T, 
 				if sink != nil {
 					start = time.Now()
 				}
+				logJobStart(i, w)
 				var err error
 				if results[i], err = runJob(i, job); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
+				logJobDone(i, w, err)
 				if sink != nil {
 					end := time.Now()
 					spans[i] = obsv.Span{

@@ -1,0 +1,188 @@
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// decodeLines parses every JSONL line into a map.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestEventShape(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, LevelDebug)
+	lg.Info("engine", "job done", "index", 3, "seconds", 0.25, "err", fmt.Errorf("boom"))
+
+	events := decodeLines(t, &buf)
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want 1", len(events))
+	}
+	e := events[0]
+	for key, want := range map[string]any{
+		"level":     "info",
+		"subsystem": "engine",
+		"msg":       "job done",
+		"index":     float64(3),
+		"seconds":   0.25,
+		"err":       "boom",
+	} {
+		if e[key] != want {
+			t.Errorf("event[%q] = %v, want %v", key, e[key], want)
+		}
+	}
+	if e["ts"] == nil {
+		t.Error("event missing ts")
+	}
+}
+
+func TestFieldOrderIsStable(t *testing.T) {
+	var buf bytes.Buffer
+	New(&buf, LevelDebug).With("run", "r1").Info("core", "layer", "zebra", 1, "alpha", 2)
+	line := buf.String()
+	for _, seq := range [][2]string{
+		{`"ts"`, `"level"`}, {`"level"`, `"subsystem"`}, {`"subsystem"`, `"msg"`},
+		{`"msg"`, `"run"`}, {`"run"`, `"zebra"`}, {`"zebra"`, `"alpha"`},
+	} {
+		if strings.Index(line, seq[0]) >= strings.Index(line, seq[1]) {
+			t.Errorf("field %s does not precede %s in %q", seq[0], seq[1], line)
+		}
+	}
+}
+
+func TestLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, LevelWarn)
+	lg.Debug("x", "dropped")
+	lg.Info("x", "dropped")
+	lg.Warn("x", "kept")
+	lg.Error("x", "kept")
+	if got := len(decodeLines(t, &buf)); got != 2 {
+		t.Fatalf("events = %d, want 2", got)
+	}
+	if lg.Enabled(LevelInfo) || !lg.Enabled(LevelError) {
+		t.Error("Enabled gate wrong")
+	}
+}
+
+func TestNilLoggerIsSilent(t *testing.T) {
+	var lg *Logger
+	lg.Debug("x", "m")
+	lg.Info("x", "m")
+	lg.Warn("x", "m")
+	lg.Error("x", "m", "k", 1)
+	if lg.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+	if lg.With("k", "v") != nil {
+		t.Error("nil With should stay nil")
+	}
+}
+
+func TestWithBindsFields(t *testing.T) {
+	var buf bytes.Buffer
+	base := New(&buf, LevelDebug)
+	run := base.With("run", "sweep1", "config_hash", "sha256:ab")
+	run.Info("batch", "point done", "index", 7)
+	base.Info("batch", "unbound")
+
+	events := decodeLines(t, &buf)
+	if events[0]["run"] != "sweep1" || events[0]["config_hash"] != "sha256:ab" {
+		t.Errorf("bound fields missing: %v", events[0])
+	}
+	if _, ok := events[1]["run"]; ok {
+		t.Error("parent logger inherited child's bound fields")
+	}
+}
+
+func TestOddPairsAndBadKeysDegrade(t *testing.T) {
+	var buf bytes.Buffer
+	New(&buf, LevelDebug).Info("x", "m", "dangling")
+	New(&buf, LevelDebug).Info("x", "m", 42, "v")
+	for _, e := range decodeLines(t, &buf) { // both lines must stay valid JSON
+		if e["msg"] != "m" {
+			t.Errorf("msg lost: %v", e)
+		}
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	New(&buf, LevelDebug).Info("x", "quote\"new\nline", "k\"ey", "v\\al")
+	events := decodeLines(t, &buf)
+	if events[0]["msg"] != "quote\"new\nline" {
+		t.Errorf("msg round-trip failed: %q", events[0]["msg"])
+	}
+	if events[0]["k\"ey"] != "v\\al" {
+		t.Errorf("key/value round-trip failed: %v", events[0])
+	}
+}
+
+func TestConcurrentUseKeepsLinesIntact(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(&buf, LevelDebug)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sub := lg.With("goroutine", g)
+			for i := 0; i < 50; i++ {
+				sub.Debug("engine", "job", "index", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(decodeLines(t, &buf)); got != 400 {
+		t.Fatalf("events = %d, want 400", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for name, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(name)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted junk")
+	}
+}
+
+func TestDefaultInstallAndReset(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default logger should start nil")
+	}
+	var buf bytes.Buffer
+	lg := New(&buf, LevelInfo)
+	SetDefault(lg)
+	defer SetDefault(nil)
+	if Default() != lg {
+		t.Fatal("SetDefault did not install")
+	}
+	Default().Info("x", "hello")
+	if len(decodeLines(t, &buf)) != 1 {
+		t.Fatal("default logger dropped the event")
+	}
+}

@@ -6,13 +6,16 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 )
 
 // Schema identifies the manifest document format. v2 added the optional
-// timeline summary; v1 documents are still accepted by Validate.
+// timeline summary; v3 added run provenance (command line, build info,
+// hostname); v1 and v2 documents are still accepted by Validate.
 const (
-	Schema   = "scalesim.manifest/v2"
+	Schema   = "scalesim.manifest/v3"
+	SchemaV2 = "scalesim.manifest/v2"
 	SchemaV1 = "scalesim.manifest/v1"
 )
 
@@ -99,14 +102,54 @@ func (c CacheStats) HitRate() float64 {
 	return 0
 }
 
+// Provenance records where a run came from, so manifests stored in a
+// shared run registry stay attributable: the invoking command line, the
+// module identity and VCS revision baked into the binary
+// (runtime/debug.ReadBuildInfo), and the host that ran it.
+type Provenance struct {
+	CommandLine []string `json:"command_line,omitempty"`
+	Module      string   `json:"module,omitempty"`
+	Version     string   `json:"version,omitempty"`
+	VCSRevision string   `json:"vcs_revision,omitempty"`
+	VCSTime     string   `json:"vcs_time,omitempty"`
+	VCSModified bool     `json:"vcs_modified,omitempty"`
+	Hostname    string   `json:"hostname,omitempty"`
+}
+
+// CollectProvenance captures the current process's provenance. Build
+// info is absent in unlinked test binaries and hostname lookup can fail;
+// both degrade to empty fields, never to errors.
+func CollectProvenance() *Provenance {
+	p := &Provenance{CommandLine: append([]string(nil), os.Args...)}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		p.Module = bi.Main.Path
+		p.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				p.VCSRevision = s.Value
+			case "vcs.time":
+				p.VCSTime = s.Value
+			case "vcs.modified":
+				p.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	if host, err := os.Hostname(); err == nil {
+		p.Hostname = host
+	}
+	return p
+}
+
 // Manifest is the machine-readable record of one run: identity (tool,
-// run name, config hash, topology), results (per-layer cycles,
-// utilizations, stalls), and cost (phase wall-clock timings, engine span
-// aggregates, runtime stats, metric snapshots).
+// run name, config hash, topology, provenance), results (per-layer
+// cycles, utilizations, stalls), and cost (phase wall-clock timings,
+// engine span aggregates, runtime stats, metric snapshots).
 type Manifest struct {
 	Schema      string           `json:"schema"`
 	Tool        string           `json:"tool,omitempty"`
 	Run         string           `json:"run,omitempty"`
+	Provenance  *Provenance      `json:"provenance,omitempty"`
 	Created     string           `json:"created"`
 	ConfigHash  string           `json:"config_hash,omitempty"`
 	Workers     int              `json:"workers,omitempty"`
@@ -127,8 +170,9 @@ type Manifest struct {
 // having paid for instrumentation.
 func (r *Recorder) Manifest() *Manifest {
 	m := &Manifest{
-		Schema:  Schema,
-		Created: time.Now().UTC().Format(time.RFC3339),
+		Schema:     Schema,
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		Provenance: CollectProvenance(),
 	}
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)
@@ -209,7 +253,7 @@ func ParseManifest(data []byte) (*Manifest, error) {
 // Validate checks the fields every manifest must carry.
 func (m *Manifest) Validate() error {
 	switch {
-	case m.Schema != Schema && m.Schema != SchemaV1:
+	case m.Schema != Schema && m.Schema != SchemaV2 && m.Schema != SchemaV1:
 		return fmt.Errorf("obsv: manifest schema %q, want %q", m.Schema, Schema)
 	case m.Created == "":
 		return fmt.Errorf("obsv: manifest missing created timestamp")

@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -81,21 +82,62 @@ func TestManifestValidateRejects(t *testing.T) {
 }
 
 // TestManifestSchemaVersions pins the compatibility contract: the current
-// schema and v1 both validate, anything else is rejected.
+// schema, v2 and v1 all validate, anything else is rejected.
 func TestManifestSchemaVersions(t *testing.T) {
-	for _, schema := range []string{Schema, SchemaV1} {
+	for _, schema := range []string{Schema, SchemaV2, SchemaV1} {
 		m := (*Recorder)(nil).Manifest()
 		m.Schema = schema
 		if err := m.Validate(); err != nil {
 			t.Errorf("schema %q rejected: %v", schema, err)
 		}
 	}
-	for _, schema := range []string{"", "scalesim.manifest/v0", "scalesim.manifest/v3", "other/v2"} {
+	for _, schema := range []string{"", "scalesim.manifest/v0", "scalesim.manifest/v4", "other/v2"} {
 		m := (*Recorder)(nil).Manifest()
 		m.Schema = schema
 		if err := m.Validate(); err == nil {
 			t.Errorf("unknown schema %q accepted", schema)
 		}
+	}
+}
+
+// TestManifestProvenance pins the attribution contract: every manifest —
+// with or without a recorder — carries the invoking command line, and
+// hostname/build info when the platform provides them.
+func TestManifestProvenance(t *testing.T) {
+	for name, m := range map[string]*Manifest{
+		"nil-recorder": (*Recorder)(nil).Manifest(),
+		"recorder":     NewRecorder().Manifest(),
+	} {
+		if m.Provenance == nil {
+			t.Fatalf("%s: manifest missing provenance", name)
+		}
+		if len(m.Provenance.CommandLine) == 0 {
+			t.Errorf("%s: provenance missing command line", name)
+		}
+	}
+
+	p := CollectProvenance()
+	if host, err := os.Hostname(); err == nil && p.Hostname != host {
+		t.Errorf("hostname = %q, want %q", p.Hostname, host)
+	}
+	// Provenance must survive the JSON round trip with v1/v2 compatibility
+	// intact: a document without the field still parses.
+	m := NewRecorder().Manifest()
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseManifest(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Provenance == nil || len(back.Provenance.CommandLine) == 0 {
+		t.Errorf("provenance lost in round trip: %+v", back.Provenance)
+	}
+	old := []byte(`{"schema":"scalesim.manifest/v2","created":"2026-01-01T00:00:00Z",
+		"runtime":{"go_version":"go1.22","num_cpu":1,"gomaxprocs":1}}`)
+	if _, err := ParseManifest(old); err != nil {
+		t.Errorf("v2 manifest without provenance rejected: %v", err)
 	}
 }
 

@@ -13,12 +13,13 @@ import (
 // Lines appear in completion order, which under a parallel engine may
 // differ from index order — progress is display, not data.
 type Progress struct {
-	mu    sync.Mutex
-	w     io.Writer
-	label string
-	total int
-	done  int
-	start time.Time
+	mu       sync.Mutex
+	w        io.Writer
+	label    string
+	total    int
+	done     int
+	start    time.Time
+	finished bool
 }
 
 // NewProgress returns a reporter writing lines prefixed with label.
@@ -36,6 +37,7 @@ func (p *Progress) Start(total int) {
 	p.total = total
 	p.done = 0
 	p.start = time.Now()
+	p.finished = false
 	p.mu.Unlock()
 }
 
@@ -56,14 +58,49 @@ func (p *Progress) Step(name string) {
 	fmt.Fprintf(p.w, "%s: [%d] %s (%s elapsed)\n", p.label, done, name, elapsed.Round(time.Millisecond))
 }
 
-// Finish reports the final count and total elapsed time.
+// Finish reports the final count and total elapsed time. Only the first
+// terminator after a Start wins: a second Finish — or an Abort from a
+// deferred error path after a successful Finish — is a no-op, so callers
+// can pair an inline Finish with a deferred Abort safely.
 func (p *Progress) Finish() {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
+	if p.finished {
+		p.mu.Unlock()
+		return
+	}
+	p.finished = true
 	done := p.done
 	elapsed := time.Since(p.start)
 	p.mu.Unlock()
 	fmt.Fprintf(p.w, "%s: done, %d units in %s\n", p.label, done, elapsed.Round(time.Millisecond))
+}
+
+// Abort terminates the progress stream on an error or panic path: where
+// Finish reports completion, Abort reports how far the run got before it
+// died, so an interrupted sweep never leaves its progress dangling
+// without a final line. Like Finish it is idempotent per Start — after a
+// successful Finish a deferred Abort emits nothing.
+func (p *Progress) Abort(reason string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.finished {
+		p.mu.Unlock()
+		return
+	}
+	p.finished = true
+	done, total := p.done, p.total
+	elapsed := time.Since(p.start)
+	p.mu.Unlock()
+	if total > 0 {
+		fmt.Fprintf(p.w, "%s: aborted after %d/%d units in %s: %s\n",
+			p.label, done, total, elapsed.Round(time.Millisecond), reason)
+		return
+	}
+	fmt.Fprintf(p.w, "%s: aborted after %d units in %s: %s\n",
+		p.label, done, elapsed.Round(time.Millisecond), reason)
 }

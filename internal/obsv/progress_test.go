@@ -33,6 +33,54 @@ func TestProgressWithoutTotal(t *testing.T) {
 	}
 }
 
+// TestProgressAbortTerminates is the regression test for aborted sweeps:
+// an error or panic path must still emit a final terminating line, and
+// exactly one terminator wins regardless of Finish/Abort ordering.
+func TestProgressAbortTerminates(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sweep")
+	p.Start(4)
+	p.Step("pt0")
+	func() {
+		defer func() { _ = recover() }()
+		defer p.Abort("boom") // the deferred error-path terminator
+		panic("simulated layer panic")
+	}()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "sweep: aborted after 1/4 units") || !strings.Contains(last, "boom") {
+		t.Fatalf("aborted sweep left progress unterminated: %q", buf.String())
+	}
+
+	// Abort after Finish is a no-op: success paths that Finish inline and
+	// Abort from a defer emit exactly one terminator.
+	buf.Reset()
+	p.Start(1)
+	p.Step("pt")
+	p.Finish()
+	p.Abort("late abort")
+	p.Finish()
+	out := buf.String()
+	if strings.Contains(out, "aborted") || strings.Count(out, "done,") != 1 {
+		t.Errorf("terminator not idempotent:\n%s", out)
+	}
+
+	// And the reverse: Finish after Abort stays silent.
+	buf.Reset()
+	p.Start(1)
+	p.Abort("failed early")
+	p.Finish()
+	out = buf.String()
+	if strings.Count(out, "aborted") != 1 || strings.Contains(out, "done,") {
+		t.Errorf("Finish after Abort emitted a second terminator:\n%s", out)
+	}
+
+	// Nil progress stays silent on every path.
+	var np *Progress
+	np.Abort("x")
+	np.Finish()
+}
+
 func TestServePprof(t *testing.T) {
 	addr, stop, err := ServePprof("127.0.0.1:0")
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"scalesim/internal/memory"
 	"scalesim/internal/noc"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/log"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/simcache"
 	"scalesim/internal/systolic"
@@ -200,6 +201,10 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 	cacheOK := opt.Cache != nil && opt.Timeline == nil &&
 		m2.DRAMRead == nil && m2.DRAMWrite == nil &&
 		m2.DRAMIfmapTap == nil && m2.DRAMFilterTap == nil && m2.DRAMOfmapTap == nil
+	if lg := log.Default(); lg.Enabled(log.LevelDebug) {
+		lg.Debug("partition", "run start",
+			"layer", l.Name, "grid", spec.Parts.String(), "tasks", len(tasks))
+	}
 	stop := opt.Obs.Phase("partition.run")
 	outcomes, err := engine.RunObserved(opt.Parallel, len(tasks), spanSink, func(i int) (outcome, error) {
 		t := tasks[i]

@@ -1,0 +1,309 @@
+package runstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"scalesim/internal/obsv"
+)
+
+// manifest builds a valid manifest with the given identity and layers.
+func manifest(t *testing.T, run, configHash, topo string, layers ...obsv.LayerMetrics) *obsv.Manifest {
+	t.Helper()
+	m := (*obsv.Recorder)(nil).Manifest()
+	m.Tool = "scalesim"
+	m.Run = run
+	m.ConfigHash = configHash
+	if topo != "" {
+		m.Topology = &obsv.TopologyInfo{Name: topo, Layers: len(layers)}
+	}
+	m.Layers = layers
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func layer(i int, name string, cycles, stall int64, util float64) obsv.LayerMetrics {
+	return obsv.LayerMetrics{Index: i, Name: name, Cycles: cycles, StallCycles: stall, Utilization: util}
+}
+
+func TestStoreAddListGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := manifest(t, "a", "sha256:aaaa", "resnet", layer(0, "conv1", 100, 10, 0.8))
+	m2 := manifest(t, "b", "sha256:bbbb", "resnet", layer(0, "conv1", 120, 30, 0.7))
+	e1, err := s.Add(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := s.Add(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Key == e2.Key {
+		t.Errorf("different config hashes produced one key %q", e1.Key)
+	}
+	if e1.TotalCycles != 100 || e1.StallCycles != 10 || e1.Layers != 1 {
+		t.Errorf("entry summary = %+v", e1)
+	}
+
+	runs, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("List = %d runs, want 2", len(runs))
+	}
+
+	// Full ID, then unique prefix, then ambiguous and missing prefixes.
+	got, gm, err := s.Get(e1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != e1.ID || gm.ConfigHash != "sha256:aaaa" || len(gm.Layers) != 1 {
+		t.Errorf("Get(%q) = %+v / %+v", e1.ID, got, gm)
+	}
+	if _, _, err := s.Get(e1.ID[:len(e1.ID)-2]); err != nil {
+		// The shared timestamp prefix can collide; only a full-length
+		// lookup is guaranteed unique. Accept ambiguity but not absence.
+		if !strings.Contains(err.Error(), "ambiguous") {
+			t.Errorf("prefix Get: %v", err)
+		}
+	}
+	if _, _, err := s.Get("nope"); err == nil || !strings.Contains(err.Error(), "no run") {
+		t.Errorf("missing ID error = %v", err)
+	}
+
+	// Replays of one config share a bucket on disk.
+	e3, err := s.Add(manifest(t, "a", "sha256:aaaa", "resnet", layer(0, "conv1", 100, 10, 0.8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Key != e1.Key {
+		t.Errorf("replay key %q != original %q", e3.Key, e1.Key)
+	}
+	files, _ := filepath.Glob(filepath.Join(s.Dir(), "runs", e1.Key, "*.json"))
+	if len(files) != 2 {
+		t.Errorf("replay bucket holds %d files, want 2", len(files))
+	}
+}
+
+func TestKeySweepWithoutTopology(t *testing.T) {
+	a := manifest(t, "sweep1", "sha256:cccc", "")
+	b := manifest(t, "sweep2", "sha256:cccc", "")
+	if Key(a) == Key(b) {
+		t.Error("different sweep runs with no topology share a key")
+	}
+	if Key(a) != Key(manifest(t, "sweep1", "sha256:cccc", "")) {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestStoreConcurrentAdd(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := manifest(t, "r", "sha256:dddd", "net", layer(0, "l", int64(100+i), 0, 0.5))
+			if _, err := s.Add(m); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	runs, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 8 {
+		t.Errorf("concurrent adds indexed %d runs, want 8", len(runs))
+	}
+}
+
+func TestStoreRebuild(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(manifest(t, "a", "sha256:aaaa", "net", layer(0, "l", 10, 0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(manifest(t, "b", "sha256:bbbb", "net", layer(0, "l", 20, 0, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(s.Dir(), "index.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.List(); err != nil {
+		t.Fatalf("List on missing index: %v", err)
+	}
+	rebuilt, err := s.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) != 2 {
+		t.Fatalf("Rebuild recovered %d runs, want 2", len(rebuilt))
+	}
+	runs, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Errorf("post-rebuild List = %d runs", len(runs))
+	}
+	if _, _, err := s.Get(runs[0].ID); err != nil {
+		t.Errorf("Get after rebuild: %v", err)
+	}
+}
+
+func TestDiffIdenticalRuns(t *testing.T) {
+	a := manifest(t, "a", "sha256:same", "net",
+		layer(0, "conv1", 100, 10, 0.8), layer(1, "fc", 50, 0, 0.9))
+	b := manifest(t, "a", "sha256:same", "net",
+		layer(0, "conv1", 100, 10, 0.8), layer(1, "fc", 50, 0, 0.9))
+	d := Diff(a, b, 0.05)
+	if !d.Identical() {
+		t.Errorf("identical runs not identical: %+v", d)
+	}
+	if d.Regressions != 0 {
+		t.Errorf("identical runs report %d regressions", d.Regressions)
+	}
+	for _, l := range d.Layers {
+		if l.CycleDelta != 0 {
+			t.Errorf("layer %d delta = %v", l.Index, l.CycleDelta)
+		}
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	a := manifest(t, "a", "sha256:one", "net",
+		layer(0, "conv1", 100, 10, 0.8),
+		layer(1, "conv2", 200, 0, 0.9),
+		layer(2, "fc", 50, 0, 0.9))
+	b := manifest(t, "b", "sha256:two", "net",
+		layer(0, "conv1", 150, 40, 0.6), // 50% slower: regression
+		layer(1, "conv2", 202, 0, 0.9),  // 1% slower: under threshold
+		layer(2, "fc", 40, 0, 0.95))     // 20% faster: improvement
+	d := Diff(a, b, 0.05)
+	if d.SameConfig {
+		t.Error("different config hashes reported as same config")
+	}
+	if d.Identical() {
+		t.Error("regressed run reported identical")
+	}
+	if d.Regressions != 1 || !d.Layers[0].Regression {
+		t.Errorf("regressions = %d, layers = %+v", d.Regressions, d.Layers)
+	}
+	if d.Layers[1].Regression || d.Layers[1].Improvement {
+		t.Errorf("1%% drift flagged: %+v", d.Layers[1])
+	}
+	if !d.Layers[2].Improvement {
+		t.Errorf("20%% speedup not an improvement: %+v", d.Layers[2])
+	}
+	if got := d.Layers[0].CycleDelta; got < 0.49 || got > 0.51 {
+		t.Errorf("cycle delta = %v, want 0.5", got)
+	}
+
+	// Stall growth alone is a regression even with flat cycles.
+	c := manifest(t, "c", "sha256:three", "net",
+		layer(0, "conv1", 100, 30, 0.8),
+		layer(1, "conv2", 200, 0, 0.9),
+		layer(2, "fc", 50, 0, 0.9))
+	if ds := Diff(a, c, 0.05); ds.Regressions != 1 || !ds.Layers[0].Regression {
+		t.Errorf("stall-only regression missed: %+v", ds.Layers[0])
+	}
+
+	// Zero baseline growing is +Inf — always beyond any threshold.
+	z := manifest(t, "z", "sha256:four", "net",
+		layer(0, "conv1", 100, 10, 0.8),
+		layer(1, "conv2", 200, 5, 0.9),
+		layer(2, "fc", 50, 0, 0.9))
+	if dz := Diff(a, z, 0.05); !dz.Layers[1].Regression {
+		t.Errorf("zero-baseline stall growth not flagged: %+v", dz.Layers[1])
+	}
+}
+
+func TestDiffLayerSetMismatch(t *testing.T) {
+	a := manifest(t, "a", "sha256:same", "net",
+		layer(0, "conv1", 100, 0, 0.8), layer(1, "fc", 50, 0, 0.9))
+	b := manifest(t, "b", "sha256:same", "net",
+		layer(0, "conv1", 100, 0, 0.8))
+	d := Diff(a, b, 0.05)
+	if d.Identical() {
+		t.Error("shrunk layer set reported identical")
+	}
+	if len(d.OnlyA) != 1 || d.OnlyA[0] != "fc" {
+		t.Errorf("OnlyA = %v", d.OnlyA)
+	}
+
+	// Same shape, renamed layer: compared positionally but not identical.
+	c := manifest(t, "c", "sha256:same", "net",
+		layer(0, "conv1x1", 100, 0, 0.8), layer(1, "fc", 50, 0, 0.9))
+	if dc := Diff(a, c, 0.05); dc.Identical() || dc.Layers[0].NameB != "conv1x1" {
+		t.Errorf("renamed layer not surfaced: %+v", dc.Layers[0])
+	}
+}
+
+func TestTopRanksStallFraction(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(manifest(t, "a", "sha256:aaaa", "net1",
+		layer(0, "mild", 90, 10, 0.8),    // 10% stall
+		layer(1, "clean", 100, 0, 0.9))); // filtered out
+	err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(manifest(t, "b", "sha256:bbbb", "net2",
+		layer(0, "bad", 50, 50, 0.4))); // 50% stall
+	err != nil {
+		t.Fatal(err)
+	}
+	top, err := s.Top(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("Top = %d layers, want 2 (stall-free filtered)", len(top))
+	}
+	if top[0].Name != "bad" || top[0].StallFraction != 0.5 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1].Name != "mild" || top[1].StallFraction != 0.1 {
+		t.Errorf("top[1] = %+v", top[1])
+	}
+	if limited, _ := s.Top(1); len(limited) != 1 || limited[0].Name != "bad" {
+		t.Errorf("Top(1) = %+v", limited)
+	}
+}
+
+func TestCorruptIndexSurfacesRebuildHint(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.indexPath(), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.List(); err == nil || !strings.Contains(err.Error(), "rebuild") {
+		t.Errorf("corrupt index error = %v", err)
+	}
+	if _, err := s.Rebuild(); err != nil {
+		t.Fatalf("Rebuild over corrupt index: %v", err)
+	}
+	if _, err := s.List(); err != nil {
+		t.Errorf("List after rebuild: %v", err)
+	}
+}

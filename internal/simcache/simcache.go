@@ -40,9 +40,18 @@ import (
 
 	"scalesim/internal/dram"
 	"scalesim/internal/memory"
+	"scalesim/internal/obsv/log"
 	"scalesim/internal/systolic"
 	"scalesim/internal/vector"
 )
+
+// keyDigest abbreviates a canonical key for log lines: keys are long and
+// carry the whole canonical configuration, so events reference them by
+// the same SHA-256 that names their spill file, truncated.
+func keyDigest(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:6])
+}
 
 // diskSchema versions the on-disk document; a mismatch is a miss. v2
 // added operator kinds to the key scheme and the vector-unit result to
@@ -130,6 +139,13 @@ func (c *Cache) Get(key string) (Entry, bool) {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
+	}
+	if lg := log.Default(); lg.Enabled(log.LevelDebug) {
+		outcome := "miss"
+		if ok {
+			outcome = "hit"
+		}
+		lg.Debug("simcache", outcome, "key_sha", keyDigest(key))
 	}
 	return e, ok
 }
@@ -220,6 +236,12 @@ func (c *Cache) load(key string) (Entry, bool) {
 	var doc document
 	if err := json.Unmarshal(data, &doc); err != nil || doc.Schema != diskSchema || doc.Key != key {
 		c.diskErrs.Add(1)
+		reason := "schema or key mismatch"
+		if err != nil {
+			reason = err.Error()
+		}
+		log.Default().Warn("simcache", "corrupt cache entry",
+			"path", c.path(key), "key_sha", keyDigest(key), "reason", reason)
 		return Entry{}, false
 	}
 	return doc.Entry, true

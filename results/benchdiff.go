@@ -9,9 +9,12 @@
 // Baseline entries may be flat measurements ({"ns_per_op": ...}) or the
 // before/after pairs of a PR record; the "after" side is the baseline
 // then. Benchmarks present on only one side are reported and skipped. A
-// measured ns/op more than -threshold (default 25%) above the baseline
-// exits non-zero; single-iteration smoke runs are noisy, so the driver
-// (make benchdiff, the CI step) treats the verdict as advisory.
+// measured ns/op OR allocs/op more than -threshold (default 25%) above
+// the baseline exits non-zero — allocation counts are deterministic, so
+// the allocs gate catches per-op allocation growth that the noisy wall
+// clock hides; single-iteration smoke runs are noisy on the ns/op side,
+// so the driver (make benchdiff, the CI step) treats the verdict as
+// advisory.
 package main
 
 import (
@@ -105,7 +108,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	sort.Strings(names)
 
 	fmt.Fprintf(stdout, "baseline: %s\n", path)
-	fmt.Fprintf(stdout, "%-40s %15s %15s %8s\n", "benchmark", "base ns/op", "now ns/op", "delta")
+	fmt.Fprintf(stdout, "%-40s %15s %15s %8s %12s %12s %8s\n",
+		"benchmark", "base ns/op", "now ns/op", "delta", "base allocs", "now allocs", "delta")
 	var regressions []string
 	for _, name := range names {
 		entry, ok := base.Benchmarks[name]
@@ -120,11 +124,26 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		delta := current[name].NsPerOp/b.NsPerOp - 1
 		mark := ""
 		if delta > *threshold {
-			mark = " REGRESSION"
+			mark = " REGRESSION(ns/op)"
 			regressions = append(regressions, name)
 		}
-		fmt.Fprintf(stdout, "%-40s %15.0f %15.0f %+7.1f%%%s\n",
-			name, b.NsPerOp, current[name].NsPerOp, 100*delta, mark)
+		// Allocation counts gate under the same threshold. A baseline
+		// without -benchmem data (allocs 0) can't be compared; it never
+		// fails the gate.
+		allocDelta := 0.0
+		allocBase, allocNow := b.AllocsPerOp, current[name].AllocsPerOp
+		if allocBase > 0 {
+			allocDelta = allocNow/allocBase - 1
+			if allocDelta > *threshold {
+				if mark == "" {
+					regressions = append(regressions, name)
+				}
+				mark += " REGRESSION(allocs/op)"
+			}
+		}
+		fmt.Fprintf(stdout, "%-40s %15.0f %15.0f %+7.1f%% %12.0f %12.0f %+7.1f%%%s\n",
+			name, b.NsPerOp, current[name].NsPerOp, 100*delta,
+			allocBase, allocNow, 100*allocDelta, mark)
 	}
 	for name := range base.Benchmarks {
 		if _, ok := current[name]; !ok {

@@ -22,14 +22,14 @@ bench:
 
 smoke:
 	$(GO) test -run XXX -benchmem -benchtime=1x \
-		-bench='BenchmarkTableIV$$|BenchmarkFoldTrace|BenchmarkMemorySystemRuns|BenchmarkSweepCached' .
+		-bench='BenchmarkTableIV$$|BenchmarkFoldTrace|BenchmarkMemorySystemRuns|BenchmarkSweepCached|BenchmarkDSETier1$$' .
 
 # Compare a quick benchmark run against the newest results/BENCH_*.json;
 # fails on >25% ns/op regressions. Single-iteration numbers are noisy, so
 # treat a failure as a prompt to rerun with -benchtime=3x, not a verdict.
 benchdiff:
 	$(GO) test -run XXX -benchmem -benchtime=1x \
-		-bench='BenchmarkTableIV$$|BenchmarkFoldTrace|BenchmarkMemorySystemRuns|BenchmarkTimelineOverhead|BenchmarkCSVTraceWrite|BenchmarkSimulateTinyNet|BenchmarkSweepCached' . \
+		-bench='BenchmarkTableIV$$|BenchmarkFoldTrace|BenchmarkMemorySystemRuns|BenchmarkTimelineOverhead|BenchmarkCSVTraceWrite|BenchmarkSimulateTinyNet|BenchmarkSweepCached|BenchmarkDSETier1$$|BenchmarkDSESweep' . \
 		| $(GO) run ./results/benchdiff.go
 
 # CPU-profile the Table IV benchmark; inspect with

@@ -1,0 +1,111 @@
+// Benchmarks for the tiered design-space search (internal/dse): the
+// tier-1 analytical scoring throughput that makes million-config grids
+// tractable, and the headline full-vs-tiered sweep comparison at equal
+// grid — the "spend cycle-accurate time only where it matters" contract.
+package scalesim_test
+
+import (
+	"testing"
+
+	"scalesim/internal/analytical"
+	"scalesim/internal/batch"
+	"scalesim/internal/config"
+	"scalesim/internal/dse"
+	"scalesim/internal/topology"
+)
+
+// dseShapes enumerates every RxC factorization of the given MAC budgets —
+// the paper's Fig. 9/11 aspect-ratio axis, three orders of magnitude of it.
+func dseShapes(budgets ...int64) []analytical.Shape {
+	var shapes []analytical.Shape
+	for _, macs := range budgets {
+		shapes = analytical.AppendShapes(shapes, macs, 1)
+	}
+	return shapes
+}
+
+// BenchmarkDSETier1 measures analytical pre-filter throughput: every
+// (shape, dataflow) candidate scored against every workload, band cut
+// included. The configs/s metric is the acceptance-criteria number
+// (floor: 1e5 configs/s); the grid here is ~10^2 larger than the Fig. 11
+// sweep's distinct array-shape set.
+func BenchmarkDSETier1(b *testing.B) {
+	space := dse.Space{
+		Base: config.New(),
+		// Highly-composite MAC budgets maximize distinct RxC
+		// factorizations: ~1200 shapes, vs Fig. 11's handful.
+		Arrays: dseShapes(720720, 831600, 942480, 997920, 1081080),
+		Dataflows: []config.Dataflow{
+			config.OutputStationary, config.WeightStationary, config.InputStationary,
+		},
+		Workloads: []topology.Topology{topology.TinyNet(), topology.AlexNet()},
+		Epsilon:   0.1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var scored, nspop int64
+	for i := 0; i < b.N; i++ {
+		res, err := dse.Explore(space, dse.Options{Tier1Only: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scored = res.Stats.Scored
+		nspop = int64(res.Stats.Tier1Seconds * 1e9)
+	}
+	b.StopTimer()
+	if nspop > 0 {
+		b.ReportMetric(float64(scored)/(float64(nspop)/1e9), "configs/s")
+	}
+	b.ReportMetric(float64(scored), "configs")
+}
+
+// BenchmarkDSESweep pins the tentpole speedup: the same grid refined
+// exhaustively (every point cycle-accurate) versus through the tiered
+// search (analytical band first, simulation only inside the band).
+func BenchmarkDSESweep(b *testing.B) {
+	arrays := dseShapes(1 << 8) // 16x16 budget: 9 shapes
+	grid := make([][2]int, len(arrays))
+	for i, a := range arrays {
+		grid[i] = [2]int{int(a.R), int(a.C)}
+	}
+	dfs := []config.Dataflow{config.OutputStationary, config.WeightStationary}
+	nets := []topology.Topology{topology.TinyNet()}
+
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := batch.Run(batch.Spec{
+				Base:       config.New(),
+				Arrays:     grid,
+				Dataflows:  dfs,
+				Topologies: nets,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != len(grid)*len(dfs) {
+				b.Fatalf("rows = %d", len(rows))
+			}
+		}
+	})
+	b.Run("tiered", func(b *testing.B) {
+		space := dse.Space{
+			Base:      config.New(),
+			Arrays:    arrays,
+			Dataflows: dfs,
+			Workloads: nets,
+			Epsilon:   0.1,
+		}
+		b.ReportAllocs()
+		var refined, gridN int64
+		for i := 0; i < b.N; i++ {
+			res, err := dse.Explore(space, dse.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			refined, gridN = res.Stats.RefinedPoints, res.Stats.GridPoints
+		}
+		b.ReportMetric(float64(refined), "refined")
+		b.ReportMetric(float64(gridN), "grid")
+	})
+}

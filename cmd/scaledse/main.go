@@ -1,0 +1,280 @@
+// Command scaledse runs the two-tier design-space search: tier 1 scores
+// the full grid with the paper's analytical model (Eqs. 1-4) and keeps
+// the ε-pareto band on (runtime, MACs); tier 2 refines the band with
+// cycle-accurate simulation and reports the measured analytical error.
+//
+// Usage:
+//
+//	scaledse run -nets TinyNet -arrays 8x8,16x16,32x32 -eps 0.1
+//	scaledse run -nets AlexNet -enum-macs 4096 -srams 128/128/64,512/512/256
+//	scaledse run -nets TinyNet -arrays 8x8,16x16 -shard 0/2 -part p0.jsonl -cache-dir c0
+//	scaledse run -nets TinyNet -arrays 8x8,16x16 -shard 1/2 -part p1.jsonl -cache-dir c1
+//	scaledse merge -o merged.csv -cache-dir merged -caches c0,c1 p0.jsonl p1.jsonl
+//
+// `run` explores; with -shard i/n it refines only a deterministic slice
+// of the band and -part records the slice in a mergeable part file.
+// `merge` folds part files (and optionally the shards' cache
+// directories) back into one CSV + manifest, byte-identical to an
+// unsharded run. -tier1-only stops after the band cut and reports the
+// cut statistics without simulating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"scalesim"
+	"scalesim/internal/analytical"
+	"scalesim/internal/cliobs"
+	"scalesim/internal/config"
+	"scalesim/internal/dse"
+	"scalesim/internal/obsv"
+	"scalesim/internal/simcache"
+	"scalesim/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scaledse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: scaledse run|merge [flags] (see -h)")
+	}
+	verb := args[0]
+	rest := args[1:]
+	switch verb {
+	case "run":
+		return runExplore(rest, stdout)
+	case "merge":
+		return runMerge(rest, stdout)
+	default:
+		// Bare flags default to the run verb, mirroring scalesweep.
+		if strings.HasPrefix(verb, "-") {
+			return runExplore(args, stdout)
+		}
+		return fmt.Errorf("unknown verb %q (want run or merge)", verb)
+	}
+}
+
+func runExplore(args []string, stdout io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("scaledse run", flag.ContinueOnError)
+	var (
+		cfgPath   = fs.String("config", "", "base hardware configuration file")
+		out       = fs.String("o", "", "output CSV (default stdout)")
+		arrays    = fs.String("arrays", "", "array axis: comma-separated RxC shapes")
+		enumMACs  = fs.String("enum-macs", "", "array axis: enumerate every RxC factorization of these comma-separated MAC budgets")
+		minDim    = fs.Int64("min-dim", 1, "minimum array dimension for -enum-macs")
+		dataflows = fs.String("dataflows", "", "dataflow axis: comma-separated os/ws/is (default base config)")
+		srams     = fs.String("srams", "", "SRAM axis: comma-separated i/f/o KiB triples (default base config)")
+		nets      = fs.String("nets", "", "workload axis: comma-separated built-in flat nets")
+		eps       = fs.Float64("eps", 0.1, "pareto band width: keep configs within (1+eps) of the per-workload front")
+		shardSpec = fs.String("shard", "", "refine only shard i of n, as i/n (tier 1 always runs in full)")
+		partPath  = fs.String("part", "", "write this shard's rows as a mergeable part file (JSONL)")
+		tier1Only = fs.Bool("tier1-only", false, "stop after the band cut; report statistics, simulate nothing")
+		parallel  = fs.Int("parallel", 0, "concurrent workers for both tiers (default GOMAXPROCS)")
+		metrics   = fs.String("metrics", "", "write a machine-readable search manifest (JSON) to this path")
+		progress  = fs.Bool("progress", false, "report tier-2 per-point progress to stderr")
+		useCache  = fs.Bool("cache", false, "share a per-layer result cache across the band")
+		cacheDir  = fs.String("cache-dir", "", "persist the result cache in this directory (implies -cache)")
+	)
+	obs := cliobs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := config.New()
+	if *cfgPath != "" {
+		var err error
+		if base, err = config.Load(*cfgPath); err != nil {
+			return err
+		}
+	}
+	space := dse.Space{Base: base, Epsilon: *eps}
+	for _, part := range splitList(*arrays) {
+		var r, c int64
+		if _, err := fmt.Sscanf(strings.ToLower(part), "%dx%d", &r, &c); err != nil {
+			return fmt.Errorf("invalid array %q", part)
+		}
+		space.Arrays = append(space.Arrays, analytical.Shape{R: r, C: c})
+	}
+	for _, part := range splitList(*enumMACs) {
+		var macs int64
+		if _, err := fmt.Sscanf(part, "%d", &macs); err != nil || macs < 1 {
+			return fmt.Errorf("invalid MAC budget %q", part)
+		}
+		space.Arrays = analytical.AppendShapes(space.Arrays, macs, *minDim)
+	}
+	for _, part := range splitList(*dataflows) {
+		df, err := config.ParseDataflow(part)
+		if err != nil {
+			return err
+		}
+		space.Dataflows = append(space.Dataflows, df)
+	}
+	for _, part := range splitList(*srams) {
+		var i, f, o int
+		if _, err := fmt.Sscanf(part, "%d/%d/%d", &i, &f, &o); err != nil {
+			return fmt.Errorf("invalid sram triple %q", part)
+		}
+		space.SRAMs = append(space.SRAMs, [3]int{i, f, o})
+	}
+	for _, part := range splitList(*nets) {
+		topo, ok := topology.BuiltIn(part)
+		if !ok {
+			return fmt.Errorf("unknown workload %q (flat built-ins: %s)",
+				part, strings.Join(topology.BuiltInNames(), ", "))
+		}
+		space.Workloads = append(space.Workloads, topo)
+	}
+
+	opt := dse.Options{Parallel: *parallel, Tier1Only: *tier1Only}
+	if *shardSpec != "" {
+		if _, err := fmt.Sscanf(*shardSpec, "%d/%d", &opt.Shard, &opt.Shards); err != nil {
+			return fmt.Errorf("invalid -shard %q (want i/n)", *shardSpec)
+		}
+	}
+	var cache *scalesim.Cache
+	switch {
+	case *cacheDir != "":
+		var err error
+		if cache, err = scalesim.NewDiskCache(*cacheDir); err != nil {
+			return err
+		}
+	case *useCache:
+		cache = scalesim.NewCache()
+	}
+	opt.Cache = cache
+	var rec *obsv.Recorder
+	if *metrics != "" || obs.Active() {
+		rec = obsv.NewRecorder()
+		opt.Obs = rec
+	}
+	stopObs, err := obs.Start("scaledse", rec)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+	if *progress {
+		opt.Progress = obsv.NewProgress(os.Stderr, "scaledse")
+	}
+	defer func() {
+		if retErr != nil {
+			opt.Progress.Abort(retErr.Error())
+		}
+	}()
+
+	res, err := dse.Explore(space, opt)
+	if err != nil {
+		return err
+	}
+	opt.Progress.Finish()
+	reportStats(os.Stderr, res.Stats)
+	if *partPath != "" {
+		if err := dse.WritePart(*partPath, res); err != nil {
+			return err
+		}
+	}
+	if *metrics != "" || obs.RunDir() != "" {
+		m := dse.NewManifest(res, cache, rec)
+		if *metrics != "" {
+			if err := m.WriteFile(*metrics); err != nil {
+				return err
+			}
+		}
+		if err := obs.StoreRun(m); err != nil {
+			return err
+		}
+	}
+	if *tier1Only {
+		return nil
+	}
+	return writeCSV(stdout, *out, res.Rows)
+}
+
+func runMerge(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scaledse merge", flag.ContinueOnError)
+	var (
+		out      = fs.String("o", "", "merged CSV (default stdout)")
+		metrics  = fs.String("metrics", "", "write the merged search manifest (JSON) to this path")
+		cacheDst = fs.String("cache-dir", "", "merge shard cache directories into this one")
+		caches   = fs.String("caches", "", "comma-separated shard cache directories to merge into -cache-dir")
+	)
+	obs := cliobs.RegisterLog(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parts := fs.Args()
+	if len(parts) == 0 {
+		return fmt.Errorf("merge: no part files given")
+	}
+	stopObs, err := obs.Start("scaledse", nil)
+	if err != nil {
+		return err
+	}
+	defer stopObs()
+
+	if srcs := splitList(*caches); len(srcs) > 0 {
+		if *cacheDst == "" {
+			return fmt.Errorf("merge: -caches requires -cache-dir")
+		}
+		st, err := simcache.MergeDirs(*cacheDst, srcs...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scaledse: caches merged: %d copied, %d present, %d invalid\n",
+			st.Copied, st.Present, st.Invalid)
+	}
+
+	res, err := dse.MergeFiles(parts)
+	if err != nil {
+		return err
+	}
+	reportStats(os.Stderr, res.Stats)
+	if *metrics != "" {
+		if err := dse.NewManifest(res, nil, nil).WriteFile(*metrics); err != nil {
+			return err
+		}
+	}
+	return writeCSV(stdout, *out, res.Rows)
+}
+
+// reportStats prints the band-cut and error summary to w.
+func reportStats(w io.Writer, s obsv.SearchStats) {
+	fmt.Fprintf(w, "scaledse: grid %d points; tier 1 scored %d candidates at %.0f configs/s; band kept %d/%d (cut %d, eps=%g)\n",
+		s.GridPoints, s.Scored, s.Tier1PointsPerSec, s.BandCandidates, s.Candidates, s.CutCandidates, s.Epsilon)
+	if s.RefinedPoints > 0 {
+		fmt.Fprintf(w, "scaledse: tier 2 refined %d/%d band points (shard %d/%d); rel err max %.4f%% mean %.4f%%\n",
+			s.RefinedPoints, s.BandPoints, s.Shard, s.Shards, 100*s.MaxRelErr, 100*s.MeanRelErr)
+	}
+}
+
+func writeCSV(stdout io.Writer, path string, rows []dse.Row) error {
+	w := stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return dse.WriteCSV(w, rows)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scalesim/internal/obsv"
+)
+
+func TestRunEmitsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"run", "-nets", "TinyNet", "-arrays", "8x8,16x16", "-dataflows", "os,ws", "-eps", "0.1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("csv has %d lines, want header + rows:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "Net,Array,Dataflow,SRAM,AnalyticalCycles,TotalCycles") {
+		t.Errorf("unexpected header %q", lines[0])
+	}
+}
+
+func TestBareFlagsDefaultToRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nets", "TinyNet", "-arrays", "8x8", "-tier1-only"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTier1OnlyManifest(t *testing.T) {
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "m.json")
+	var buf bytes.Buffer
+	err := run([]string{"run", "-nets", "TinyNet", "-enum-macs", "256", "-min-dim", "4",
+		"-tier1-only", "-metrics", mpath}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obsv.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "scaledse" || m.Search == nil {
+		t.Fatalf("manifest tool=%q search=%v", m.Tool, m.Search)
+	}
+	if m.Search.Scored == 0 || m.Search.BandCandidates == 0 {
+		t.Errorf("search stats empty: %+v", m.Search)
+	}
+	if m.Search.RefinedPoints != 0 {
+		t.Errorf("tier1-only refined %d points", m.Search.RefinedPoints)
+	}
+}
+
+// TestShardMergeCLI: the full sharded workflow through the CLI — two
+// shard runs with separate cache dirs and part files, merged (rows and
+// caches), byte-identical to the unsharded run.
+func TestShardMergeCLI(t *testing.T) {
+	dir := t.TempDir()
+	grid := []string{"-nets", "TinyNet", "-arrays", "4x4,8x8,16x16",
+		"-dataflows", "os,ws", "-srams", "2/2/1,4/4/2", "-eps", "0.25"}
+
+	var whole bytes.Buffer
+	if err := run(append([]string{"run"}, grid...), &whole); err != nil {
+		t.Fatal(err)
+	}
+
+	var partPaths, cacheDirs []string
+	for _, shard := range []string{"0/2", "1/2"} {
+		part := filepath.Join(dir, "part-"+shard[:1]+".jsonl")
+		cdir := filepath.Join(dir, "cache-"+shard[:1])
+		partPaths = append(partPaths, part)
+		cacheDirs = append(cacheDirs, cdir)
+		var buf bytes.Buffer
+		args := append([]string{"run"}, grid...)
+		args = append(args, "-shard", shard, "-part", part, "-cache-dir", cdir)
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("shard %s: %v", shard, err)
+		}
+	}
+
+	var merged bytes.Buffer
+	mpath := filepath.Join(dir, "merged.json")
+	args := []string{"merge", "-metrics", mpath,
+		"-cache-dir", filepath.Join(dir, "cache-merged"),
+		"-caches", strings.Join(cacheDirs, ",")}
+	if err := run(append(args, partPaths...), &merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.Bytes(), whole.Bytes()) {
+		t.Errorf("merged CSV differs from unsharded:\nmerged:\n%s\nunsharded:\n%s",
+			merged.String(), whole.String())
+	}
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obsv.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Search == nil || m.Search.RefinedPoints == 0 || m.Search.Shards != 1 {
+		t.Errorf("merged manifest search stats: %+v", m.Search)
+	}
+	if m.Search.MaxRelErr != 0 {
+		t.Errorf("stall-free grid measured rel err %g, want 0", m.Search.MaxRelErr)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"run", "-nets", "NoSuchNet", "-arrays", "8x8"},
+		{"run", "-nets", "TinyNet", "-arrays", "8x"},
+		{"run", "-nets", "TinyNet", "-arrays", "8x8", "-shard", "2"},
+		{"merge"},
+		{"merge", "-caches", "a,b"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

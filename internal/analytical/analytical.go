@@ -121,38 +121,58 @@ func Evaluate(m dataflow.Mapping, c SystemConfig) Eval {
 
 // Divisors returns the positive divisors of n in ascending order.
 func Divisors(n int64) []int64 {
+	return AppendDivisors(nil, n)
+}
+
+// AppendDivisors appends the positive divisors of n to dst in ascending
+// order and returns the extended slice. With sufficient capacity in dst it
+// allocates nothing, so enumeration loops over millions of candidates can
+// reuse one buffer.
+func AppendDivisors(dst []int64, n int64) []int64 {
 	if n < 1 {
-		return nil
+		return dst
 	}
-	var small, large []int64
+	// First pass: the small divisors (d*d <= n) in ascending order.
+	start := len(dst)
 	for d := int64(1); d*d <= n; d++ {
 		if n%d == 0 {
-			small = append(small, d)
-			if d != n/d {
-				large = append(large, n/d)
-			}
+			dst = append(dst, d)
 		}
 	}
-	for i := len(large) - 1; i >= 0; i-- {
-		small = append(small, large[i])
+	// Second pass: walk the small divisors backwards and append their
+	// cofactors, which come out ascending. Reading dst[start:] while
+	// appending is safe — appends only grow past the region being read.
+	for i := len(dst) - 1; i >= start; i-- {
+		d := dst[i]
+		if co := n / d; co != d {
+			dst = append(dst, co)
+		}
 	}
-	return small
+	return dst
 }
 
 // Shapes enumerates every R x C factorization of macs with both dimensions
 // at least minDim, in ascending R.
 func Shapes(macs, minDim int64) []Shape {
+	return AppendShapes(nil, macs, minDim)
+}
+
+// AppendShapes appends every qualifying factorization of macs to dst and
+// returns the extended slice; allocation-free when dst has capacity, save
+// for a small divisor scratch buffer amortized by the runtime's append
+// growth. Ordering matches Shapes.
+func AppendShapes(dst []Shape, macs, minDim int64) []Shape {
 	if minDim < 1 {
 		minDim = 1
 	}
-	var out []Shape
-	for _, r := range Divisors(macs) {
+	var scratch [64]int64
+	for _, r := range AppendDivisors(scratch[:0], macs) {
 		c := macs / r
 		if r >= minDim && c >= minDim {
-			out = append(out, Shape{R: r, C: c})
+			dst = append(dst, Shape{R: r, C: c})
 		}
 	}
-	return out
+	return dst
 }
 
 // EnumerateConfigs lists every (partitioning, shape) combination whose total
@@ -160,24 +180,34 @@ func Shapes(macs, minDim int64) []Shape {
 // at most maxParts partitions (0 means unlimited). This is the full search
 // space of Fig. 9(a).
 func EnumerateConfigs(macs, minDim, maxParts int64) []SystemConfig {
-	var out []SystemConfig
-	for _, p := range Divisors(macs) { // p = number of partitions
+	return AppendConfigs(nil, macs, minDim, maxParts)
+}
+
+// AppendConfigs appends the Fig. 9(a) search space to dst and returns the
+// extended slice. Apart from dst growth it works out of stack scratch
+// buffers (which spill to the heap only for budgets with more than 64
+// divisors), so callers that reuse dst across MAC budgets enumerate the
+// whole space allocation-flat.
+func AppendConfigs(dst []SystemConfig, macs, minDim, maxParts int64) []SystemConfig {
+	var partScratch, grid [64]int64
+	var shapeScratch [64]Shape
+	for _, p := range AppendDivisors(partScratch[:0], macs) { // p = number of partitions
 		if maxParts > 0 && p > maxParts {
 			continue
 		}
 		perPart := macs / p
-		shapes := Shapes(perPart, minDim)
+		shapes := AppendShapes(shapeScratch[:0], perPart, minDim)
 		if len(shapes) == 0 {
 			continue
 		}
-		for _, pr := range Divisors(p) {
+		for _, pr := range AppendDivisors(grid[:0], p) {
 			parts := Partitioning{Pr: pr, Pc: p / pr}
 			for _, s := range shapes {
-				out = append(out, SystemConfig{Parts: parts, Shape: s})
+				dst = append(dst, SystemConfig{Parts: parts, Shape: s})
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // better orders evaluations by runtime, breaking ties toward higher mapping

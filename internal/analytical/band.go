@@ -1,0 +1,80 @@
+package analytical
+
+import (
+	"math"
+	"sort"
+
+	"scalesim/internal/dataflow"
+)
+
+// BandPoint is one candidate of an ε-band cut: a design point's hardware
+// cost (its MAC count) and its analytically modeled runtime. The two axes
+// are the pareto objectives of the paper's design-space methodology —
+// faster at equal silicon, or equal speed for less silicon.
+type BandPoint struct {
+	MACs, Cycles int64
+}
+
+// EpsilonBand marks every point within a factor (1+eps) of the
+// (MACs, Cycles) pareto front: point i survives iff no point j with
+// MACs_j <= MACs_i achieves Cycles_j * (1+eps) < Cycles_i. With eps == 0
+// the band is exactly the pareto front (including ties); growing eps
+// widens it monotonically. The mask is returned in pts order, reusing keep
+// when it has capacity, and the input is not reordered. Negative eps is
+// treated as zero.
+//
+// The cut is what makes analytical pre-filtering safe: the first-order
+// model is provably exact only for stall-free runs, so a sweep keeps not
+// just the modeled front but everything within the ε slack, and the
+// cycle-accurate refinement stage then measures the model's actual error
+// over the band.
+func EpsilonBand(pts []BandPoint, eps float64, keep []bool) []bool {
+	if cap(keep) >= len(pts) {
+		keep = keep[:len(pts)]
+	} else {
+		keep = make([]bool, len(pts))
+	}
+	if len(pts) == 0 {
+		return keep
+	}
+	if eps < 0 {
+		eps = 0
+	}
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := pts[order[a]], pts[order[b]]
+		if pa.MACs != pb.MACs {
+			return pa.MACs < pb.MACs
+		}
+		return pa.Cycles < pb.Cycles
+	})
+	// Sweep in ascending MAC order, tracking the best runtime achieved at
+	// or below the current cost. Updating best before testing keeps the
+	// front itself in the band (a front point tests against itself).
+	best := int64(math.MaxInt64)
+	slack := 1 + eps
+	for _, i := range order {
+		if c := pts[i].Cycles; c < best {
+			best = c
+		}
+		keep[i] = float64(pts[i].Cycles) <= slack*float64(best)
+	}
+	return keep
+}
+
+// AccumRuntimes adds weight * Runtime(m, shape) to dst for every shape:
+// the batched tier-1 evaluator of a design-space search. dst and shapes
+// must have equal length. A workload's total stall-free runtime over a
+// shape grid is the sum of one AccumRuntimes call per distinct layer
+// mapping, weighted by the mapping's repeat count — pure arithmetic over
+// preallocated slices, so scoring millions of configurations allocates
+// nothing.
+func AccumRuntimes(dst []int64, m dataflow.Mapping, weight int64, shapes []Shape) {
+	_ = dst[:len(shapes)]
+	for i, s := range shapes {
+		dst[i] += weight * Runtime(m, s.R, s.C)
+	}
+}

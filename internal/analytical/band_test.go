@@ -1,0 +1,194 @@
+package analytical
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEpsilonBandFrontOnly(t *testing.T) {
+	pts := []BandPoint{
+		{MACs: 64, Cycles: 100},  // front
+		{MACs: 64, Cycles: 105},  // within 5% of the 64-MAC best
+		{MACs: 128, Cycles: 80},  // front
+		{MACs: 128, Cycles: 130}, // dominated by the 64-MAC best
+		{MACs: 256, Cycles: 81},  // within eps of the 128-MAC best
+		{MACs: 256, Cycles: 200}, // far off
+	}
+	keep := EpsilonBand(pts, 0, nil)
+	want0 := []bool{true, false, true, false, false, false}
+	for i, w := range want0 {
+		if keep[i] != w {
+			t.Errorf("eps=0: keep[%d] = %v, want %v", i, keep[i], w)
+		}
+	}
+	keep = EpsilonBand(pts, 0.05, keep)
+	want := []bool{true, true, true, false, true, false}
+	for i, w := range want {
+		if keep[i] != w {
+			t.Errorf("eps=0.05: keep[%d] = %v, want %v", i, keep[i], w)
+		}
+	}
+}
+
+// TestEpsilonBandProperties: the band always contains the global optimum,
+// every pareto-front point, and is monotone in eps.
+func TestEpsilonBandProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := make([]BandPoint, n)
+		for i := range pts {
+			pts[i] = BandPoint{
+				MACs:   int64(1 + rng.Intn(20)*16),
+				Cycles: int64(1 + rng.Intn(10000)),
+			}
+		}
+		small := EpsilonBand(pts, 0.01, nil)
+		large := EpsilonBand(pts, 0.5, nil)
+		for i := range pts {
+			if small[i] && !large[i] {
+				t.Fatalf("trial %d: point %d in eps=0.01 band but not eps=0.5", trial, i)
+			}
+			// Pareto-front membership: nothing cheaper-or-equal is strictly
+			// faster. Front points must be kept at every eps.
+			front := true
+			for j := range pts {
+				if pts[j].MACs <= pts[i].MACs && pts[j].Cycles < pts[i].Cycles {
+					front = false
+					break
+				}
+			}
+			if front && !small[i] {
+				t.Fatalf("trial %d: pareto-front point %d cut at eps=0.01", trial, i)
+			}
+			// Cut points are justified: some cheaper-or-equal point is more
+			// than (1+eps) faster.
+			if !large[i] {
+				justified := false
+				for j := range pts {
+					if pts[j].MACs <= pts[i].MACs && float64(pts[j].Cycles)*1.5 < float64(pts[i].Cycles) {
+						justified = true
+						break
+					}
+				}
+				if !justified {
+					t.Fatalf("trial %d: point %d cut without a dominating point", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAccumRuntimes(t *testing.T) {
+	m1 := m(100, 30, 40)
+	m2 := m(7, 9, 11)
+	shapes := []Shape{{4, 4}, {8, 16}, {32, 8}}
+	dst := make([]int64, len(shapes))
+	AccumRuntimes(dst, m1, 3, shapes)
+	AccumRuntimes(dst, m2, 1, shapes)
+	for i, s := range shapes {
+		want := 3*Runtime(m1, s.R, s.C) + Runtime(m2, s.R, s.C)
+		if dst[i] != want {
+			t.Errorf("dst[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+}
+
+func TestAppendVariantsMatch(t *testing.T) {
+	for _, n := range []int64{1, 2, 12, 64, 97, 360, 1024, 720720} {
+		if got, want := AppendDivisors(nil, n), Divisors(n); !equalInt64(got, want) {
+			t.Errorf("AppendDivisors(nil, %d) = %v, want %v", n, got, want)
+		}
+		// Appending into a preloaded buffer preserves the prefix.
+		pre := []int64{-1, -2}
+		got := AppendDivisors(pre, n)
+		if got[0] != -1 || got[1] != -2 || !equalInt64(got[2:], Divisors(n)) {
+			t.Errorf("AppendDivisors(pre, %d) corrupted prefix or tail: %v", n, got)
+		}
+	}
+	for _, macs := range []int64{16, 256, 16384} {
+		for _, minDim := range []int64{1, 4} {
+			got := AppendShapes(nil, macs, minDim)
+			want := Shapes(macs, minDim)
+			if len(got) != len(want) {
+				t.Fatalf("AppendShapes(%d, %d): %d shapes, want %d", macs, minDim, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("AppendShapes(%d, %d)[%d] = %v, want %v", macs, minDim, i, got[i], want[i])
+				}
+			}
+			gotC := AppendConfigs(nil, macs, minDim, 16)
+			wantC := EnumerateConfigs(macs, minDim, 16)
+			if len(gotC) != len(wantC) {
+				t.Fatalf("AppendConfigs(%d, %d): %d configs, want %d", macs, minDim, len(gotC), len(wantC))
+			}
+			for i := range gotC {
+				if gotC[i] != wantC[i] {
+					t.Errorf("AppendConfigs(%d, %d)[%d] = %v, want %v", macs, minDim, i, gotC[i], wantC[i])
+				}
+			}
+		}
+	}
+}
+
+func equalInt64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchmarkAppendDivisors pins the append-into-caller path allocation-flat
+// when the destination is reused.
+func BenchmarkAppendDivisors(b *testing.B) {
+	buf := make([]int64, 0, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendDivisors(buf[:0], 16384)
+	}
+	_ = buf
+}
+
+func BenchmarkAppendShapes(b *testing.B) {
+	buf := make([]Shape, 0, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendShapes(buf[:0], 16384, 4)
+	}
+	_ = buf
+}
+
+func BenchmarkAppendConfigs(b *testing.B) {
+	buf := make([]SystemConfig, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendConfigs(buf[:0], 16384, 4, 0)
+	}
+	_ = buf
+}
+
+// BenchmarkAccumRuntimes is the tier-1 inner loop: one mapping scored
+// across a preallocated shape grid. Zero allocations.
+func BenchmarkAccumRuntimes(b *testing.B) {
+	shapes := AppendShapes(nil, 16384, 1)
+	for len(shapes) < 4096 {
+		shapes = append(shapes, shapes...)
+	}
+	dst := make([]int64, len(shapes))
+	w := m(4096, 512, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AccumRuntimes(dst, w, 1, shapes)
+	}
+	b.ReportMetric(float64(len(shapes))*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+}

@@ -1,0 +1,122 @@
+package analytical_test
+
+// Property test for the paper's central exactness claim: under stall-free
+// conditions (unconstrained DRAM, no edge trimming — the repo default)
+// the first-order analytical model (Eqs. 1-6) is not an approximation of
+// the cycle-accurate simulator but identical to it. The tiered design
+// space search (internal/dse) relies on this: tier-1 scores are trusted
+// to rank exactly what tier-2 would measure.
+
+import (
+	"math/rand"
+	"testing"
+
+	"scalesim/internal/analytical"
+	"scalesim/internal/config"
+	"scalesim/internal/core"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/partition"
+	"scalesim/internal/topology"
+)
+
+var exactDataflows = []config.Dataflow{
+	config.OutputStationary, config.WeightStationary, config.InputStationary,
+}
+
+// TestRuntimeMatchesSimulator: analytical.Runtime == simulator TotalCycles
+// over a randomized (array, dataflow, GEMM shape) grid.
+func TestRuntimeMatchesSimulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		r := int64(1 + rng.Intn(24))
+		c := int64(1 + rng.Intn(24))
+		m := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(40)
+		df := exactDataflows[rng.Intn(len(exactDataflows))]
+
+		layer := topology.FromGEMM("gemm", m, k, n)
+		mapping := dataflow.Map(layer, df)
+		want := analytical.Runtime(mapping, r, c)
+
+		cfg := config.New().WithArray(int(r), int(c)).WithDataflow(df)
+		sim, err := core.New(cfg, core.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Simulate(topology.Topology{Name: "gemm", Layers: []topology.Layer{layer}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalCycles != want {
+			t.Errorf("trial %d: %dx%d %s gemm %dx%dx%d: analytical %d, simulator %d",
+				trial, r, c, df, m, k, n, want, res.TotalCycles)
+		}
+	}
+}
+
+// TestScaleOutRuntimeMatchesPartitionRun: ScaleOutRuntime (Eqs. 5-6) ==
+// the scale-out executor's slowest-partition cycles across randomized
+// partition grids.
+func TestScaleOutRuntimeMatchesPartitionRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	for trial := 0; trial < 40; trial++ {
+		spec := partition.Spec{
+			Parts: analytical.Partitioning{
+				Pr: int64(1 + rng.Intn(3)),
+				Pc: int64(1 + rng.Intn(3)),
+			},
+			Shape: analytical.Shape{
+				R: int64(1 + rng.Intn(16)),
+				C: int64(1 + rng.Intn(16)),
+			},
+		}
+		m := 1 + rng.Intn(32)
+		k := 1 + rng.Intn(32)
+		n := 1 + rng.Intn(32)
+		df := exactDataflows[rng.Intn(len(exactDataflows))]
+
+		layer := topology.FromGEMM("gemm", m, k, n)
+		mapping := dataflow.Map(layer, df)
+		want := analytical.ScaleOutRuntime(mapping, spec.Parts.Pr, spec.Parts.Pc,
+			spec.Shape.R, spec.Shape.C)
+
+		base := config.New().WithDataflow(df)
+		res, err := partition.Run(layer, base, spec, partition.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != want {
+			t.Errorf("trial %d: %s %s gemm %dx%dx%d: analytical %d, partition.Run %d",
+				trial, spec.Parts, spec.Shape, m, k, n, want, res.Cycles)
+		}
+	}
+}
+
+// TestEvaluateMatchesMonolithicSimulator: the full Evaluate path (used by
+// tier-1 scoring) agrees with the simulator for 1x1 partitionings.
+func TestEvaluateMatchesMonolithicSimulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	for trial := 0; trial < 20; trial++ {
+		sc := analytical.SystemConfig{
+			Parts: analytical.Partitioning{Pr: 1, Pc: 1},
+			Shape: analytical.Shape{R: int64(2 + rng.Intn(14)), C: int64(2 + rng.Intn(14))},
+		}
+		layer := topology.FromGEMM("gemm", 1+rng.Intn(24), 1+rng.Intn(24), 1+rng.Intn(24))
+		df := exactDataflows[rng.Intn(len(exactDataflows))]
+		ev := analytical.Evaluate(dataflow.Map(layer, df), sc)
+
+		cfg := config.New().WithArray(int(sc.Shape.R), int(sc.Shape.C)).WithDataflow(df)
+		sim, err := core.New(cfg, core.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Simulate(topology.Topology{Name: "gemm", Layers: []topology.Layer{layer}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Cycles != res.TotalCycles {
+			t.Errorf("trial %d: Evaluate %d cycles, simulator %d", trial, ev.Cycles, res.TotalCycles)
+		}
+	}
+}

@@ -6,7 +6,11 @@
 package batch
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"hash/fnv"
+	"strings"
 	"time"
 
 	"scalesim/internal/config"
@@ -36,6 +40,61 @@ func (p Point) Net() string {
 		return p.Graph.Name
 	}
 	return p.Topology.Name
+}
+
+// ShapeKey is the canonical identity of the point's workload: the
+// concatenated shape keys of its layers (or kind-qualified node keys for
+// graphs), with user-facing names excluded. Together with the derived
+// configuration's hash it identifies the point content-addressably — the
+// basis of deterministic shard assignment and cross-shard deduplication.
+func (p Point) ShapeKey() string {
+	var b strings.Builder
+	if p.Graph != nil {
+		for i := range p.Graph.Nodes {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(p.Graph.Nodes[i].Key())
+		}
+		return b.String()
+	}
+	for i, l := range p.Topology.Layers {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(l.Key())
+	}
+	return b.String()
+}
+
+// Config derives the point's full hardware configuration from the base.
+func (p Point) Config(base config.Config) config.Config {
+	return base.
+		WithArray(p.Array[0], p.Array[1]).
+		WithDataflow(p.Dataflow).
+		WithSRAM(p.SRAM[0], p.SRAM[1], p.SRAM[2])
+}
+
+// PointHash is the point's content address: the SHA-256-backed hash of its
+// derived configuration crossed with its workload shape key. Equal hashes
+// mean equal simulation outcomes, so merged sharded sweeps deduplicate
+// rows by it.
+func PointHash(base config.Config, p Point) string {
+	sum := sha256.Sum256([]byte(p.ShapeKey()))
+	return p.Config(base).Hash() + ":" + hex.EncodeToString(sum[:8])
+}
+
+// ShardOf deterministically assigns the point to one of shards buckets,
+// keyed by PointHash: every process that expands the same grid over the
+// same base configuration computes the same split, with no coordination.
+// shards < 2 always yields shard 0.
+func ShardOf(base config.Config, p Point, shards int) int {
+	if shards < 2 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(PointHash(base, p)))
+	return int(h.Sum64() % uint64(shards))
 }
 
 // Row is one completed run.
@@ -70,6 +129,18 @@ type Spec struct {
 	// operator-graph path.
 	Topologies []topology.Topology
 	Graphs     []topology.Graph
+	// PointList, when non-empty, replaces the cartesian expansion with an
+	// explicit list of fully-specified points — the band-driven workflow
+	// of a tiered design-space search, where only the analytically
+	// surviving configurations are simulated. Each point must carry its
+	// own workload; the axis fields above are ignored.
+	PointList []Point
+	// Shard/Shards split the expanded point set deterministically across
+	// cooperating processes: only points with ShardOf(Base, p, Shards) ==
+	// Shard run here. Shards < 2 disables the filter. The split is keyed
+	// by content (PointHash), so every process computes the same
+	// assignment with no coordination.
+	Shard, Shards int
 	// Parallel bounds concurrent runs (default GOMAXPROCS).
 	Parallel int
 	// Cache, when non-nil, memoizes per-layer compute results across the
@@ -90,50 +161,73 @@ type Spec struct {
 	Progress *obsv.Progress
 }
 
-// PointLabel names one grid point for progress lines and manifests.
-func PointLabel(p Point) string {
-	return fmt.Sprintf("%s/%dx%d/%s/%d-%d-%d", p.Net(),
-		p.Array[0], p.Array[1], p.Dataflow, p.SRAM[0], p.SRAM[1], p.SRAM[2])
+// label formats the canonical point/row name shared by progress lines,
+// debug logs and manifests.
+func label(net string, array [2]int, df config.Dataflow, sram [3]int) string {
+	return fmt.Sprintf("%s/%dx%d/%s/%d-%d-%d", net,
+		array[0], array[1], df, sram[0], sram[1], sram[2])
 }
 
-// Points expands the grid.
+// PointLabel names one grid point for progress lines and manifests.
+func PointLabel(p Point) string {
+	return label(p.Net(), p.Array, p.Dataflow, p.SRAM)
+}
+
+// Label names the completed row identically to its point's PointLabel.
+func (r Row) Label() string {
+	return label(r.Net, r.Array, r.Dataflow, r.SRAM)
+}
+
+// Points expands the grid (or adopts the explicit PointList) and applies
+// the shard filter.
 func (s Spec) Points() []Point {
-	arrays := s.Arrays
-	if len(arrays) == 0 {
-		arrays = [][2]int{{s.Base.ArrayHeight, s.Base.ArrayWidth}}
-	}
-	dfs := s.Dataflows
-	if len(dfs) == 0 {
-		dfs = []config.Dataflow{s.Base.Dataflow}
-	}
-	srams := s.SRAMs
-	if len(srams) == 0 {
-		srams = [][3]int{{s.Base.IfmapSRAMKB, s.Base.FilterSRAMKB, s.Base.OfmapSRAMKB}}
-	}
-	var out []Point
-	expand := func(p Point) {
-		for _, a := range arrays {
-			for _, df := range dfs {
-				for _, sr := range srams {
-					p.Array, p.Dataflow, p.SRAM = a, df, sr
-					out = append(out, p)
+	pts := s.PointList
+	if len(pts) == 0 {
+		arrays := s.Arrays
+		if len(arrays) == 0 {
+			arrays = [][2]int{{s.Base.ArrayHeight, s.Base.ArrayWidth}}
+		}
+		dfs := s.Dataflows
+		if len(dfs) == 0 {
+			dfs = []config.Dataflow{s.Base.Dataflow}
+		}
+		srams := s.SRAMs
+		if len(srams) == 0 {
+			srams = [][3]int{{s.Base.IfmapSRAMKB, s.Base.FilterSRAMKB, s.Base.OfmapSRAMKB}}
+		}
+		expand := func(p Point) {
+			for _, a := range arrays {
+				for _, df := range dfs {
+					for _, sr := range srams {
+						p.Array, p.Dataflow, p.SRAM = a, df, sr
+						pts = append(pts, p)
+					}
 				}
 			}
 		}
+		for _, topo := range s.Topologies {
+			expand(Point{Topology: topo})
+		}
+		for i := range s.Graphs {
+			expand(Point{Graph: &s.Graphs[i]})
+		}
 	}
-	for _, topo := range s.Topologies {
-		expand(Point{Topology: topo})
+	if s.Shards > 1 {
+		kept := make([]Point, 0, len(pts)/s.Shards+1)
+		for _, p := range pts {
+			if ShardOf(s.Base, p, s.Shards) == s.Shard {
+				kept = append(kept, p)
+			}
+		}
+		pts = kept
 	}
-	for i := range s.Graphs {
-		expand(Point{Graph: &s.Graphs[i]})
-	}
-	return out
+	return pts
 }
 
 // Run executes every grid point on the shared engine's worker pool and
 // returns rows in grid order.
 func Run(spec Spec) ([]Row, error) {
-	if len(spec.Topologies) == 0 && len(spec.Graphs) == 0 {
+	if len(spec.Topologies) == 0 && len(spec.Graphs) == 0 && len(spec.PointList) == 0 {
 		return nil, fmt.Errorf("batch: no topologies")
 	}
 	points := spec.Points()
@@ -141,6 +235,9 @@ func Run(spec Spec) ([]Row, error) {
 	defer spec.Obs.Phase("batch.run")()
 	log.Default().Info("batch", "sweep start",
 		"points", len(points), "nets", len(spec.Topologies)+len(spec.Graphs))
+	// Labels are fmt-built per point; skip construction entirely when no
+	// consumer (recorder, progress line, debug log) will read them.
+	wantLabel := spec.Obs.Enabled() || spec.Progress != nil || log.Default().Enabled(log.LevelDebug)
 	rows, err := engine.RunObserved(spec.Parallel, len(points), spec.Obs.SpanSink(), func(i int) (Row, error) {
 		p := points[i]
 		var t0 time.Time
@@ -152,10 +249,13 @@ func Run(spec Spec) ([]Row, error) {
 			return Row{}, fmt.Errorf("batch: %s on %dx%d %v: %w",
 				p.Net(), p.Array[0], p.Array[1], p.Dataflow, err)
 		}
-		spec.Obs.ObserveLayer(i, PointLabel(p), time.Since(t0))
-		spec.Progress.Step(PointLabel(p))
-		if lg := log.Default(); lg.Enabled(log.LevelDebug) {
-			lg.Debug("batch", "point done", "point", PointLabel(p), "cycles", row.TotalCycles)
+		if wantLabel {
+			name := PointLabel(p)
+			spec.Obs.ObserveLayer(i, name, time.Since(t0))
+			spec.Progress.Step(name)
+			if lg := log.Default(); lg.Enabled(log.LevelDebug) {
+				lg.Debug("batch", "point done", "point", name, "cycles", row.TotalCycles)
+			}
 		}
 		return row, nil
 	})
@@ -180,9 +280,8 @@ func NewManifest(spec Spec, rows []Row, rec *obsv.Recorder) *obsv.Manifest {
 	m.Layers = make([]obsv.LayerMetrics, 0, len(rows))
 	for i, r := range rows {
 		m.Layers = append(m.Layers, obsv.LayerMetrics{
-			Index: i,
-			Name: fmt.Sprintf("%s/%dx%d/%s/%d-%d-%d", r.Net,
-				r.Array[0], r.Array[1], r.Dataflow, r.SRAM[0], r.SRAM[1], r.SRAM[2]),
+			Index:       i,
+			Name:        r.Label(),
 			Cycles:      r.TotalCycles,
 			Utilization: r.ComputeUtil,
 			DRAMReads:   r.DRAMReads,
@@ -194,10 +293,7 @@ func NewManifest(spec Spec, rows []Row, rec *obsv.Recorder) *obsv.Manifest {
 }
 
 func runPoint(base config.Config, p Point, tl *timeline.Writer, cache *simcache.Cache) (Row, error) {
-	cfg := base.
-		WithArray(p.Array[0], p.Array[1]).
-		WithDataflow(p.Dataflow).
-		WithSRAM(p.SRAM[0], p.SRAM[1], p.SRAM[2])
+	cfg := p.Config(base)
 	// Grid points already saturate the worker pool; keep each point's
 	// layer execution sequential rather than multiplying the two levels.
 	sim, err := core.New(cfg, core.Options{Workers: 1, Timeline: tl, Cache: cache})

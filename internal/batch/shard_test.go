@@ -1,0 +1,131 @@
+package batch
+
+import (
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/topology"
+)
+
+// TestShardPartition: every point lands in exactly one shard, the union of
+// all shards is the full grid in order, and the assignment is stable
+// across calls.
+func TestShardPartition(t *testing.T) {
+	spec := tinySpec()
+	all := spec.Points()
+	const shards = 3
+	var union []Point
+	for s := 0; s < shards; s++ {
+		sharded := spec
+		sharded.Shard, sharded.Shards = s, shards
+		union = append(union, sharded.Points()...)
+		for _, p := range sharded.Points() {
+			if got := ShardOf(spec.Base, p, shards); got != s {
+				t.Errorf("point %s in shard %d but ShardOf = %d", PointLabel(p), s, got)
+			}
+		}
+	}
+	if len(union) != len(all) {
+		t.Fatalf("shards cover %d points, grid has %d", len(union), len(all))
+	}
+	seen := make(map[string]bool)
+	for _, p := range union {
+		h := PointHash(spec.Base, p)
+		if seen[h] {
+			t.Errorf("point %s assigned to two shards", PointLabel(p))
+		}
+		seen[h] = true
+	}
+	for _, p := range all {
+		if !seen[PointHash(spec.Base, p)] {
+			t.Errorf("point %s missing from every shard", PointLabel(p))
+		}
+	}
+}
+
+func TestShardOfDeterministic(t *testing.T) {
+	spec := tinySpec()
+	for _, p := range spec.Points() {
+		if ShardOf(spec.Base, p, 1) != 0 || ShardOf(spec.Base, p, 0) != 0 {
+			t.Errorf("shards<2 must map to shard 0")
+		}
+		a, b := ShardOf(spec.Base, p, 5), ShardOf(spec.Base, p, 5)
+		if a != b {
+			t.Errorf("ShardOf not deterministic: %d != %d", a, b)
+		}
+	}
+}
+
+// TestPointHashDistinguishes: the hash separates configs and workload
+// shapes but ignores user-facing names.
+func TestPointHashDistinguishes(t *testing.T) {
+	base := config.New()
+	p := Point{Array: [2]int{8, 8}, Dataflow: config.OutputStationary,
+		SRAM: [3]int{2, 2, 1}, Topology: topology.TinyNet()}
+	q := p
+	q.Array = [2]int{16, 16}
+	if PointHash(base, p) == PointHash(base, q) {
+		t.Error("different arrays share a hash")
+	}
+	renamed := p
+	renamed.Topology.Name = "OtherName"
+	if PointHash(base, p) != PointHash(base, renamed) {
+		t.Error("renaming the workload changed the hash")
+	}
+	reshaped := p
+	reshaped.Topology.Layers = append([]topology.Layer(nil), p.Topology.Layers...)
+	reshaped.Topology.Layers[0].NumFilters++
+	if PointHash(base, p) == PointHash(base, reshaped) {
+		t.Error("different layer shapes share a hash")
+	}
+}
+
+// TestPointList: an explicit point list bypasses the cartesian expansion
+// and still honors the shard filter.
+func TestPointList(t *testing.T) {
+	spec := tinySpec()
+	expanded := spec.Points()
+	list := Spec{Base: spec.Base, PointList: expanded[:3]}
+	got := list.Points()
+	if len(got) != 3 {
+		t.Fatalf("PointList points = %d, want 3", len(got))
+	}
+	for i := range got {
+		if PointLabel(got[i]) != PointLabel(expanded[i]) {
+			t.Errorf("point %d = %s, want %s", i, PointLabel(got[i]), PointLabel(expanded[i]))
+		}
+	}
+	rows, err := Run(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// Sharded point lists keep only their assignment.
+	sharded := list
+	sharded.Shard, sharded.Shards = 1, 2
+	for _, p := range sharded.Points() {
+		if ShardOf(spec.Base, p, 2) != 1 {
+			t.Errorf("shard filter leaked point %s", PointLabel(p))
+		}
+	}
+}
+
+func TestRowLabelMatchesPointLabel(t *testing.T) {
+	spec := tinySpec()
+	rows, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := spec.Points()
+	for i, r := range rows {
+		if r.Label() != PointLabel(points[i]) {
+			t.Errorf("row %d label %q != point label %q", i, r.Label(), PointLabel(points[i]))
+		}
+	}
+	want := "TinyNet/8x8/os/2-2-1"
+	if rows[0].Label() != want {
+		t.Errorf("label = %q, want %q", rows[0].Label(), want)
+	}
+}

@@ -1,0 +1,462 @@
+// Package dse is the two-tier design-space explorer: the paper's own
+// methodology (Sec. IV, Eqs. 1-6) industrialized into a search that scales
+// to grids orders of magnitude beyond what cycle-accurate simulation alone
+// can cover.
+//
+// Tier 1 scores the full (array shape x dataflow x SRAM x workload) grid
+// with the first-order analytical model — pure arithmetic over
+// precomputed per-workload mappings, parallelized over the shared engine
+// worker pool, allocation-flat per point — and keeps only the ε-band:
+// every configuration within a factor (1+ε) of each workload's pareto
+// front on (runtime, MACs). Tier 2 refines the surviving band through the
+// existing cycle-accurate batch path (sharing its per-layer result cache)
+// and measures the analytical model's actual relative runtime error over
+// the band, so the ε cut is validated rather than assumed — the model is
+// provably exact only for stall-free runs.
+//
+// The refinement stage shards across processes or machines with zero
+// coordination: a deterministic content-keyed split (batch.ShardOf)
+// assigns every band point to exactly one of n shards, each shard writes
+// a mergeable part file and its own content-addressed cache directory,
+// and Merge folds part files back into a result byte-identical to an
+// unsharded run.
+package dse
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"scalesim/internal/analytical"
+	"scalesim/internal/batch"
+	"scalesim/internal/config"
+	"scalesim/internal/dataflow"
+	"scalesim/internal/engine"
+	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/log"
+	"scalesim/internal/simcache"
+	"scalesim/internal/topology"
+)
+
+// Space is the design-space grid under search. Workloads must be flat
+// layer topologies (the analytical tier models the systolic path only;
+// operator graphs with vector-unit nodes are out of scope here).
+type Space struct {
+	// Base supplies offsets, word size and every parameter the axes do
+	// not override.
+	Base config.Config
+	// Arrays is the per-array shape axis (required).
+	Arrays []analytical.Shape
+	// Dataflows defaults to the base configuration's dataflow.
+	Dataflows []config.Dataflow
+	// SRAMs (i/f/o KiB triples) defaults to the base provision. The
+	// analytical model is SRAM-blind, so this axis multiplies only the
+	// refinement stage, never the tier-1 score count.
+	SRAMs [][3]int
+	// Workloads is the workload axis (required).
+	Workloads []topology.Topology
+	// Epsilon is the pareto-band width: 0 keeps exactly the per-workload
+	// fronts, 0.1 keeps everything within 10% of them. Negative is
+	// treated as zero.
+	Epsilon float64
+}
+
+// normalized fills defaulted axes and validates the space.
+func (s Space) normalized() (Space, error) {
+	if len(s.Workloads) == 0 {
+		return s, fmt.Errorf("dse: no workloads")
+	}
+	if len(s.Arrays) == 0 {
+		return s, fmt.Errorf("dse: no array shapes")
+	}
+	for _, a := range s.Arrays {
+		if a.R < 1 || a.C < 1 {
+			return s, fmt.Errorf("dse: invalid array shape %s", a)
+		}
+	}
+	for _, w := range s.Workloads {
+		if len(w.Layers) == 0 {
+			return s, fmt.Errorf("dse: workload %q has no layers", w.Name)
+		}
+	}
+	if len(s.Dataflows) == 0 {
+		s.Dataflows = []config.Dataflow{s.Base.Dataflow}
+	}
+	if len(s.SRAMs) == 0 {
+		s.SRAMs = [][3]int{{s.Base.IfmapSRAMKB, s.Base.FilterSRAMKB, s.Base.OfmapSRAMKB}}
+	}
+	if s.Epsilon < 0 {
+		s.Epsilon = 0
+	}
+	return s, nil
+}
+
+// Fingerprint identifies the normalized search deterministically: base
+// configuration, every axis and the band width. Shards of one search
+// share a fingerprint; Merge refuses parts whose fingerprints differ.
+func (s Space) Fingerprint() string {
+	n, err := s.normalized()
+	if err != nil {
+		n = s
+	}
+	var b strings.Builder
+	b.WriteString(n.Base.CanonicalKey())
+	b.WriteString("|eps=")
+	fmt.Fprintf(&b, "%g|", n.Epsilon)
+	for _, a := range n.Arrays {
+		fmt.Fprintf(&b, "a%dx%d;", a.R, a.C)
+	}
+	for _, df := range n.Dataflows {
+		b.WriteString(df.String())
+		b.WriteByte(';')
+	}
+	for _, sr := range n.SRAMs {
+		fmt.Fprintf(&b, "s%d/%d/%d;", sr[0], sr[1], sr[2])
+	}
+	for _, w := range n.Workloads {
+		b.WriteString(w.Name)
+		b.WriteByte('=')
+		for _, l := range w.Layers {
+			b.WriteString(l.Key())
+			b.WriteByte(',')
+		}
+		b.WriteByte(';')
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Options tunes one exploration run.
+type Options struct {
+	// Parallel bounds worker-pool concurrency for both tiers (default
+	// GOMAXPROCS).
+	Parallel int
+	// Tier1Only stops after the band cut: scores and statistics are
+	// computed, nothing is simulated.
+	Tier1Only bool
+	// Shard/Shards select which deterministic slice of the band this run
+	// refines; zero values mean the whole band.
+	Shard, Shards int
+	// Cache memoizes tier-2 per-layer compute results (see simcache);
+	// sharded runs give each shard its own directory and merge afterwards.
+	Cache *simcache.Cache
+	// Obs records tier phases, engine spans and per-point timings.
+	Obs *obsv.Recorder
+	// Progress reports tier-2 per-point completion.
+	Progress *obsv.Progress
+}
+
+// Row is one refined design point: the cycle-accurate batch row joined
+// with its tier-1 prediction and the resulting model error.
+type Row struct {
+	// Index is the point's position in the deterministic band order —
+	// the global coordinate sharded runs are merged by.
+	Index int `json:"index"`
+	// Hash is the point's content address (batch.PointHash): merge
+	// deduplicates and cross-checks rows by it.
+	Hash string `json:"hash"`
+	// AnalyticalCycles is the tier-1 stall-free runtime prediction.
+	AnalyticalCycles int64 `json:"analytical_cycles"`
+	// RelErr is |analytical - measured| / measured.
+	RelErr float64 `json:"rel_err"`
+	// Batch is the measured cycle-accurate row.
+	Batch batch.Row `json:"row"`
+}
+
+// Result is one exploration (or merged set of shards).
+type Result struct {
+	// Fingerprint identifies the search; BaseHash the base configuration.
+	Fingerprint string
+	BaseHash    string
+	// Band is the tier-2 universe in deterministic order: every band
+	// point with its workload, axes and analytical score. Shards all
+	// compute the identical band; Rows covers the shard's slice of it.
+	Band []batch.Point
+	// Rows holds the refined points, ascending by Index.
+	Rows []Row
+	// Stats summarizes the cut, the tier-1 throughput and the measured
+	// model error.
+	Stats obsv.SearchStats
+}
+
+// tier1Job is one chunk of candidate scoring: workload w, dataflow di,
+// shape range [lo, hi).
+type tier1Job struct {
+	w, di, lo, hi int
+}
+
+// mapEntry is one distinct layer mapping and its repeat count within a
+// workload — ResNet-style nets collapse many layers onto few mappings.
+type mapEntry struct {
+	m     dataflow.Mapping
+	count int64
+}
+
+// tier1ChunkSize bounds one scoring job so wide grids spread across the
+// pool while small ones stay single-job.
+const tier1ChunkSize = 8192
+
+// Explore runs the two-tier search over the space.
+func Explore(space Space, opt Options) (*Result, error) {
+	space, err := space.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Shards < 0 || (opt.Shards > 0 && (opt.Shard < 0 || opt.Shard >= opt.Shards)) {
+		return nil, fmt.Errorf("dse: shard %d/%d out of range", opt.Shard, opt.Shards)
+	}
+
+	A, D, S, W := len(space.Arrays), len(space.Dataflows), len(space.SRAMs), len(space.Workloads)
+	res := &Result{
+		Fingerprint: space.Fingerprint(),
+		BaseHash:    space.Base.Hash(),
+		Stats: obsv.SearchStats{
+			GridPoints: int64(A) * int64(D) * int64(S) * int64(W),
+			Candidates: int64(A) * int64(D),
+			Scored:     int64(A) * int64(D) * int64(W),
+			Epsilon:    space.Epsilon,
+			Shard:      opt.Shard,
+			Shards:     max(opt.Shards, 1),
+		},
+	}
+
+	// Tier 1: analytical scoring of every (shape, dataflow) candidate per
+	// workload. Mappings are precomputed and collapsed by layer shape key,
+	// so the inner loop is pure arithmetic into a preallocated slice.
+	endTier1 := opt.Obs.Phase("dse.tier1")
+	t0 := time.Now()
+	mappings := make([][]mapEntry, W*D)
+	for w, topo := range space.Workloads {
+		for di, df := range space.Dataflows {
+			mappings[w*D+di] = collapseMappings(topo, df)
+		}
+	}
+	scores := make([]int64, W*D*A)
+	jobs := make([]tier1Job, 0, W*D)
+	for w := 0; w < W; w++ {
+		for di := 0; di < D; di++ {
+			for lo := 0; lo < A; lo += tier1ChunkSize {
+				jobs = append(jobs, tier1Job{w: w, di: di, lo: lo, hi: min(lo+tier1ChunkSize, A)})
+			}
+		}
+	}
+	if _, err := engine.RunObserved(opt.Parallel, len(jobs), opt.Obs.SpanSink(), func(i int) (struct{}, error) {
+		j := jobs[i]
+		dst := scores[(j.w*D+j.di)*A+j.lo : (j.w*D+j.di)*A+j.hi]
+		shapes := space.Arrays[j.lo:j.hi]
+		for _, e := range mappings[j.w*D+j.di] {
+			analytical.AccumRuntimes(dst, e.m, e.count, shapes)
+		}
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err
+	}
+	tier1 := time.Since(t0)
+	res.Stats.Tier1Seconds = tier1.Seconds()
+	if s := tier1.Seconds(); s > 0 {
+		res.Stats.Tier1PointsPerSec = float64(res.Stats.Scored) / s
+	}
+	endTier1()
+
+	// Band cut: union of the per-workload ε-bands over candidates.
+	endBand := opt.Obs.Phase("dse.band")
+	kept := make([]bool, A*D)
+	pts := make([]analytical.BandPoint, A*D)
+	var mask []bool
+	for w := 0; w < W; w++ {
+		for ai, shape := range space.Arrays {
+			for di := 0; di < D; di++ {
+				pts[ai*D+di] = analytical.BandPoint{
+					MACs:   shape.MACs(),
+					Cycles: scores[(w*D+di)*A+ai],
+				}
+			}
+		}
+		mask = analytical.EpsilonBand(pts, space.Epsilon, mask)
+		for ci, k := range mask {
+			kept[ci] = kept[ci] || k
+		}
+	}
+	for _, k := range kept {
+		if k {
+			res.Stats.BandCandidates++
+		}
+	}
+	res.Stats.CutCandidates = res.Stats.Candidates - res.Stats.BandCandidates
+
+	// Expand the surviving candidates over the SRAM and workload axes
+	// into the deterministic band order every shard agrees on.
+	analyticalCycles := make([]int64, 0, int(res.Stats.BandCandidates)*S*W)
+	for w := range space.Workloads {
+		for ai, shape := range space.Arrays {
+			for di, df := range space.Dataflows {
+				if !kept[ai*D+di] {
+					continue
+				}
+				for _, sr := range space.SRAMs {
+					res.Band = append(res.Band, batch.Point{
+						Array:    [2]int{int(shape.R), int(shape.C)},
+						Dataflow: df,
+						SRAM:     sr,
+						Topology: space.Workloads[w],
+					})
+					analyticalCycles = append(analyticalCycles, scores[(w*D+di)*A+ai])
+				}
+			}
+		}
+	}
+	res.Stats.BandPoints = int64(len(res.Band))
+	endBand()
+	log.Default().Info("dse", "band cut",
+		"grid", res.Stats.GridPoints, "candidates", res.Stats.Candidates,
+		"band", res.Stats.BandCandidates, "cut", res.Stats.CutCandidates,
+		"tier1_points_per_sec", res.Stats.Tier1PointsPerSec)
+
+	if opt.Tier1Only {
+		return res, nil
+	}
+
+	// Shard filter: deterministic content-keyed split of the band.
+	mine := make([]int, 0, len(res.Band))
+	for i, p := range res.Band {
+		if opt.Shards < 2 || batch.ShardOf(space.Base, p, opt.Shards) == opt.Shard {
+			mine = append(mine, i)
+		}
+	}
+
+	// Tier 2: cycle-accurate refinement of this shard's band slice.
+	endTier2 := opt.Obs.Phase("dse.tier2")
+	defer endTier2()
+	points := make([]batch.Point, len(mine))
+	for i, idx := range mine {
+		points[i] = res.Band[idx]
+	}
+	rows, err := batch.Run(batch.Spec{
+		Base:      space.Base,
+		PointList: points,
+		Parallel:  opt.Parallel,
+		Cache:     opt.Cache,
+		Obs:       opt.Obs,
+		Progress:  opt.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = make([]Row, len(rows))
+	for i, r := range rows {
+		idx := mine[i]
+		a := analyticalCycles[idx]
+		row := Row{
+			Index:            idx,
+			Hash:             batch.PointHash(space.Base, res.Band[idx]),
+			AnalyticalCycles: a,
+			Batch:            r,
+		}
+		if r.TotalCycles > 0 {
+			row.RelErr = math.Abs(float64(a)-float64(r.TotalCycles)) / float64(r.TotalCycles)
+		}
+		res.Rows[i] = row
+	}
+	res.Stats.RefinedPoints = int64(len(res.Rows))
+	res.Stats.MaxRelErr, res.Stats.MeanRelErr = relErrBounds(res.Rows)
+	log.Default().Info("dse", "refine done",
+		"refined", res.Stats.RefinedPoints, "band", res.Stats.BandPoints,
+		"shard", res.Stats.Shard, "shards", res.Stats.Shards,
+		"max_rel_err", res.Stats.MaxRelErr)
+	return res, nil
+}
+
+// collapseMappings folds a workload's layers into distinct mappings with
+// repeat counts under the dataflow.
+func collapseMappings(topo topology.Topology, df config.Dataflow) []mapEntry {
+	index := make(map[string]int, len(topo.Layers))
+	out := make([]mapEntry, 0, len(topo.Layers))
+	for _, l := range topo.Layers {
+		k := l.Key()
+		if i, ok := index[k]; ok {
+			out[i].count++
+			continue
+		}
+		index[k] = len(out)
+		out = append(out, mapEntry{m: dataflow.Map(l, df), count: 1})
+	}
+	return out
+}
+
+// relErrBounds returns the max and mean relative error over rows.
+func relErrBounds(rows []Row) (maxErr, meanErr float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.RelErr
+		if r.RelErr > maxErr {
+			maxErr = r.RelErr
+		}
+	}
+	return maxErr, sum / float64(len(rows))
+}
+
+// BestPerNet picks each workload's fastest refined configuration:
+// minimum measured cycles, ties broken toward fewer MACs and then band
+// order, so the choice is deterministic.
+func BestPerNet(rows []Row) map[string]Row {
+	best := make(map[string]Row)
+	for _, r := range rows {
+		cur, ok := best[r.Batch.Net]
+		if !ok || betterRow(r, cur) {
+			best[r.Batch.Net] = r
+		}
+	}
+	return best
+}
+
+func betterRow(a, b Row) bool {
+	if a.Batch.TotalCycles != b.Batch.TotalCycles {
+		return a.Batch.TotalCycles < b.Batch.TotalCycles
+	}
+	am := int64(a.Batch.Array[0]) * int64(a.Batch.Array[1])
+	bm := int64(b.Batch.Array[0]) * int64(b.Batch.Array[1])
+	if am != bm {
+		return am < bm
+	}
+	return a.Index < b.Index
+}
+
+// NewManifest assembles the run's manifest: search statistics, one entry
+// per refined point, cache effectiveness, and the recorder's phases,
+// spans and runtime stats.
+func NewManifest(res *Result, cache *simcache.Cache, rec *obsv.Recorder) *obsv.Manifest {
+	m := rec.Manifest()
+	m.Tool = "scaledse"
+	m.ConfigHash = res.BaseHash
+	stats := res.Stats
+	m.Search = &stats
+	if cache != nil {
+		st := cache.Stats()
+		m.Cache = &obsv.CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+	}
+	m.Layers = make([]obsv.LayerMetrics, 0, len(res.Rows))
+	for i, r := range res.Rows {
+		m.Layers = append(m.Layers, obsv.LayerMetrics{
+			Index:       r.Index,
+			Name:        r.Batch.Label(),
+			Cycles:      r.Batch.TotalCycles,
+			Utilization: r.Batch.ComputeUtil,
+			DRAMReads:   r.Batch.DRAMReads,
+			DRAMWrites:  r.Batch.DRAMWrites,
+			WallSeconds: rec.LayerSeconds(i),
+		})
+	}
+	return m
+}
+
+// sortRows orders rows by their band index.
+func sortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+}

@@ -1,0 +1,249 @@
+package dse
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"scalesim/internal/analytical"
+	"scalesim/internal/batch"
+	"scalesim/internal/config"
+	"scalesim/internal/topology"
+)
+
+// tinySpace is a grid small enough to exhaust cycle-accurately, rich
+// enough to exercise every axis.
+func tinySpace() Space {
+	return Space{
+		Base:   config.New(),
+		Arrays: []analytical.Shape{{R: 4, C: 4}, {R: 8, C: 8}, {R: 16, C: 16}, {R: 32, C: 8}},
+		Dataflows: []config.Dataflow{
+			config.OutputStationary, config.WeightStationary,
+		},
+		SRAMs:     [][3]int{{2, 2, 1}, {4, 4, 2}},
+		Workloads: []topology.Topology{topology.TinyNet()},
+		Epsilon:   0.1,
+	}
+}
+
+// exhaustive simulates the full grid through the plain batch path.
+func exhaustive(t *testing.T, s Space) []batch.Row {
+	t.Helper()
+	arrays := make([][2]int, len(s.Arrays))
+	for i, a := range s.Arrays {
+		arrays[i] = [2]int{int(a.R), int(a.C)}
+	}
+	rows, err := batch.Run(batch.Spec{
+		Base:       s.Base,
+		Arrays:     arrays,
+		Dataflows:  s.Dataflows,
+		SRAMs:      s.SRAMs,
+		Topologies: s.Workloads,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestTieredMatchesExhaustive: the refined band must contain every
+// workload's true cycle-accurate optimum — the band cut loses breadth,
+// never the winner.
+func TestTieredMatchesExhaustive(t *testing.T) {
+	s := tinySpace()
+	res, err := Explore(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RefinedPoints == 0 {
+		t.Fatal("no points refined")
+	}
+	if res.Stats.RefinedPoints > res.Stats.GridPoints {
+		t.Fatalf("refined %d > grid %d", res.Stats.RefinedPoints, res.Stats.GridPoints)
+	}
+	best := BestPerNet(res.Rows)
+
+	byNet := make(map[string]int64)
+	for _, r := range exhaustive(t, s) {
+		if cur, ok := byNet[r.Net]; !ok || r.TotalCycles < cur {
+			byNet[r.Net] = r.TotalCycles
+		}
+	}
+	for net, want := range byNet {
+		got, ok := best[net]
+		if !ok {
+			t.Fatalf("net %s missing from tiered result", net)
+		}
+		if got.Batch.TotalCycles != want {
+			t.Errorf("net %s: tiered best %d cycles, exhaustive best %d",
+				net, got.Batch.TotalCycles, want)
+		}
+	}
+}
+
+// TestRelErrZeroStallFree: with the default configuration (EdgeTrim off,
+// unconstrained DRAM) the simulator is stall-free, so the analytical
+// model is exact and the measured band error must be zero.
+func TestRelErrZeroStallFree(t *testing.T) {
+	res, err := Explore(tinySpace(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxRelErr != 0 {
+		t.Errorf("max rel err = %g, want 0 (stall-free default config)", res.Stats.MaxRelErr)
+	}
+	for _, r := range res.Rows {
+		if r.AnalyticalCycles != r.Batch.TotalCycles {
+			t.Errorf("point %d: analytical %d != measured %d",
+				r.Index, r.AnalyticalCycles, r.Batch.TotalCycles)
+		}
+	}
+}
+
+// TestEpsilonWidensBand: a wider ε keeps at least as many candidates,
+// and ε large enough keeps everything.
+func TestEpsilonWidensBand(t *testing.T) {
+	s := tinySpace()
+	var prev int64 = -1
+	for _, eps := range []float64{0, 0.1, 1e9} {
+		s.Epsilon = eps
+		res, err := Explore(s, Options{Tier1Only: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.BandCandidates < prev {
+			t.Errorf("eps=%g band %d < previous %d", eps, res.Stats.BandCandidates, prev)
+		}
+		prev = res.Stats.BandCandidates
+	}
+	if prev != int64(len(s.Arrays)*len(s.Dataflows)) {
+		t.Errorf("huge eps kept %d candidates, want all %d", prev, len(s.Arrays)*len(s.Dataflows))
+	}
+}
+
+// TestShardMergeByteIdentical: two shards, each with its own cache dir,
+// merged via part files, must produce a CSV byte-identical to the
+// unsharded run.
+func TestShardMergeByteIdentical(t *testing.T) {
+	s := tinySpace()
+	dir := t.TempDir()
+
+	whole, err := Explore(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wholeCSV bytes.Buffer
+	if err := WriteCSV(&wholeCSV, whole.Rows); err != nil {
+		t.Fatal(err)
+	}
+
+	paths := make([]string, 2)
+	for shard := 0; shard < 2; shard++ {
+		res, err := Explore(s, Options{Shard: shard, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Fingerprint != whole.Fingerprint {
+			t.Fatalf("shard %d fingerprint %s != %s", shard, res.Fingerprint, whole.Fingerprint)
+		}
+		paths[shard] = filepath.Join(dir, "part-"+string(rune('0'+shard))+".jsonl")
+		if err := WritePart(paths[shard], res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged, err := MergeFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Stats.RefinedPoints != whole.Stats.RefinedPoints {
+		t.Fatalf("merged %d points, unsharded %d", merged.Stats.RefinedPoints, whole.Stats.RefinedPoints)
+	}
+	var mergedCSV bytes.Buffer
+	if err := WriteCSV(&mergedCSV, merged.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mergedCSV.Bytes(), wholeCSV.Bytes()) {
+		t.Errorf("merged CSV differs from unsharded CSV:\nmerged:\n%s\nunsharded:\n%s",
+			mergedCSV.String(), wholeCSV.String())
+	}
+}
+
+// TestMergeRejects: merging refuses foreign or incomplete parts.
+func TestMergeRejects(t *testing.T) {
+	s := tinySpace()
+	dir := t.TempDir()
+	shard0, err := Explore(s, Options{Shard: 0, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := filepath.Join(dir, "p0.jsonl")
+	if err := WritePart(p0, shard0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incomplete: one shard alone cannot cover the band.
+	if _, err := MergeFiles([]string{p0}); err == nil {
+		t.Error("merge of an incomplete shard set succeeded")
+	}
+
+	// Foreign: a different search's part must be refused.
+	other := s
+	other.Epsilon = 0.5
+	o, err := Explore(other, Options{Shard: 1, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := filepath.Join(dir, "po.jsonl")
+	if err := WritePart(po, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeFiles([]string{p0, po}); err == nil {
+		t.Error("merge across fingerprints succeeded")
+	}
+}
+
+// TestPartRoundTrip: WritePart/ReadPart preserve header and rows.
+func TestPartRoundTrip(t *testing.T) {
+	s := tinySpace()
+	res, err := Explore(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "part.jsonl")
+	if err := WritePart(path, res); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ReadPart(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Header.Fingerprint != res.Fingerprint || p.Header.BandPoints != res.Stats.BandPoints {
+		t.Errorf("header = %+v, want fingerprint %s band %d",
+			p.Header, res.Fingerprint, res.Stats.BandPoints)
+	}
+	if len(p.Rows) != len(res.Rows) {
+		t.Fatalf("rows = %d, want %d", len(p.Rows), len(res.Rows))
+	}
+	for i := range p.Rows {
+		if p.Rows[i].Index != res.Rows[i].Index || p.Rows[i].Hash != res.Rows[i].Hash ||
+			p.Rows[i].Batch.TotalCycles != res.Rows[i].Batch.TotalCycles {
+			t.Errorf("row %d = %+v, want %+v", i, p.Rows[i], res.Rows[i])
+		}
+	}
+}
+
+// TestSpaceValidation: empty axes and bad shards are rejected.
+func TestSpaceValidation(t *testing.T) {
+	if _, err := Explore(Space{Base: config.New()}, Options{}); err == nil {
+		t.Error("empty space accepted")
+	}
+	s := tinySpace()
+	if _, err := Explore(s, Options{Shard: 3, Shards: 2}); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	s.Workloads = nil
+	if _, err := Explore(s, Options{}); err == nil {
+		t.Error("workload-less space accepted")
+	}
+}

@@ -102,6 +102,41 @@ func (c CacheStats) HitRate() float64 {
 	return 0
 }
 
+// SearchStats summarizes a tiered design-space search: how much of the
+// grid the analytical tier-1 pre-filter cut, how fast it scored, what the
+// cycle-accurate tier-2 refinement covered, and the measured
+// analytical-vs-exact runtime error over the refined band — the evidence
+// that the ε cut was safe, not assumed.
+type SearchStats struct {
+	// GridPoints is the full design-space size (candidates x SRAM
+	// provisions x workloads); Candidates the tier-1 shape x dataflow
+	// universe; Scored the candidate x workload scores computed.
+	GridPoints int64 `json:"grid_points"`
+	Candidates int64 `json:"candidates"`
+	Scored     int64 `json:"scored"`
+	// BandCandidates / CutCandidates split the candidates into the ε-band
+	// survivors and the analytically pruned remainder.
+	BandCandidates int64 `json:"band_candidates"`
+	CutCandidates  int64 `json:"cut_candidates"`
+	// BandPoints is the tier-2 universe (band x SRAMs x workloads);
+	// RefinedPoints how many of them this run simulated (its shard).
+	BandPoints    int64 `json:"band_points"`
+	RefinedPoints int64 `json:"refined_points"`
+	// Epsilon is the band width; Shard/Shards the deterministic split this
+	// run refined (0/1 for an unsharded run).
+	Epsilon float64 `json:"epsilon"`
+	Shard   int     `json:"shard"`
+	Shards  int     `json:"shards"`
+	// Tier1Seconds and Tier1PointsPerSec report the pre-filter's cost and
+	// throughput (scored points per second).
+	Tier1Seconds      float64 `json:"tier1_seconds,omitempty"`
+	Tier1PointsPerSec float64 `json:"tier1_points_per_sec,omitempty"`
+	// MaxRelErr / MeanRelErr are |analytical - measured| / measured over
+	// the refined rows; exactly zero for stall-free configurations.
+	MaxRelErr  float64 `json:"max_rel_err"`
+	MeanRelErr float64 `json:"mean_rel_err"`
+}
+
 // Provenance records where a run came from, so manifests stored in a
 // shared run registry stay attributable: the invoking command line, the
 // module identity and VCS revision baked into the binary
@@ -160,6 +195,7 @@ type Manifest struct {
 	Runtime     RuntimeStats     `json:"runtime"`
 	Metrics     *MetricsSnapshot `json:"metrics,omitempty"`
 	Cache       *CacheStats      `json:"cache,omitempty"`
+	Search      *SearchStats     `json:"search,omitempty"`
 	Timeline    *TimelineSummary `json:"timeline,omitempty"`
 	WallSeconds float64          `json:"wall_seconds,omitempty"`
 }

@@ -161,3 +161,35 @@ func TestHashStable(t *testing.T) {
 		t.Error("hash ignores field values")
 	}
 }
+
+func TestManifestSearchStatsRoundTrip(t *testing.T) {
+	m := (*Recorder)(nil).Manifest()
+	m.Search = &SearchStats{
+		GridPoints: 1200, Candidates: 600, Scored: 1200,
+		BandCandidates: 40, CutCandidates: 560,
+		BandPoints: 80, RefinedPoints: 40,
+		Epsilon: 0.1, Shard: 1, Shards: 2,
+		Tier1Seconds: 0.004, Tier1PointsPerSec: 3e5,
+		MaxRelErr: 0, MeanRelErr: 0,
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"cut_candidates": 560`) {
+		t.Errorf("search block not serialized: %s", buf.String())
+	}
+	back, err := ParseManifest(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Search == nil || back.Search.CutCandidates != 560 ||
+		back.Search.Shards != 2 || back.Search.Epsilon != 0.1 {
+		t.Errorf("round trip search = %+v", back.Search)
+	}
+	// Manifests without the block still validate (older documents).
+	m.Search = nil
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

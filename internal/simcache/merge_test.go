@@ -1,0 +1,126 @@
+package simcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scalesim/internal/systolic"
+)
+
+func seedEntry(cycles int64) Entry {
+	return Entry{Compute: systolic.Result{Cycles: cycles, MACs: cycles * 2}}
+}
+
+func TestMergeDirs(t *testing.T) {
+	a := t.TempDir()
+	b := t.TempDir()
+	dst := t.TempDir()
+	ca, err := NewDisk(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewDisk(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.Put("shared", seedEntry(10))
+	ca.Put("only-a", seedEntry(20))
+	cb.Put("shared", seedEntry(10))
+	cb.Put("only-b", seedEntry(30))
+
+	st, err := MergeDirs(dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Copied != 3 || st.Present != 1 || st.Invalid != 0 {
+		t.Fatalf("stats = %+v, want 3 copied / 1 present / 0 invalid", st)
+	}
+
+	merged, err := NewDisk(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, cycles := range map[string]int64{"shared": 10, "only-a": 20, "only-b": 30} {
+		e, ok := merged.Get(key)
+		if !ok {
+			t.Fatalf("merged cache missing %q", key)
+		}
+		if e.Compute.Cycles != cycles {
+			t.Errorf("%q cycles = %d, want %d", key, e.Compute.Cycles, cycles)
+		}
+	}
+
+	// Idempotent: merging again copies nothing new.
+	st, err = MergeDirs(dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Copied != 0 || st.Present != 4 {
+		t.Fatalf("re-merge stats = %+v, want 0 copied / 4 present", st)
+	}
+}
+
+func TestMergeDirsSkipsInvalid(t *testing.T) {
+	src := t.TempDir()
+	dst := t.TempDir()
+	c, err := NewDisk(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("good", seedEntry(1))
+	// Corrupt JSON, foreign schema, and a valid document under a wrong
+	// filename must all be skipped.
+	if err := os.WriteFile(filepath.Join(src, "deadbeef.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(src, "feedface.json"),
+		[]byte(`{"schema":"other/v1","key":"x","entry":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(c.path("good"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(src, "0000000000000000000000000000000000000000000000000000000000000000.json"), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stray temp files are ignored entirely.
+	if err := os.WriteFile(filepath.Join(src, "put-123.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := MergeDirs(dst, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Copied != 1 || st.Invalid != 3 {
+		t.Fatalf("stats = %+v, want 1 copied / 3 invalid", st)
+	}
+}
+
+func TestScanDir(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k1", seedEntry(1))
+	c.Put("k2", seedEntry(2))
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, invalid, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invalid != 1 {
+		t.Errorf("invalid = %d, want 1", invalid)
+	}
+	if len(keys) != 2 || keys[0] != "k1" || keys[1] != "k2" {
+		t.Errorf("keys = %v, want [k1 k2]", keys)
+	}
+	if _, _, err := ScanDir(filepath.Join(dir, "missing")); err == nil {
+		t.Error("ScanDir on a missing directory must error")
+	}
+}

@@ -35,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -245,6 +247,131 @@ func (c *Cache) load(key string) (Entry, bool) {
 		return Entry{}, false
 	}
 	return doc.Entry, true
+}
+
+// MergeStats summarizes a cache-directory merge.
+type MergeStats struct {
+	// Copied counts entries newly brought into the destination; Present
+	// counts entries the destination already had; Invalid counts source
+	// files skipped for failing validation (corrupt JSON, foreign schema,
+	// a name that does not match its key).
+	Copied, Present, Invalid int
+}
+
+// ScanDir enumerates the valid spill files in a cache directory and
+// returns their keys. Files that fail validation are counted, not
+// returned and not fatal — the same degrade-to-miss policy Get applies.
+// Temp files from in-flight stores are ignored.
+func ScanDir(dir string) (keys []string, invalid int, err error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("simcache: %w", err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		doc, ok := readDocument(filepath.Join(dir, name))
+		if !ok || !nameMatchesKey(name, doc.Key) {
+			invalid++
+			continue
+		}
+		keys = append(keys, doc.Key)
+	}
+	sort.Strings(keys)
+	return keys, invalid, nil
+}
+
+// MergeDirs merges the spill files of every src directory into dst,
+// creating dst if needed. Entries already present in dst are kept (the
+// compute stage is pure, so same-named files hold the same result);
+// source files that fail validation are skipped and counted. This is the
+// coordinator step of a sharded sweep: each shard refines its slice of
+// the design space into its own -cache-dir, and one merge folds them
+// into a single content-addressed store that replays every shard's work.
+func MergeDirs(dst string, srcs ...string) (MergeStats, error) {
+	var st MergeStats
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return st, fmt.Errorf("simcache: %w", err)
+	}
+	for _, src := range srcs {
+		names, err := os.ReadDir(src)
+		if err != nil {
+			return st, fmt.Errorf("simcache: %w", err)
+		}
+		for _, de := range names {
+			name := de.Name()
+			if de.IsDir() || !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(src, name))
+			if err != nil {
+				st.Invalid++
+				continue
+			}
+			var doc document
+			if err := json.Unmarshal(data, &doc); err != nil ||
+				doc.Schema != diskSchema || !nameMatchesKey(name, doc.Key) {
+				st.Invalid++
+				continue
+			}
+			target := filepath.Join(dst, name)
+			if _, err := os.Stat(target); err == nil {
+				st.Present++
+				continue
+			}
+			if err := writeFileAtomic(dst, target, data); err != nil {
+				return st, fmt.Errorf("simcache: merging %s: %w", name, err)
+			}
+			st.Copied++
+		}
+	}
+	return st, nil
+}
+
+// readDocument loads and validates one spill file by path.
+func readDocument(path string) (document, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return document{}, false
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Schema != diskSchema {
+		return document{}, false
+	}
+	return doc, true
+}
+
+// nameMatchesKey verifies a spill file is named by the SHA-256 of the key
+// it claims to hold, so a renamed or cross-copied file never aliases a
+// different entry.
+func nameMatchesKey(name, key string) bool {
+	sum := sha256.Sum256([]byte(key))
+	return name == hex.EncodeToString(sum[:])+".json"
+}
+
+// writeFileAtomic writes data to target via a temp file in dir and a
+// rename, matching store's crash-safety discipline.
+func writeFileAtomic(dir, target string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "merge-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), target); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // store writes a spill file via a temp-file rename, so concurrent

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench smoke benchdiff profile fuzz figures examples clean
+.PHONY: all build vet test race bench smoke benchdiff profile prof-cycles fuzz figures examples clean
 
 all: build vet test
 
@@ -38,6 +38,14 @@ profile:
 	mkdir -p results
 	$(GO) test -run XXX -bench=BenchmarkTableIV -benchtime=3x \
 		-cpuprofile results/profile.pb.gz .
+
+# Simulated-cycle attribution of BERTTiny under a bounded DRAM link;
+# inspect with `go tool pprof -http=: results/cycles.pb.gz`.
+prof-cycles:
+	mkdir -p results
+	$(GO) run ./cmd/scaleprof run -net BERTTiny -dram-bw 4 \
+		-o results/cycles.pb.gz -roofline results/roofline.csv
+	$(GO) tool pprof -top results/cycles.pb.gz
 
 fuzz:
 	$(GO) test ./internal/config/ -fuzz FuzzParse -fuzztime 30s

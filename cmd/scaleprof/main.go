@@ -1,0 +1,249 @@
+// Command scaleprof renders a run's cycle accounting: where every
+// simulated cycle went, as text ledgers, a pprof flamegraph over
+// simulated time, and a per-layer roofline characterization. Two verbs:
+//
+//	run  — simulate a workload and profile it in one step
+//	show — render the cycle_accounting block of a stored run
+//	       (a run registered with -run-dir, addressed like scalequery)
+//
+// Usage:
+//
+//	scaleprof run -net BERTTiny -dram-bw 4
+//	scaleprof run -net Resnet50 -array 64x64 -dataflow ws -o prof.pb.gz
+//	scaleprof run -net TinyNet -roofline roofline.csv
+//	scaleprof show -dir runs 20260808T -o prof.pb.gz
+//
+// The text output is the node ledger table (one row per layer, one
+// column per populated category), the category shares, and the roofline
+// table when rows are present. -o writes a gzipped pprof profile whose
+// sample values are simulated cycles — explore it with
+//
+//	go tool pprof -top prof.pb.gz
+//	go tool pprof -http=: prof.pb.gz
+//
+// where the stack is network → node → operator → phase → category.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"scalesim"
+	"scalesim/internal/obsv/cycleacct"
+	"scalesim/internal/runstore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scaleprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scaleprof", flag.ContinueOnError)
+	var (
+		cfgPath  = fs.String("config", "", "hardware configuration file (Table I format)")
+		topoPath = fs.String("topology", "", "topology CSV (overrides the config's Topology entry)")
+		netName  = fs.String("net", "", "built-in workload: "+strings.Join(append(scalesim.BuiltInTopologyNames(), scalesim.BuiltInGraphNames()...), ", "))
+		grPath   = fs.String("graph", "", "operator-graph JSON file (scalesim.graph/v1)")
+		array    = fs.String("array", "", "array dimensions as RxC (e.g. 32x32)")
+		df       = fs.String("dataflow", "", "dataflow: os, ws or is")
+		sram     = fs.String("sram", "", "SRAM sizes in KiB as ifmap,filter,ofmap")
+		dramBW   = fs.Float64("dram-bw", 0, "bound the DRAM link in words/cycle (0 = unbounded)")
+		vlanes   = fs.Int("vector-lanes", 0, "vector-unit lanes for softmax/layernorm/eltwise nodes (0 = array width)")
+		workers  = fs.Int("workers", 0, "layers simulated concurrently (0 = number of CPUs)")
+		dir      = fs.String("dir", "runs", "show: run registry directory (written by -run-dir)")
+		profPath = fs.String("o", "", "write the simulated-cycle pprof profile (gzip) to this path")
+		roofCSV  = fs.String("roofline", "", "write the roofline rows as CSV to this path")
+	)
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("pass a verb first: run or show")
+	}
+	verb := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	switch verb {
+	case "run":
+		ca, network, err := profileRun(*cfgPath, *topoPath, *netName, *grPath,
+			*array, *df, *sram, *dramBW, *vlanes, *workers)
+		if err != nil {
+			return err
+		}
+		return render(stdout, ca, network, *profPath, *roofCSV)
+	case "show":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: show [flags] <run-id>")
+		}
+		ca, network, err := loadStored(*dir, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		return render(stdout, ca, network, *profPath, *roofCSV)
+	default:
+		return fmt.Errorf("unknown verb %q (want run or show)", verb)
+	}
+}
+
+// profileRun simulates the workload and returns its cycle report plus
+// the network name used as the profile's root frame.
+func profileRun(cfgPath, topoPath, netName, grPath, array, df, sram string,
+	dramBW float64, vlanes, workers int) (*scalesim.CycleReport, string, error) {
+	cfg := scalesim.NewConfig()
+	if cfgPath != "" {
+		var err error
+		if cfg, err = scalesim.LoadConfig(cfgPath); err != nil {
+			return nil, "", err
+		}
+	}
+	if array != "" {
+		var r, c int
+		if _, err := fmt.Sscanf(strings.ToLower(array), "%dx%d", &r, &c); err != nil {
+			return nil, "", fmt.Errorf("invalid -array %q (want RxC)", array)
+		}
+		cfg = cfg.WithArray(r, c)
+	}
+	if df != "" {
+		d, err := scalesim.ParseDataflow(df)
+		if err != nil {
+			return nil, "", err
+		}
+		cfg = cfg.WithDataflow(d)
+	}
+	if sram != "" {
+		var i, f, o int
+		if _, err := fmt.Sscanf(sram, "%d,%d,%d", &i, &f, &o); err != nil {
+			return nil, "", fmt.Errorf("invalid -sram %q: %w", sram, err)
+		}
+		cfg = cfg.WithSRAM(i, f, o)
+	}
+	if vlanes != 0 {
+		cfg.VectorLanes = vlanes
+	}
+
+	var topo scalesim.Topology
+	var graph *scalesim.Graph
+	switch {
+	case grPath != "":
+		g, err := scalesim.LoadGraph(grPath)
+		if err != nil {
+			return nil, "", err
+		}
+		graph = &g
+	case netName != "":
+		if t, ok := scalesim.BuiltInTopology(netName); ok {
+			topo = t
+			break
+		}
+		g, err := scalesim.BuiltInGraph(netName)
+		if err != nil {
+			return nil, "", fmt.Errorf("unknown built-in %q", netName)
+		}
+		graph = &g
+	case topoPath != "":
+		t, err := scalesim.LoadTopology(topoPath)
+		if err != nil {
+			return nil, "", err
+		}
+		topo = t
+	case cfg.TopologyPath != "":
+		t, err := scalesim.LoadTopology(cfg.TopologyPath)
+		if err != nil {
+			return nil, "", err
+		}
+		topo = t
+	default:
+		return nil, "", fmt.Errorf("no workload: pass -topology, -graph, -net, or a config with a Topology entry")
+	}
+
+	sim, err := scalesim.NewSimulator(cfg, scalesim.Options{Workers: workers, DRAMBandwidth: dramBW})
+	if err != nil {
+		return nil, "", err
+	}
+	var res scalesim.RunResult
+	network := topo.Name
+	if graph != nil {
+		network = graph.Name
+		res, err = sim.SimulateGraph(*graph)
+	} else {
+		res, err = sim.Simulate(topo)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	ca, err := sim.CycleReport(res)
+	return ca, network, err
+}
+
+// loadStored pulls a registered run's cycle_accounting block out of the
+// registry. Runs stored before manifest v4 carry none.
+func loadStored(dir, id string) (*scalesim.CycleReport, string, error) {
+	s, err := runstore.Open(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	_, m, err := s.Get(id)
+	if err != nil {
+		return nil, "", err
+	}
+	if m.CycleAccounting == nil {
+		return nil, "", fmt.Errorf("run %s carries no cycle accounting (pre-v4 manifest)", id)
+	}
+	network := m.Run
+	if m.Topology != nil && m.Topology.Name != "" {
+		network = m.Topology.Name
+	}
+	return m.CycleAccounting, network, nil
+}
+
+// render writes the text views to stdout and the requested artifacts.
+func render(stdout io.Writer, ca *scalesim.CycleReport, network, profPath, roofCSV string) error {
+	fmt.Fprintf(stdout, "cycle accounting: %s, %d cycles attributed\n\n", network, ca.TotalCycles)
+	if err := ca.WriteLedgers(stdout); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout)
+	for _, s := range ca.CategoryFractions() {
+		fmt.Fprintf(stdout, "%6.1f%%  %s (%d cycles)\n", 100*s.Fraction, s.Category, s.Cycles)
+	}
+	if len(ca.Roofline) > 0 {
+		fmt.Fprintln(stdout)
+		if err := cycleacct.WriteRooflineTable(stdout, ca.Roofline); err != nil {
+			return err
+		}
+	}
+	if profPath != "" {
+		if err := writeFileWith(profPath, func(w io.Writer) error {
+			return ca.WritePprof(w, network)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\nprofile written: %s (go tool pprof -top %s)\n", profPath, profPath)
+	}
+	if roofCSV != "" {
+		if err := writeFileWith(roofCSV, func(w io.Writer) error {
+			return cycleacct.WriteRooflineCSV(w, ca.Roofline)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "roofline written: %s\n", roofCSV)
+	}
+	return nil
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

@@ -8,7 +8,9 @@
 //	       flagging layers that regressed beyond -threshold; exits
 //	       non-zero when the runs differ materially, zero when a replay
 //	       is identical
-//	top  — layers ranked by stall fraction across every stored run
+//	top  — layers ranked by stall fraction across every stored run;
+//	       -by <category> ranks nodes by a cycle-accounting bin
+//	       (dram_bw_stall, fold_drain, partition_skew_wait, ...) instead
 //
 // Usage:
 //
@@ -16,6 +18,7 @@
 //	scalequery -dir runs show 20260808T
 //	scalequery -dir runs diff <idA> <idB> [-threshold 0.05]
 //	scalequery -dir runs top [-n 10]
+//	scalequery -dir runs -by dram_bw_stall top
 package main
 
 import (
@@ -50,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 		ids       = fs.Bool("ids", false, "list: print bare run IDs only, for scripting")
 		threshold = fs.Float64("threshold", 0.05, "diff: fractional cycle/stall growth that counts as a regression")
 		topN      = fs.Int("n", 10, "top: number of layers to show (0 = all)")
+		topBy     = fs.String("by", "", "top: rank by a cycle-accounting category (e.g. dram_bw_stall, fold_drain) instead of stall fraction")
 		rebuild   = fs.Bool("rebuild", false, "regenerate the index from manifest files before querying")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +86,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return diff(s, stdout, fs.Arg(1), fs.Arg(2), *threshold)
 	case "top":
+		if *topBy != "" {
+			return topByCategory(s, stdout, *topBy, *topN)
+		}
 		return top(s, stdout, *topN)
 	}
 	return fmt.Errorf("unknown verb %q (want list, show, diff or top)", verb)
@@ -226,6 +233,28 @@ func top(s *runstore.Store, stdout io.Writer, n int) error {
 		}
 		fmt.Fprintf(stdout, "%7.1f%%  %-20s  %-16s  %12d  %12d  %s\n",
 			100*l.StallFraction, l.Name, runName, l.Cycles, l.StallCycles, l.RunID)
+	}
+	return nil
+}
+
+func topByCategory(s *runstore.Store, stdout io.Writer, category string, n int) error {
+	rows, err := s.TopBy(category, n)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(stdout, "no %s cycles stored\n", category)
+		return nil
+	}
+	fmt.Fprintf(stdout, "%-8s  %-20s  %-16s  %12s  %12s  %s\n",
+		"SHARE%", "NODE", "RUN", category, "TOTAL", "RUN ID")
+	for _, r := range rows {
+		runName := r.Run
+		if r.Topology != "" {
+			runName = r.Topology
+		}
+		fmt.Fprintf(stdout, "%7.1f%%  %-20s  %-16s  %12d  %12d  %s\n",
+			100*r.Fraction, r.Name, runName, r.Cycles, r.Total, r.RunID)
 	}
 	return nil
 }

@@ -77,6 +77,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		cacheDir = fs.String("cache-dir", "", "persist the result cache in this directory (implies -cache)")
 	)
 	obs := cliobs.Register(fs)
+	cyc := cliobs.RegisterCycleProf(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,7 +184,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		if err != nil {
 			return fmt.Errorf("invalid -parts %q (want PrxPc)", *partsArg)
 		}
-		return runScaleOut(stdout, cfg, topo, pr, pc, rec, prog, *metrics, tlw, cache, obs)
+		return runScaleOut(stdout, cfg, topo, pr, pc, rec, prog, *metrics, tlw, cache, obs, cyc)
 	}
 
 	opt := scalesim.Options{Workers: *workers, Obs: rec, Progress: prog,
@@ -225,6 +226,19 @@ func run(args []string, stdout io.Writer) (retErr error) {
 			return err
 		}
 	}
+	if cyc.Active() {
+		ca, err := sim.CycleReport(res)
+		if err != nil {
+			return err
+		}
+		net := topo.Name
+		if graph != nil {
+			net = graph.Name
+		}
+		if err := cyc.Write(ca, net); err != nil {
+			return err
+		}
+	}
 	if *outDir != "" {
 		if err := writeReports(*outDir, cfg.RunName, res); err != nil {
 			return err
@@ -255,7 +269,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 // run manifest (one entry per layer, partition-level engine spans).
 func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, pr, pc int,
 	rec *obsv.Recorder, prog *obsv.Progress, metricsPath string, tlw *scalesim.TimelineWriter,
-	cache *scalesim.Cache, obs *cliobs.Flags) error {
+	cache *scalesim.Cache, obs *cliobs.Flags, cyc *cliobs.CycleProfFlags) error {
 	spec := scalesim.ScaleOutSpec{
 		Parts: scalesim.Partitioning{Pr: int64(pr), Pc: int64(pc)},
 		Shape: scalesim.Shape{R: int64(cfg.ArrayHeight), C: int64(cfg.ArrayWidth)},
@@ -266,6 +280,8 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 	prog.Start(len(topo.Layers))
 	var total int64
 	var layers []obsv.LayerMetrics
+	var nodes []scalesim.CycleNodeLedger
+	var roofline []scalesim.RooflineRow
 	for i, l := range topo.Layers {
 		var t0 time.Time
 		if rec.Enabled() {
@@ -285,12 +301,31 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 				WallSeconds: rec.LayerSeconds(i),
 			})
 		}
+		if res.Ledger != nil && nodes != nil {
+			node := *res.Ledger
+			node.Index = i
+			nodes = append(nodes, node)
+			roofline = append(roofline, scalesim.NewRooflineRow(
+				l.Name, string(scalesim.OpConv), res.MACs,
+				(res.DRAMReads+res.DRAMWrites)*int64(cfg.WordBytes),
+				res.Cycles, float64(spec.MACs()), 0, int64(cfg.WordBytes)))
+		} else {
+			nodes = nil // a ledgerless layer makes the account partial
+		}
 		fmt.Fprintf(stdout, "%s,%d,%.4f,%.4f,%d,%d,%.0f\n",
 			l.Name, res.Cycles, res.AvgDRAMBW(), res.PeakDRAMBW,
 			res.DRAMReads, res.DRAMWrites, res.Energy.Total())
 	}
 	fmt.Fprintf(stdout, "TOTAL,%d,,,,,\n", total)
 	prog.Finish()
+	var ca *scalesim.CycleReport
+	if len(nodes) > 0 {
+		var err error
+		if ca, err = scalesim.NewCycleReport(nodes); err != nil {
+			return err
+		}
+		ca.Roofline = roofline
+	}
 	if metricsPath != "" || obs.RunDir() != "" {
 		m := rec.Manifest()
 		m.Tool = "scalesim"
@@ -298,6 +333,7 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 		m.ConfigHash = cfg.Hash()
 		m.Topology = &obsv.TopologyInfo{Name: topo.Name, Layers: len(topo.Layers)}
 		m.Layers = layers
+		m.CycleAccounting = ca
 		if cache != nil {
 			st := cache.Stats()
 			m.Cache = &obsv.CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
@@ -307,9 +343,11 @@ func runScaleOut(stdout io.Writer, cfg scalesim.Config, topo scalesim.Topology, 
 				return err
 			}
 		}
-		return obs.StoreRun(m)
+		if err := obs.StoreRun(m); err != nil {
+			return err
+		}
 	}
-	return nil
+	return cyc.Write(ca, topo.Name)
 }
 
 // pickWorkload resolves the flags to either a flat topology or an

@@ -68,6 +68,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		cacheDir  = fs.String("cache-dir", "", "persist the result cache in this directory (implies -cache)")
 	)
 	obs := cliobs.Register(fs)
+	cyc := cliobs.RegisterCycleProf(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,6 +181,15 @@ func run(args []string, stdout io.Writer) (retErr error) {
 			}
 		}
 		if err := obs.StoreRun(m); err != nil {
+			return err
+		}
+	}
+	if cyc.Active() {
+		ca, err := batch.CycleReport(rows)
+		if err != nil {
+			return err
+		}
+		if err := cyc.Write(ca, "sweep"); err != nil {
 			return err
 		}
 	}

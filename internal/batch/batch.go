@@ -17,6 +17,7 @@ import (
 	"scalesim/internal/core"
 	"scalesim/internal/engine"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/cycleacct"
 	"scalesim/internal/obsv/log"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/simcache"
@@ -112,6 +113,9 @@ type Row struct {
 	EnergyTotal float64
 	// DRAMReads/DRAMWrites are interface words.
 	DRAMReads, DRAMWrites int64
+	// Ledger merges the point's per-layer cycle ledgers; its Total equals
+	// TotalCycles (sweeps model no DRAM bound, so no stall bins appear).
+	Ledger *cycleacct.Ledger
 }
 
 // Spec is the declarative grid.
@@ -289,7 +293,30 @@ func NewManifest(spec Spec, rows []Row, rec *obsv.Recorder) *obsv.Manifest {
 			WallSeconds: rec.LayerSeconds(i),
 		})
 	}
+	if ca, err := CycleReport(rows); err != nil {
+		log.Default().Error("batch", "cycle accounting", "error", err)
+	} else {
+		m.CycleAccounting = ca
+	}
 	return m
+}
+
+// CycleReport assembles the sweep's cycle account: one node per row,
+// named by the row's point label, carrying the point's merged ledger.
+// Sweeps model no DRAM bound or scale-out grid, so only array and vector
+// bins appear and no roofline is attached. A ledgerless row (an
+// incomplete account) is an error.
+func CycleReport(rows []Row) (*cycleacct.Report, error) {
+	nodes := make([]cycleacct.NodeLedger, 0, len(rows))
+	for i, r := range rows {
+		if r.Ledger == nil {
+			return nil, fmt.Errorf("batch: row %d (%s) carries no cycle ledger", i, r.Label())
+		}
+		nodes = append(nodes, cycleacct.NodeLedger{
+			Index: i, Name: r.Label(), Ledger: r.Ledger.Clone(),
+		})
+	}
+	return cycleacct.NewReport(nodes)
 }
 
 func runPoint(base config.Config, p Point, tl *timeline.Writer, cache *simcache.Cache) (Row, error) {
@@ -323,5 +350,14 @@ func runPoint(base config.Config, p Point, tl *timeline.Writer, cache *simcache.
 	if res.TotalCycles > 0 {
 		row.ComputeUtil = float64(res.TotalMACs) / (float64(cfg.MACs()) * float64(res.TotalCycles))
 	}
+	led := &cycleacct.Ledger{}
+	for _, lr := range res.Layers {
+		if lr.Ledger == nil {
+			led = nil
+			break
+		}
+		led.Merge(*lr.Ledger)
+	}
+	row.Ledger = led
 	return row, nil
 }

@@ -2,6 +2,7 @@ package batch
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestRunGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range rows {
-		if rows[i] != parallel[i] {
+		if !reflect.DeepEqual(rows[i], parallel[i]) {
 			t.Errorf("row %d differs under parallelism", i)
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"scalesim/internal/engine"
 	"scalesim/internal/memory"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/cycleacct"
 	"scalesim/internal/obsv/log"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/simcache"
@@ -118,6 +119,11 @@ type LayerResult struct {
 	// execution order; Simulate fills it in after joining the per-layer
 	// results (zero for a lone SimulateLayer call).
 	StartCycle int64
+	// Ledger is the layer's cycle-accounting ledger: every cycle of
+	// StalledCycles() binned into the cycleacct taxonomy, with
+	// sum(bins) == Total enforced by the analyze stage. Cache hits
+	// replay the ledger recorded with the entry.
+	Ledger *cycleacct.Ledger
 }
 
 // StalledCycles returns the runtime including memory stalls.

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"scalesim/internal/obsv/cycleacct"
+)
+
+// CycleReport rolls a run's per-layer ledgers into the cycle-accounting
+// report: one checked NodeLedger per layer/node plus roofline rows
+// positioning each against the array's compute ceiling and the simulator's
+// DRAM-link ceiling (Options.DRAMBandwidth; zero means unbounded, so
+// every layer classifies compute-bound). The sum invariant is re-enforced
+// during rollup — a report is never published with open books.
+func (s *Simulator) CycleReport(res RunResult) (*cycleacct.Report, error) {
+	nodes := make([]cycleacct.NodeLedger, 0, len(res.Layers))
+	rows := make([]cycleacct.RooflineRow, 0, len(res.Layers))
+	wordBytes := int64(s.cfg.WordBytes)
+	for i, lr := range res.Layers {
+		if lr.Ledger == nil {
+			return nil, fmt.Errorf("core: layer %d %q has no cycle ledger", i, lr.Compute.Layer.Name)
+		}
+		nodes = append(nodes, cycleacct.NodeLedger{
+			Index:  i,
+			Name:   lr.Compute.Layer.Name,
+			Op:     string(lr.Kind),
+			Ledger: lr.Ledger.Clone(),
+		})
+		ops, peak := lr.Compute.MACs, float64(s.cfg.MACs())
+		if lr.Vector != nil {
+			ops, peak = lr.Vector.Ops, float64(s.cfg.Lanes())
+		}
+		rows = append(rows, cycleacct.NewRooflineRow(
+			lr.Compute.Layer.Name, string(lr.Kind),
+			ops, lr.Memory.DRAMAccesses()*wordBytes, lr.StalledCycles(),
+			peak, s.opt.DRAMBandwidth, wordBytes))
+	}
+	rep, err := cycleacct.NewReport(nodes)
+	if err != nil {
+		return nil, err
+	}
+	rep.Roofline = rows
+	return rep, nil
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/log"
 )
 
 // Manifest assembles the machine-readable record of a completed run: the
@@ -52,6 +53,14 @@ func (s *Simulator) Manifest(res RunResult) *obsv.Manifest {
 	if c := s.opt.Cache; c != nil {
 		st := c.Stats()
 		m.Cache = &obsv.CacheStats{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+	}
+	// Every pipeline run carries ledgers (live and cached alike); a
+	// failure here means an invariant break and is logged, never hidden
+	// inside a partially-filled manifest.
+	if ca, err := s.CycleReport(res); err != nil {
+		log.Default().Error("core", "cycle accounting", "error", err)
+	} else {
+		m.CycleAccounting = ca
 	}
 	if w := s.opt.Timeline; w != nil {
 		tl := &obsv.TimelineSummary{

@@ -6,6 +6,7 @@ import (
 	"scalesim/internal/dram"
 	"scalesim/internal/engine"
 	"scalesim/internal/memory"
+	"scalesim/internal/obsv/cycleacct"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/simcache"
 	"scalesim/internal/systolic"
@@ -195,13 +196,27 @@ func (s *Simulator) stageCompute(ctx *LayerContext) error {
 	)
 
 	ctx.rec, _ = ctx.set.Value(timelineProbeKey).(*timeline.LayerRecorder)
-	var folds systolic.FoldObserver
-	if ctx.rec != nil {
-		rec := ctx.rec
-		folds = systolic.FoldObserverFunc(func(f systolic.FoldInfo) {
+	// The fold observer always runs: it feeds the cycle-accounting
+	// ledger (and tees the timeline recorder when one is attached).
+	// Observation is purely additive — trace output never changes. Each
+	// fold of duration 2R+C+T-2 (Eq. 3) decomposes exactly: 2R-2 ramp +
+	// T MAC-active + C drain (mapped extents under edge trimming), so
+	// the bins sum to the fold duration by construction.
+	led := &cycleacct.Ledger{}
+	R := int64(s.cfg.ArrayHeight)
+	rec, edgeTrim := ctx.rec, s.cfg.EdgeTrim
+	folds := systolic.FoldObserverFunc(func(f systolic.FoldInfo) {
+		ramp := 2*R - 2
+		if edgeTrim {
+			ramp = 2*f.Rows - 2
+		}
+		led.Add(cycleacct.PhaseArray, cycleacct.MACActive, f.T)
+		led.Add(cycleacct.PhaseArray, cycleacct.FoldRamp, ramp)
+		led.Add(cycleacct.PhaseArray, cycleacct.FoldDrain, f.Cycles-f.T-ramp)
+		if rec != nil {
 			rec.AddFold(f.FR, f.FC, f.Rows, f.Cols, f.Start, f.Cycles)
-		})
-	}
+		}
+	})
 
 	comp, err := systolic.Run(l, s.cfg, systolic.Sinks{
 		IfmapRead:  ctx.set.Tap(engine.SRAMReadIfmap, sys.Ifmap),
@@ -219,6 +234,7 @@ func (s *Simulator) stageCompute(ctx *LayerContext) error {
 	}
 	ctx.Entry.Compute = comp
 	ctx.Entry.Memory = sys.Report(comp.Cycles)
+	ctx.Entry.Ledger = led
 	return nil
 }
 
@@ -283,6 +299,17 @@ func (s *Simulator) computeVector(ctx *LayerContext) error {
 		Cycles:   vres.Cycles,
 	}
 	ctx.Entry.Memory = vectorMemoryReport(params, vres, int64(s.cfg.WordBytes))
+	// The vector ledger is closed-form — Cycles = passes * cpp exactly —
+	// so pass bins are derived without touching the trace path (the
+	// sink-free fast path stays O(1)). Each pass label is its phase.
+	led := &cycleacct.Ledger{}
+	if vres.Passes > 0 {
+		cpp := vres.Cycles / vres.Passes
+		for p := int64(0); p < vres.Passes; p++ {
+			led.Add(vector.PassLabel(n.Kind, p), cycleacct.VectorPass, cpp)
+		}
+	}
+	ctx.Entry.Ledger = led
 	return nil
 }
 
@@ -333,6 +360,16 @@ func (s *Simulator) stageAnalyze(ctx *LayerContext) error {
 		if a, ok := ctx.set.Value(stallProbeKey).(*trace.StallAnalyzer); ok {
 			ctx.Entry.StallCycles = a.StallCycles()
 		}
+		// Close the layer's books: the bounded-link stall joins the
+		// ledger, the total is the stalled runtime, and the sum
+		// invariant is enforced before the entry is published anywhere.
+		if led := ctx.Entry.Ledger; led != nil {
+			led.Add(cycleacct.PhaseLink, cycleacct.DRAMBwStall, ctx.Entry.StallCycles)
+			led.Total = ctx.Entry.Compute.Cycles + ctx.Entry.StallCycles
+			if err := led.Check(); err != nil {
+				return fmt.Errorf("core: layer %q: %w", ctx.Layer.Name, err)
+			}
+		}
 		if ctx.Key != "" {
 			s.opt.Cache.Put(ctx.Key, ctx.Entry)
 		}
@@ -348,6 +385,7 @@ func (s *Simulator) stageAnalyze(ctx *LayerContext) error {
 		Memory:      mrep,
 		DRAMStats:   ctx.Entry.DRAMStats,
 		StallCycles: ctx.Entry.StallCycles,
+		Ledger:      ctx.Entry.Ledger,
 		// The array is provisioned (and charged leakage-equivalent MAC
 		// cycles) for the full runtime even when a vector node leaves it
 		// idle; SRAM and DRAM words are charged from the traffic totals.

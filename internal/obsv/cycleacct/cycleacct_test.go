@@ -1,0 +1,472 @@
+package cycleacct
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestLedgerAddMergesCells(t *testing.T) {
+	var l Ledger
+	l.Add(PhaseArray, MACActive, 10)
+	l.Add(PhaseArray, MACActive, 5)
+	l.Add(PhaseArray, FoldRamp, 3)
+	l.Add(PhaseLink, DRAMBwStall, 0)  // dropped
+	l.Add(PhaseLink, DRAMBwStall, -4) // dropped
+	if len(l.Bins) != 2 {
+		t.Fatalf("bins = %d, want 2 (same-cell adds must coalesce, non-positive drop)", len(l.Bins))
+	}
+	if got := l.Category(MACActive); got != 15 {
+		t.Errorf("mac_active = %d, want 15", got)
+	}
+	if got := l.Sum(); got != 18 {
+		t.Errorf("Sum = %d, want 18", got)
+	}
+}
+
+func TestLedgerCheck(t *testing.T) {
+	l := Ledger{Total: 18}
+	l.Add(PhaseArray, MACActive, 15)
+	l.Add(PhaseArray, FoldRamp, 3)
+	if err := l.Check(); err != nil {
+		t.Errorf("balanced ledger rejected: %v", err)
+	}
+	l.Total = 20
+	if err := l.Check(); err == nil {
+		t.Error("unattributed cycles accepted")
+	}
+	bad := Ledger{Total: 1, Bins: []Bin{{Phase: PhaseArray, Category: "made_up", Cycles: 1}}}
+	if err := bad.Check(); err == nil {
+		t.Error("unknown category accepted")
+	}
+	neg := Ledger{Total: 0, Bins: []Bin{{Phase: PhaseArray, Category: MACActive, Cycles: -1},
+		{Phase: PhaseArray, Category: FoldRamp, Cycles: 1}}}
+	if err := neg.Check(); err == nil {
+		t.Error("negative bin accepted")
+	}
+}
+
+func TestLedgerMergeAndClone(t *testing.T) {
+	a := Ledger{Total: 10}
+	a.Add(PhaseArray, MACActive, 10)
+	b := Ledger{Total: 7}
+	b.Add(PhaseArray, MACActive, 4)
+	b.Add(PhaseArray, FoldDrain, 3)
+	c := a.Clone()
+	c.Merge(b)
+	if c.Total != 17 || c.Category(MACActive) != 14 || c.Category(FoldDrain) != 3 {
+		t.Errorf("merge wrong: %+v", c)
+	}
+	if err := c.Check(); err != nil {
+		t.Errorf("merged ledger unbalanced: %v", err)
+	}
+	// Clone must not alias the source's bins.
+	if a.Category(FoldDrain) != 0 || a.Total != 10 {
+		t.Errorf("merge mutated the clone source: %+v", a)
+	}
+}
+
+func TestKnownCategories(t *testing.T) {
+	for _, c := range Categories() {
+		if !KnownCategory(c) {
+			t.Errorf("Categories() lists unknown %q", c)
+		}
+	}
+	if KnownCategory("nope") {
+		t.Error("KnownCategory accepted junk")
+	}
+}
+
+func nodeFixture() []NodeLedger {
+	flat := NodeLedger{Index: 0, Name: "conv1", Op: "conv"}
+	flat.Add(PhaseArray, MACActive, 80)
+	flat.Add(PhaseArray, FoldRamp, 12)
+	flat.Add(PhaseArray, FoldDrain, 8)
+	flat.Add(PhaseLink, DRAMBwStall, 20)
+	flat.Total = 120
+
+	part := NodeLedger{Index: 1, Name: "conv2", Op: "conv"}
+	for _, pos := range [][2]int64{{0, 0}, {0, 1}} {
+		pl := PartitionLedger{Pi: pos[0], Pj: pos[1]}
+		pl.Add(PhaseArray, MACActive, 30)
+		pl.Add(PhaseArray, FoldRamp, 10)
+		if pos[1] == 1 {
+			pl.Add(PhaseGrid, PartitionSkew, 10)
+		} else {
+			pl.Add(PhaseArray, FoldDrain, 10)
+		}
+		pl.Total = 50
+		part.Partitions = append(part.Partitions, pl)
+		part.Total += pl.Total
+		for _, b := range pl.Bins {
+			part.Add(b.Phase, b.Category, b.Cycles)
+		}
+	}
+
+	vec := NodeLedger{Index: 2, Name: "softmax", Op: "softmax"}
+	vec.Add("softmax:exp", VectorPass, 6)
+	vec.Add("softmax:sum", VectorPass, 6)
+	vec.Add("softmax:norm", VectorPass, 6)
+	vec.Total = 18
+	return []NodeLedger{flat, part, vec}
+}
+
+func TestNewReportRollsNodeBinsOnly(t *testing.T) {
+	rep, err := NewReport(nodeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles != 120+100+18 {
+		t.Errorf("TotalCycles = %d", rep.TotalCycles)
+	}
+	// Partition bins are detail under the node's own bins; counting both
+	// would double the partitioned node's cycles.
+	if got := rep.Categories[MACActive]; got != 80+60 {
+		t.Errorf("mac_active rollup = %d, want 140", got)
+	}
+	if got := rep.Categories[PartitionSkew]; got != 10 {
+		t.Errorf("partition_skew_wait rollup = %d, want 10", got)
+	}
+	if err := rep.Check(); err != nil {
+		t.Errorf("Check after NewReport: %v", err)
+	}
+}
+
+func TestReportCheckCatchesDrift(t *testing.T) {
+	rep, err := NewReport(nodeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Categories[MACActive]++
+	if err := rep.Check(); err == nil {
+		t.Error("rollup drift accepted")
+	}
+	rep.Categories[MACActive]--
+	rep.Categories["ghost_category"] = 5
+	if err := rep.Check(); err == nil {
+		t.Error("phantom rollup category accepted")
+	}
+}
+
+func TestNodeCheckPartitionTotals(t *testing.T) {
+	nodes := nodeFixture()
+	nodes[1].Partitions[0].Total++ // partitions no longer sum to node total
+	if err := nodes[1].Check(); err == nil {
+		t.Error("partition totals drifting from node total accepted")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := NewReport(nodeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Check(); err != nil {
+		t.Errorf("decoded report fails Check: %v", err)
+	}
+	if back.TotalCycles != rep.TotalCycles || len(back.Nodes) != len(rep.Nodes) {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if len(back.Nodes[1].Partitions) != 2 {
+		t.Errorf("partition detail lost: %+v", back.Nodes[1])
+	}
+}
+
+func TestWriteLedgersTable(t *testing.T) {
+	rep, err := NewReport(nodeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteLedgers(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"conv1", "conv2", "softmax", MACActive, PartitionSkew, "TOTAL", "238"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ledger table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCategoryFractionsSorted(t *testing.T) {
+	rep, err := NewReport(nodeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := rep.CategoryFractions()
+	var sum float64
+	for i, s := range shares {
+		if i > 0 && s.Cycles > shares[i-1].Cycles {
+			t.Errorf("shares not sorted descending: %+v", shares)
+		}
+		sum += s.Fraction
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("fractions sum to %v, want 1", sum)
+	}
+}
+
+// decodeProfile is a minimal profile.proto reader: enough structure to
+// verify the hand-rolled encoder emits what `go tool pprof` expects.
+type decodedProfile struct {
+	strings   []string
+	samples   [][2][]uint64 // location ids, values
+	locations map[uint64]uint64
+	functions map[uint64]uint64 // id -> name string index
+	duration  int64
+}
+
+func decodeProfile(t *testing.T, data []byte) decodedProfile {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("profile is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	p := decodedProfile{locations: map[uint64]uint64{}, functions: map[uint64]uint64{}}
+	walk(t, raw, func(field int, wire int, v uint64, b []byte) {
+		switch field {
+		case fldStringTable:
+			p.strings = append(p.strings, string(b))
+		case fldSample:
+			var ids, vals []uint64
+			walk(t, b, func(f, w int, v uint64, bb []byte) {
+				switch f {
+				case smpLocationID:
+					ids = append(ids, unpack(t, bb)...)
+				case smpValue:
+					vals = append(vals, unpack(t, bb)...)
+				}
+			})
+			p.samples = append(p.samples, [2][]uint64{ids, vals})
+		case fldLocation:
+			var id, fn uint64
+			walk(t, b, func(f, w int, v uint64, bb []byte) {
+				switch f {
+				case locID:
+					id = v
+				case locLine:
+					walk(t, bb, func(f2, w2 int, v2 uint64, _ []byte) {
+						if f2 == lineFunctionID {
+							fn = v2
+						}
+					})
+				}
+			})
+			p.locations[id] = fn
+		case fldFunction:
+			var id, name uint64
+			walk(t, b, func(f, w int, v uint64, _ []byte) {
+				switch f {
+				case fnID:
+					id = v
+				case fnName:
+					name = v
+				}
+			})
+			p.functions[id] = name
+		case fldDurationNanos:
+			p.duration = int64(v)
+		}
+	})
+	return p
+}
+
+// walk iterates one protobuf message's fields; length-delimited payloads
+// arrive in b, varints in v.
+func walk(t *testing.T, msg []byte, visit func(field, wire int, v uint64, b []byte)) {
+	t.Helper()
+	for len(msg) > 0 {
+		key, n := uvarint(msg)
+		if n <= 0 {
+			t.Fatal("corrupt varint key")
+		}
+		msg = msg[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v, n := uvarint(msg)
+			if n <= 0 {
+				t.Fatal("corrupt varint value")
+			}
+			msg = msg[n:]
+			visit(field, wire, v, nil)
+		case 2:
+			l, n := uvarint(msg)
+			if n <= 0 || uint64(len(msg[n:])) < l {
+				t.Fatal("corrupt length-delimited field")
+			}
+			visit(field, wire, 0, msg[n:n+int(l)])
+			msg = msg[n+int(l):]
+		default:
+			t.Fatalf("unexpected wire type %d (encoder only emits 0 and 2)", wire)
+		}
+	}
+}
+
+func unpack(t *testing.T, b []byte) []uint64 {
+	t.Helper()
+	var out []uint64
+	for len(b) > 0 {
+		v, n := uvarint(b)
+		if n <= 0 {
+			t.Fatal("corrupt packed varint")
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+func TestWritePprofDecodes(t *testing.T) {
+	rep, err := NewReport(nodeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WritePprof(&buf, "testnet"); err != nil {
+		t.Fatal(err)
+	}
+	p := decodeProfile(t, buf.Bytes())
+
+	if len(p.strings) == 0 || p.strings[0] != "" {
+		t.Fatalf("string table must start with the empty string: %q", p.strings[:1])
+	}
+	have := map[string]bool{}
+	for _, s := range p.strings {
+		have[s] = true
+	}
+	for _, want := range []string{"testnet", "conv1", "conv2", "softmax",
+		MACActive, DRAMBwStall, PartitionSkew, VectorPass, "p0,1", "cycles"} {
+		if !have[want] {
+			t.Errorf("string table missing %q", want)
+		}
+	}
+
+	// Sample values cover every attributed cycle; every location resolves
+	// through a function to a string.
+	var total int64
+	for _, s := range p.samples {
+		if len(s[1]) != 1 {
+			t.Fatalf("sample value arity = %d, want 1", len(s[1]))
+		}
+		total += int64(s[1][0])
+		for _, loc := range s[0] {
+			fn, ok := p.locations[loc]
+			if !ok {
+				t.Fatalf("sample references unknown location %d", loc)
+			}
+			idx, ok := p.functions[fn]
+			if !ok || idx >= uint64(len(p.strings)) {
+				t.Fatalf("location %d has unresolvable function %d", loc, fn)
+			}
+		}
+	}
+	if total != rep.TotalCycles {
+		t.Errorf("sample values sum to %d, report total is %d", total, rep.TotalCycles)
+	}
+	if p.duration != rep.TotalCycles {
+		t.Errorf("duration_nanos = %d, want %d", p.duration, rep.TotalCycles)
+	}
+}
+
+func TestWritePprofDeterministic(t *testing.T) {
+	rep, err := NewReport(nodeFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := rep.WritePprof(&a, "net"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WritePprof(&b, "net"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two encodings of one report differ")
+	}
+}
+
+func TestRooflineClassification(t *testing.T) {
+	// 1 op/byte against a 4 words/cycle x 1 byte link: bandwidth ceiling
+	// 4 ops/cycle, far under a 1024 peak -> memory bound.
+	mem := NewRooflineRow("l0", "conv", 1000, 1000, 500, 1024, 4, 1)
+	if mem.Bound != BoundMemory {
+		t.Errorf("low-intensity layer classified %q", mem.Bound)
+	}
+	if mem.AttainableOpsPerCycle != 4 {
+		t.Errorf("attainable = %v, want 4", mem.AttainableOpsPerCycle)
+	}
+	// High intensity: ceiling above peak -> compute bound.
+	comp := NewRooflineRow("l1", "conv", 1_000_000, 100, 2000, 1024, 4, 1)
+	if comp.Bound != BoundCompute {
+		t.Errorf("high-intensity layer classified %q", comp.Bound)
+	}
+	if comp.AttainableOpsPerCycle != 1024 {
+		t.Errorf("attainable = %v, want peak", comp.AttainableOpsPerCycle)
+	}
+	// Unbounded link: always compute bound, no memory ceiling to hit.
+	unb := NewRooflineRow("l2", "conv", 10, 1000, 100, 1024, 0, 1)
+	if unb.Bound != BoundCompute {
+		t.Errorf("unbounded-link layer classified %q", unb.Bound)
+	}
+	if got := mem.AchievedOpsPerCycle; got != 2 {
+		t.Errorf("achieved = %v, want 2", got)
+	}
+}
+
+func TestRooflineCSV(t *testing.T) {
+	rows := []RooflineRow{
+		NewRooflineRow("a", "conv", 100, 50, 10, 64, 2, 1),
+		NewRooflineRow("b", "softmax", 30, 60, 15, 32, 2, 1),
+	}
+	var buf bytes.Buffer
+	if err := WriteRooflineCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "name,op,ops,dram_bytes,intensity") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines {
+		if got := strings.Count(l, ","); got != strings.Count(lines[0], ",") {
+			t.Errorf("ragged CSV row %q", l)
+		}
+	}
+	var tbl bytes.Buffer
+	if err := WriteRooflineTable(&tbl, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "bound") {
+		t.Errorf("table missing header:\n%s", tbl.String())
+	}
+}

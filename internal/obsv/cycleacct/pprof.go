@@ -1,0 +1,222 @@
+// A stdlib-only pprof profile.proto encoder: the report's bins become
+// samples of simulated cycles over the synthetic stack
+//
+//	network -> node -> [partition ->] op-kind -> phase -> category
+//
+// so `go tool pprof` renders flamegraphs of simulated time. The format is
+// the gzipped protobuf described in
+// github.com/google/pprof/proto/profile.proto; only varint and
+// length-delimited wire types are needed, so the encoder hand-rolls them.
+// Output is deterministic: frames intern in first-appearance order and
+// time_nanos is left zero, so equal reports encode byte-identically.
+
+package cycleacct
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// profile.proto field numbers (message Profile unless noted).
+const (
+	fldSampleType    = 1 // repeated ValueType
+	fldSample        = 2 // repeated Sample
+	fldLocation      = 4 // repeated Location
+	fldFunction      = 5 // repeated Function
+	fldStringTable   = 6 // repeated string
+	fldDurationNanos = 10
+	fldPeriodType    = 11
+	fldPeriod        = 12
+
+	vtType = 1 // ValueType.type
+	vtUnit = 2 // ValueType.unit
+
+	smpLocationID = 1 // Sample.location_id (packed)
+	smpValue      = 2 // Sample.value (packed)
+
+	locID   = 1 // Location.id
+	locLine = 4 // Location.line
+
+	lineFunctionID = 1 // Line.function_id
+
+	fnID   = 1 // Function.id
+	fnName = 2 // Function.name
+)
+
+// pbuf builds protobuf wire format.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tag emits a field key; wire is 0 (varint) or 2 (length-delimited).
+func (p *pbuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *pbuf) uintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packed emits a repeated varint field in packed encoding.
+func (p *pbuf) packed(field int, vs []uint64) {
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// profileBuilder interns strings and frames. Each distinct frame name
+// becomes one Function and one Location (ids are 1-based and equal).
+type profileBuilder struct {
+	strings map[string]uint64
+	table   []string
+	frames  map[string]uint64
+	order   []string
+	samples pbuf
+}
+
+func newProfileBuilder() *profileBuilder {
+	return &profileBuilder{
+		strings: map[string]uint64{"": 0},
+		table:   []string{""},
+		frames:  map[string]uint64{},
+	}
+}
+
+func (pb *profileBuilder) str(s string) uint64 {
+	if i, ok := pb.strings[s]; ok {
+		return i
+	}
+	i := uint64(len(pb.table))
+	pb.strings[s] = i
+	pb.table = append(pb.table, s)
+	return i
+}
+
+func (pb *profileBuilder) frame(name string) uint64 {
+	if id, ok := pb.frames[name]; ok {
+		return id
+	}
+	id := uint64(len(pb.order) + 1)
+	pb.frames[name] = id
+	pb.order = append(pb.order, name)
+	pb.str(name)
+	return id
+}
+
+// sample appends one sample: stack is leaf-first frame names, value is
+// the cycle count.
+func (pb *profileBuilder) sample(stack []string, value int64) {
+	locs := make([]uint64, len(stack))
+	for i, s := range stack {
+		locs[i] = pb.frame(s)
+	}
+	var s pbuf
+	s.packed(smpLocationID, locs)
+	s.packed(smpValue, []uint64{uint64(value)})
+	pb.samples.tag(fldSample, 2)
+	pb.samples.varint(uint64(len(s.b)))
+	pb.samples.b = append(pb.samples.b, s.b...)
+}
+
+// encode assembles the Profile message.
+func (pb *profileBuilder) encode(durationCycles int64) []byte {
+	var out pbuf
+
+	var vt pbuf
+	vt.uintField(vtType, pb.str("cycles"))
+	vt.uintField(vtUnit, pb.str("cycles"))
+	out.bytesField(fldSampleType, vt.b)
+
+	out.b = append(out.b, pb.samples.b...)
+
+	for i := range pb.order {
+		id := uint64(i + 1)
+		var line pbuf
+		line.uintField(lineFunctionID, id)
+		var loc pbuf
+		loc.uintField(locID, id)
+		loc.bytesField(locLine, line.b)
+		out.bytesField(fldLocation, loc.b)
+	}
+	for i, name := range pb.order {
+		var fn pbuf
+		fn.uintField(fnID, uint64(i+1))
+		fn.uintField(fnName, pb.str(name))
+		out.bytesField(fldFunction, fn.b)
+	}
+	for _, s := range pb.table {
+		out.stringField(fldStringTable, s)
+	}
+	if durationCycles > 0 {
+		out.uintField(fldDurationNanos, uint64(durationCycles))
+	}
+	out.bytesField(fldPeriodType, vt.b)
+	out.uintField(fldPeriod, 1)
+	return out.b
+}
+
+// WritePprof encodes the report as a gzipped pprof profile over simulated
+// cycles. network labels the root frame (the run's workload name); nodes
+// with partitions emit one sample per partition bin, others one per node
+// bin. Zero-cycle bins are skipped.
+func (r *Report) WritePprof(w io.Writer, network string) error {
+	if network == "" {
+		network = "run"
+	}
+	pb := newProfileBuilder()
+	for _, n := range r.Nodes {
+		op := n.Op
+		if op == "" {
+			op = "conv"
+		}
+		if len(n.Partitions) > 0 {
+			for _, p := range n.Partitions {
+				part := fmt.Sprintf("p%d,%d", p.Pi, p.Pj)
+				for _, b := range p.Bins {
+					if b.Cycles <= 0 {
+						continue
+					}
+					pb.sample([]string{b.Category, b.Phase, part, op, n.Name, network}, b.Cycles)
+				}
+			}
+			continue
+		}
+		for _, b := range n.Bins {
+			if b.Cycles <= 0 {
+				continue
+			}
+			pb.sample([]string{b.Category, b.Phase, op, n.Name, network}, b.Cycles)
+		}
+	}
+	gz, err := gzip.NewWriterLevel(w, gzip.BestSpeed)
+	if err != nil {
+		return err
+	}
+	if _, err := gz.Write(pb.encode(r.TotalCycles)); err != nil {
+		return err
+	}
+	return gz.Close()
+}

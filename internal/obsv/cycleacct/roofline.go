@@ -1,0 +1,129 @@
+// Roofline characterization (the paper's Sec. IV lens): each layer's
+// operational intensity — useful ops per DRAM byte — positions it against
+// the machine's two ceilings, peak ops/cycle and the bounded DRAM link's
+// bandwidth ceiling, classifying it compute- or memory-bound.
+
+package cycleacct
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// Bound classifications.
+const (
+	BoundCompute = "compute"
+	BoundMemory  = "memory"
+)
+
+// RooflineRow is one layer's operational-intensity characterization.
+type RooflineRow struct {
+	// Name and Op identify the layer/node.
+	Name string `json:"name"`
+	Op   string `json:"op,omitempty"`
+	// Ops is the useful work: MACs for array layers, vector ops for
+	// vector-unit nodes.
+	Ops int64 `json:"ops"`
+	// DRAMBytes is the layer's total DRAM interface traffic.
+	DRAMBytes int64 `json:"dram_bytes"`
+	// Intensity is Ops / DRAMBytes — the roofline x axis.
+	Intensity float64 `json:"intensity"`
+	// AchievedOpsPerCycle is Ops over the stalled runtime — the y axis.
+	AchievedOpsPerCycle float64 `json:"achieved_ops_per_cycle"`
+	// AchievedWordsPerCycle is the layer's realized DRAM word rate.
+	AchievedWordsPerCycle float64 `json:"achieved_words_per_cycle"`
+	// PeakOpsPerCycle is the compute ceiling (R*C for the array, lanes
+	// for the vector unit).
+	PeakOpsPerCycle float64 `json:"peak_ops_per_cycle"`
+	// LinkWordsPerCycle is the -dram-bw ceiling; zero means unbounded.
+	LinkWordsPerCycle float64 `json:"link_words_per_cycle,omitempty"`
+	// AttainableOpsPerCycle is min(peak, intensity * link bytes/cycle):
+	// the roofline itself at this intensity.
+	AttainableOpsPerCycle float64 `json:"attainable_ops_per_cycle"`
+	// Bound classifies the layer: "memory" when the bandwidth ceiling
+	// sits below the compute ceiling at this intensity, else "compute".
+	Bound string `json:"bound"`
+}
+
+// NewRooflineRow characterizes one layer. cycles is the stalled runtime;
+// linkWordsPerCycle zero means an unbounded link (always compute-bound:
+// there is no memory ceiling to hit).
+func NewRooflineRow(name, op string, ops, dramBytes, cycles int64,
+	peakOpsPerCycle, linkWordsPerCycle float64, wordBytes int64) RooflineRow {
+	r := RooflineRow{
+		Name: name, Op: op,
+		Ops: ops, DRAMBytes: dramBytes,
+		PeakOpsPerCycle:   peakOpsPerCycle,
+		LinkWordsPerCycle: linkWordsPerCycle,
+	}
+	if dramBytes > 0 {
+		r.Intensity = float64(ops) / float64(dramBytes)
+	}
+	if cycles > 0 {
+		r.AchievedOpsPerCycle = float64(ops) / float64(cycles)
+		if wordBytes > 0 {
+			r.AchievedWordsPerCycle = float64(dramBytes) / float64(wordBytes) / float64(cycles)
+		}
+	}
+	r.AttainableOpsPerCycle = peakOpsPerCycle
+	r.Bound = BoundCompute
+	if linkWordsPerCycle > 0 {
+		bwCeiling := r.Intensity * linkWordsPerCycle * float64(wordBytes)
+		if bwCeiling < peakOpsPerCycle {
+			r.AttainableOpsPerCycle = bwCeiling
+			r.Bound = BoundMemory
+		}
+	}
+	return r
+}
+
+// rooflineHeader is the CSV column order.
+var rooflineHeader = []string{
+	"name", "op", "ops", "dram_bytes", "intensity",
+	"achieved_ops_per_cycle", "achieved_words_per_cycle",
+	"peak_ops_per_cycle", "link_words_per_cycle",
+	"attainable_ops_per_cycle", "bound",
+}
+
+// WriteRooflineCSV writes the rows as CSV with a header.
+func WriteRooflineCSV(w io.Writer, rows []RooflineRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rooflineHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range rows {
+		rec := []string{
+			r.Name, r.Op,
+			strconv.FormatInt(r.Ops, 10),
+			strconv.FormatInt(r.DRAMBytes, 10),
+			f(r.Intensity),
+			f(r.AchievedOpsPerCycle),
+			f(r.AchievedWordsPerCycle),
+			f(r.PeakOpsPerCycle),
+			f(r.LinkWordsPerCycle),
+			f(r.AttainableOpsPerCycle),
+			r.Bound,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRooflineTable renders the rows as a text table.
+func WriteRooflineTable(w io.Writer, rows []RooflineRow) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "layer\top\tops/byte\tachieved ops/cy\tattainable ops/cy\tpeak ops/cy\tbound")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.2f\t%.2f\t%.0f\t%s\n",
+			r.Name, r.Op, r.Intensity, r.AchievedOpsPerCycle, r.AttainableOpsPerCycle,
+			r.PeakOpsPerCycle, r.Bound)
+	}
+	return tw.Flush()
+}

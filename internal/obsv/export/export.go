@@ -75,6 +75,37 @@ func escapeHelp(v string) string {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// HistogramSeries describes one series of a histogram family on both
+// export surfaces: the Prometheus exposition (a quantile label or a
+// family-name suffix) and the JSONL snapshot schema (the field name in
+// the histogram document).
+type HistogramSeries struct {
+	// Suffix is appended to the family name; empty for quantile series.
+	Suffix string
+	// Quantile is the quantile label value when Suffix is empty.
+	Quantile string
+	// JSONField names the corresponding obsv.HistogramSnapshot JSON key.
+	JSONField string
+	// Value is the series' sample value.
+	Value float64
+}
+
+// HistogramFamily enumerates a histogram family's series in canonical
+// exposition order. This is the single family definition: WritePrometheus
+// renders exactly this list and the parity test pins the JSONL snapshot
+// schema to it, so the two surfaces can never drift apart.
+func HistogramFamily(h obsv.HistogramSnapshot) []HistogramSeries {
+	return []HistogramSeries{
+		{Quantile: "0.5", JSONField: "p50", Value: h.P50},
+		{Quantile: "0.95", JSONField: "p95", Value: h.P95},
+		{Quantile: "0.99", JSONField: "p99", Value: h.P99},
+		{Suffix: "_sum", JSONField: "sum", Value: h.Sum},
+		{Suffix: "_count", JSONField: "count", Value: float64(h.Count)},
+		{Suffix: "_min", JSONField: "min", Value: h.Min},
+		{Suffix: "_max", JSONField: "max", Value: h.Max},
+	}
+}
+
 // WritePrometheus writes the snapshot in Prometheus text exposition
 // format: counters and gauges as single samples, histograms as summary
 // families (quantile series, _sum, _count) plus _min/_max gauges.
@@ -113,19 +144,20 @@ func WritePrometheus(w io.Writer, snap obsv.MetricsSnapshot) error {
 				name, escapeHelp(raw), name); err != nil {
 				return err
 			}
-			for _, q := range [...]struct {
-				label string
-				v     float64
-			}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
-				if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %s\n",
-					name, EscapeLabel(q.label), formatFloat(q.v)); err != nil {
+			for _, s := range HistogramFamily(h) {
+				var err error
+				if s.Suffix == "" {
+					_, err = fmt.Fprintf(w, "%s{quantile=\"%s\"} %s\n",
+						name, EscapeLabel(s.Quantile), formatFloat(s.Value))
+				} else {
+					_, err = fmt.Fprintf(w, "%s%s %s\n",
+						name, s.Suffix, formatFloat(s.Value))
+				}
+				if err != nil {
 					return err
 				}
 			}
-			_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n%s_min %s\n%s_max %s\n",
-				name, formatFloat(h.Sum), name, h.Count,
-				name, formatFloat(h.Min), name, formatFloat(h.Max))
-			return err
+			return nil
 		})
 	}
 

@@ -2,6 +2,7 @@ package export
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -88,6 +89,61 @@ func TestWritePrometheusSummarySeries(t *testing.T) {
 	// HELP preserves the raw dotted name for attribution.
 	if !strings.Contains(out, `scalesim counter "core.simcache.hits"`) {
 		t.Errorf("HELP line missing raw name:\n%s", out)
+	}
+}
+
+// TestHistogramFamilyParity pins both export surfaces to the single
+// family definition: every series HistogramFamily enumerates must appear
+// exactly once in the Prometheus exposition AND as a field of the JSONL
+// histogram document, with the same value — and the JSONL document must
+// carry nothing more. Adding a member to one surface without the other
+// (the historic _min/_max drift) fails here.
+func TestHistogramFamilyParity(t *testing.T) {
+	snap := snapshotFixture()
+	h, ok := snap.Histograms["core.layer.compute_seconds"]
+	if !ok {
+		t.Fatal("fixture lost its histogram")
+	}
+	fam := HistogramFamily(h)
+
+	// JSONL surface: the marshaled histogram document's fields are
+	// exactly the family's JSONField set.
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]float64
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc) != len(fam) {
+		t.Errorf("JSONL document has %d fields, family defines %d:\n%s", len(doc), len(fam), data)
+	}
+	for _, s := range fam {
+		v, ok := doc[s.JSONField]
+		if !ok {
+			t.Errorf("JSONL document missing family member %q", s.JSONField)
+			continue
+		}
+		if v != s.Value {
+			t.Errorf("JSONL %s = %v, family says %v", s.JSONField, v, s.Value)
+		}
+	}
+
+	// Prometheus surface: each series renders exactly once.
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	const name = Namespace + "core_layer_compute_seconds"
+	for _, s := range fam {
+		line := name + s.Suffix + " " + formatFloat(s.Value)
+		if s.Suffix == "" {
+			line = fmt.Sprintf("%s{quantile=%q} %s", name, s.Quantile, formatFloat(s.Value))
+		}
+		if n := strings.Count(buf.String(), line+"\n"); n != 1 {
+			t.Errorf("exposition has %d copies of series %q, want 1:\n%s", n, line, buf.String())
+		}
 	}
 }
 

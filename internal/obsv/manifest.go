@@ -8,13 +8,18 @@ import (
 	"runtime"
 	"runtime/debug"
 	"time"
+
+	"scalesim/internal/obsv/cycleacct"
 )
 
 // Schema identifies the manifest document format. v2 added the optional
 // timeline summary; v3 added run provenance (command line, build info,
-// hostname); v1 and v2 documents are still accepted by Validate.
+// hostname); v4 added the cycle_accounting block (per-node ledgers,
+// category rollup, roofline rows). Older documents are still accepted by
+// Validate.
 const (
-	Schema   = "scalesim.manifest/v3"
+	Schema   = "scalesim.manifest/v4"
+	SchemaV3 = "scalesim.manifest/v3"
 	SchemaV2 = "scalesim.manifest/v2"
 	SchemaV1 = "scalesim.manifest/v1"
 )
@@ -181,23 +186,29 @@ func CollectProvenance() *Provenance {
 // cycles, utilizations, stalls), and cost (phase wall-clock timings,
 // engine span aggregates, runtime stats, metric snapshots).
 type Manifest struct {
-	Schema      string           `json:"schema"`
-	Tool        string           `json:"tool,omitempty"`
-	Run         string           `json:"run,omitempty"`
-	Provenance  *Provenance      `json:"provenance,omitempty"`
-	Created     string           `json:"created"`
-	ConfigHash  string           `json:"config_hash,omitempty"`
-	Workers     int              `json:"workers,omitempty"`
-	Topology    *TopologyInfo    `json:"topology,omitempty"`
-	Layers      []LayerMetrics   `json:"layers,omitempty"`
-	Phases      []PhaseTiming    `json:"phases,omitempty"`
-	Spans       *SpanStats       `json:"spans,omitempty"`
-	Runtime     RuntimeStats     `json:"runtime"`
-	Metrics     *MetricsSnapshot `json:"metrics,omitempty"`
-	Cache       *CacheStats      `json:"cache,omitempty"`
-	Search      *SearchStats     `json:"search,omitempty"`
-	Timeline    *TimelineSummary `json:"timeline,omitempty"`
-	WallSeconds float64          `json:"wall_seconds,omitempty"`
+	Schema     string           `json:"schema"`
+	Tool       string           `json:"tool,omitempty"`
+	Run        string           `json:"run,omitempty"`
+	Provenance *Provenance      `json:"provenance,omitempty"`
+	Created    string           `json:"created"`
+	ConfigHash string           `json:"config_hash,omitempty"`
+	Workers    int              `json:"workers,omitempty"`
+	Topology   *TopologyInfo    `json:"topology,omitempty"`
+	Layers     []LayerMetrics   `json:"layers,omitempty"`
+	Phases     []PhaseTiming    `json:"phases,omitempty"`
+	Spans      *SpanStats       `json:"spans,omitempty"`
+	Runtime    RuntimeStats     `json:"runtime"`
+	Metrics    *MetricsSnapshot `json:"metrics,omitempty"`
+	Cache      *CacheStats      `json:"cache,omitempty"`
+	Search     *SearchStats     `json:"search,omitempty"`
+	Timeline   *TimelineSummary `json:"timeline,omitempty"`
+	// CycleAccounting is the run's closed cycle ledger: every simulated
+	// cycle binned into the cycleacct taxonomy per node (and per
+	// partition for scale-out runs), with the category rollup and
+	// optional roofline rows. sum(bins) == total is enforced at build
+	// time and re-checkable via its Check method.
+	CycleAccounting *cycleacct.Report `json:"cycle_accounting,omitempty"`
+	WallSeconds     float64           `json:"wall_seconds,omitempty"`
 }
 
 // Manifest snapshots the recorder into a manifest document. Valid on a
@@ -289,7 +300,7 @@ func ParseManifest(data []byte) (*Manifest, error) {
 // Validate checks the fields every manifest must carry.
 func (m *Manifest) Validate() error {
 	switch {
-	case m.Schema != Schema && m.Schema != SchemaV2 && m.Schema != SchemaV1:
+	case m.Schema != Schema && m.Schema != SchemaV3 && m.Schema != SchemaV2 && m.Schema != SchemaV1:
 		return fmt.Errorf("obsv: manifest schema %q, want %q", m.Schema, Schema)
 	case m.Created == "":
 		return fmt.Errorf("obsv: manifest missing created timestamp")
@@ -299,6 +310,11 @@ func (m *Manifest) Validate() error {
 	for i, l := range m.Layers {
 		if l.Name == "" {
 			return fmt.Errorf("obsv: manifest layer %d missing name", i)
+		}
+	}
+	if m.CycleAccounting != nil {
+		if err := m.CycleAccounting.Check(); err != nil {
+			return fmt.Errorf("obsv: manifest cycle accounting: %w", err)
 		}
 	}
 	return nil

@@ -82,16 +82,16 @@ func TestManifestValidateRejects(t *testing.T) {
 }
 
 // TestManifestSchemaVersions pins the compatibility contract: the current
-// schema, v2 and v1 all validate, anything else is rejected.
+// schema, v3, v2 and v1 all validate, anything else is rejected.
 func TestManifestSchemaVersions(t *testing.T) {
-	for _, schema := range []string{Schema, SchemaV2, SchemaV1} {
+	for _, schema := range []string{Schema, SchemaV3, SchemaV2, SchemaV1} {
 		m := (*Recorder)(nil).Manifest()
 		m.Schema = schema
 		if err := m.Validate(); err != nil {
 			t.Errorf("schema %q rejected: %v", schema, err)
 		}
 	}
-	for _, schema := range []string{"", "scalesim.manifest/v0", "scalesim.manifest/v4", "other/v2"} {
+	for _, schema := range []string{"", "scalesim.manifest/v0", "scalesim.manifest/v5", "other/v2"} {
 		m := (*Recorder)(nil).Manifest()
 		m.Schema = schema
 		if err := m.Validate(); err == nil {

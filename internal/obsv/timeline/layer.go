@@ -191,7 +191,7 @@ func (r *LayerRecorder) Emit(w *Writer, pid int64, pl Placement) {
 		if r.drainWords > 0 {
 			dur := int64(1)
 			if r.stall != nil {
-				dur = int64(float64(r.drainWords)/r.stall.wordsPerCycle) + 1
+				dur = int64(float64(r.drainWords)/r.stall.WordsPerCycle()) + 1
 			}
 			w.Span(pid, pl.DRAM, r.Name+" ofmap drain", pl.Offset+r.cycles, dur,
 				map[string]any{"words": r.drainWords})

@@ -115,27 +115,15 @@ func (s *Sampler) Emit(w *Writer, pid int64, track string, offset int64) {
 }
 
 // Interval is one stall span on the simulated-cycle axis.
-type Interval struct {
-	// Start is the cycle whose demand pushed the link behind.
-	Start int64
-	// Dur is the stall cycles attributed to the interval.
-	Dur int64
-}
+type Interval = trace.StallInterval
 
-// StallProfiler localizes the stalls a bounded DRAM link inflicts. It uses
-// the same cumulative-demand lag model as trace.StallAnalyzer — total
-// stall is max over events of cumWords/BW - (cycle+1) — but additionally
-// attributes each *increase* of that maximum to the cycle that caused it,
-// merging increases closer than one window into a single interval. The
-// intervals' total duration equals StallCycles up to rounding; their
-// placement is an attribution heuristic, not additional model state.
+// StallProfiler localizes the stalls a bounded DRAM link inflicts. It is
+// a thin wrapper over trace.StallAnalyzer with interval recording
+// enabled — the lag model, stall total, and interval placement all come
+// from the single implementation in the trace package, so the timeline's
+// stall tracks agree with the analyzer's stall totals by construction.
 type StallProfiler struct {
-	wordsPerCycle float64
-	window        int64
-	cum           int64
-	maxLag        float64
-	carry         float64
-	intervals     []Interval
+	a *trace.StallAnalyzer
 }
 
 // NewStallProfiler builds a profiler for the given link bandwidth in
@@ -144,55 +132,30 @@ func NewStallProfiler(wordsPerCycle float64, window int64) *StallProfiler {
 	if wordsPerCycle <= 0 {
 		panic("timeline: stall profiler needs positive bandwidth")
 	}
-	if window <= 0 {
-		window = 1
-	}
-	return &StallProfiler{wordsPerCycle: wordsPerCycle, window: window}
+	a := trace.NewStallAnalyzer(wordsPerCycle)
+	a.RecordIntervals(window)
+	return &StallProfiler{a: a}
 }
+
+// WordsPerCycle returns the link bandwidth the profiler models.
+func (p *StallProfiler) WordsPerCycle() float64 { return p.a.WordsPerCycle }
 
 // Consume implements trace.Consumer.
 func (p *StallProfiler) Consume(cycle int64, addrs []int64) {
-	p.Add(cycle, int64(len(addrs)))
+	p.a.Consume(cycle, addrs)
 }
 
 // ConsumeRuns implements trace.RunConsumer without expanding the runs.
 func (p *StallProfiler) ConsumeRuns(cycle int64, runs []trace.Run) {
-	p.Add(cycle, trace.RunWords(runs))
+	p.a.ConsumeRuns(cycle, runs)
 }
 
 // Add records words of DRAM demand at the given cycle.
-func (p *StallProfiler) Add(cycle, words int64) {
-	if words <= 0 {
-		return
-	}
-	p.cum += words
-	lag := float64(p.cum)/p.wordsPerCycle - float64(cycle+1)
-	if lag <= p.maxLag {
-		return
-	}
-	p.carry += lag - p.maxLag
-	p.maxLag = lag
-	d := int64(p.carry)
-	if d <= 0 {
-		return
-	}
-	p.carry -= float64(d)
-	if n := len(p.intervals); n > 0 &&
-		cycle <= p.intervals[n-1].Start+p.intervals[n-1].Dur+p.window {
-		p.intervals[n-1].Dur += d
-		return
-	}
-	p.intervals = append(p.intervals, Interval{Start: cycle, Dur: d})
-}
+func (p *StallProfiler) Add(cycle, words int64) { p.a.Add(cycle, words) }
 
 // Intervals returns the stall intervals recorded so far.
-func (p *StallProfiler) Intervals() []Interval { return p.intervals }
+func (p *StallProfiler) Intervals() []Interval { return p.a.Intervals() }
 
 // StallCycles returns the total stall — identical to
 // trace.StallAnalyzer.StallCycles on the same feed.
-func (p *StallProfiler) StallCycles() int64 {
-	if p.maxLag <= 0 {
-		return 0
-	}
-	return int64(math.Ceil(p.maxLag))
-}
+func (p *StallProfiler) StallCycles() int64 { return p.a.StallCycles() }

@@ -3,6 +3,7 @@ package timeline
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -172,11 +173,21 @@ func TestStallProfilerMatchesAnalyzer(t *testing.T) {
 		add(1000, 100)
 	}
 	ref := trace.NewStallAnalyzer(2.5)
+	ref.RecordIntervals(64)
 	p := NewStallProfiler(2.5, 64)
 	feed(ref.Add)
 	feed(p.Add)
 	if got, want := p.StallCycles(), ref.StallCycles(); got != want {
 		t.Fatalf("StallCycles = %d, analyzer says %d", got, want)
+	}
+	if got, want := p.Intervals(), ref.Intervals(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("intervals diverge from analyzer: %v vs %v", got, want)
+	}
+	if len(p.Intervals()) == 0 {
+		t.Fatal("bursty feed produced no intervals")
+	}
+	if got := p.WordsPerCycle(); got != 2.5 {
+		t.Fatalf("WordsPerCycle = %v, want 2.5", got)
 	}
 	var total int64
 	for _, iv := range p.Intervals() {

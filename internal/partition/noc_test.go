@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"reflect"
 	"testing"
 
 	"scalesim/internal/config"
@@ -19,7 +20,7 @@ func TestParallelDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if serial != parallel {
+	if !reflect.DeepEqual(serial, parallel) {
 		t.Errorf("parallel run differs:\n serial   %+v\n parallel %+v", serial, parallel)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"scalesim/internal/memory"
 	"scalesim/internal/noc"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/cycleacct"
 	"scalesim/internal/obsv/log"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/simcache"
@@ -79,6 +80,12 @@ type Result struct {
 	Energy energy.Breakdown
 	// NoC is the interconnect analysis, set when Options.NoC is provided.
 	NoC *noc.Report
+	// Ledger is the run's cycle account: one PartitionLedger per active
+	// partition, each closed on the layer's full runtime (own fold
+	// cycles plus partition_skew_wait on the slowest partition), with
+	// the node-level bins aggregating them. Its Total therefore counts
+	// provisioned array-cycles: ActivePartitions x Cycles.
+	Ledger *cycleacct.NodeLedger
 }
 
 // AvgDRAMBW returns the combined average interface bandwidth.
@@ -185,6 +192,10 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 	type outcome struct {
 		comp systolic.Result
 		mem  memory.Report
+		// led is the window's position-pure cycle account (no skew —
+		// that depends on the other partitions and is added at
+		// aggregation), so it caches under the window key.
+		led cycleacct.Ledger
 	}
 	recs := make([]*timeline.LayerRecorder, len(tasks))
 	spanSink := opt.Obs.SpanSink()
@@ -211,10 +222,10 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 		var key string
 		if cacheOK {
 			key = windowKey(cfg, l, t.win, opt.Memory)
-			if e, ok := opt.Cache.Get(key); ok {
+			if e, ok := opt.Cache.Get(key); ok && e.Ledger != nil {
 				e.Compute.Layer = l
 				opt.Obs.Metrics().Counter("partition.simcache.hits").Inc()
-				return outcome{comp: e.Compute, mem: e.Memory}, nil
+				return outcome{comp: e.Compute, mem: e.Memory, led: e.Ledger.Clone()}, nil
 			}
 			opt.Obs.Metrics().Counter("partition.simcache.misses").Inc()
 		}
@@ -230,10 +241,25 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 			memOpt.DRAMIfmapTap = rec.Sampler(timeline.TrackDRAMIfmapRead)
 			memOpt.DRAMFilterTap = rec.Sampler(timeline.TrackDRAMFilterRead)
 			memOpt.DRAMOfmapTap = rec.Sampler(timeline.TrackDRAMOfmapWrite)
-			sinks.Folds = systolic.FoldObserverFunc(func(f systolic.FoldInfo) {
-				rec.AddFold(f.FR, f.FC, f.Rows, f.Cols, f.Start, f.Cycles)
-			})
 		}
+		// The fold observer always runs: it fills the window's cycle
+		// ledger (ramp/MAC-active/drain exactly partition each fold's
+		// duration) and tees the timeline recorder when one exists.
+		var led cycleacct.Ledger
+		R := int64(cfg.ArrayHeight)
+		edgeTrim := cfg.EdgeTrim
+		sinks.Folds = systolic.FoldObserverFunc(func(f systolic.FoldInfo) {
+			ramp := 2*R - 2
+			if edgeTrim {
+				ramp = 2*f.Rows - 2
+			}
+			led.Add(cycleacct.PhaseArray, cycleacct.MACActive, f.T)
+			led.Add(cycleacct.PhaseArray, cycleacct.FoldRamp, ramp)
+			led.Add(cycleacct.PhaseArray, cycleacct.FoldDrain, f.Cycles-f.T-ramp)
+			if rec != nil {
+				rec.AddFold(f.FR, f.FC, f.Rows, f.Cols, f.Start, f.Cycles)
+			}
+		})
 		sys, err := memory.NewSystem(cfg, memOpt)
 		if err != nil {
 			return outcome{}, err
@@ -260,10 +286,15 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 			rec.Finish(comp.Cycles, drained)
 		}
 		mrep := sys.Report(comp.Cycles)
-		if key != "" {
-			opt.Cache.Put(key, simcache.Entry{Compute: comp, Memory: mrep})
+		led.Total = comp.Cycles
+		if err := led.Check(); err != nil {
+			return outcome{}, fmt.Errorf("partition (%d,%d): %w", t.pi, t.pj, err)
 		}
-		return outcome{comp: comp, mem: mrep}, nil
+		if key != "" {
+			cached := led.Clone()
+			opt.Cache.Put(key, simcache.Entry{Compute: comp, Memory: mrep, Ledger: &cached})
+		}
+		return outcome{comp: comp, mem: mrep, led: led}, nil
 	})
 	stop()
 	if err != nil {
@@ -291,6 +322,27 @@ func Run(l topology.Layer, base config.Config, spec Spec, opt Options) (Result, 
 			Words: o.mem.DRAMAccesses(),
 		})
 	}
+
+	// Close the books: each partition's ledger is stretched to the
+	// layer's runtime with a skew-wait bin (Eq. 6 — the layer finishes
+	// with its slowest partition), and the node ledger aggregates them.
+	node := &cycleacct.NodeLedger{Name: l.Name, Op: string(topology.OpConv)}
+	for i, o := range outcomes {
+		pl := cycleacct.PartitionLedger{
+			Pi: tasks[i].pi, Pj: tasks[i].pj, Ledger: o.led.Clone(),
+		}
+		pl.Add(cycleacct.PhaseGrid, cycleacct.PartitionSkew, res.Cycles-o.comp.Cycles)
+		pl.Total = res.Cycles
+		node.Partitions = append(node.Partitions, pl)
+		node.Total += pl.Total
+		for _, b := range pl.Bins {
+			node.Add(b.Phase, b.Category, b.Cycles)
+		}
+	}
+	if err := node.Check(); err != nil {
+		return Result{}, fmt.Errorf("partition: %w", err)
+	}
+	res.Ledger = node
 
 	wordBytes := float64(cfg.WordBytes)
 	cyc := float64(res.Cycles)

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/cycleacct"
 )
 
 // IndexSchema identifies the index document format.
@@ -47,18 +48,24 @@ const IndexSchema = "scalesim.runstore/v1"
 // Entry is one run's index record: enough identity and headline results
 // to list and select runs without loading their manifests.
 type Entry struct {
-	ID          string  `json:"id"`
-	Key         string  `json:"key"`
-	Created     string  `json:"created"`
-	Tool        string  `json:"tool,omitempty"`
-	Run         string  `json:"run,omitempty"`
-	ConfigHash  string  `json:"config_hash,omitempty"`
-	Topology    string  `json:"topology,omitempty"`
-	Layers      int     `json:"layers"`
-	TotalCycles int64   `json:"total_cycles"`
-	StallCycles int64   `json:"stall_cycles,omitempty"`
-	WallSeconds float64 `json:"wall_seconds,omitempty"`
-	Host        string  `json:"host,omitempty"`
+	ID          string `json:"id"`
+	Key         string `json:"key"`
+	Created     string `json:"created"`
+	Tool        string `json:"tool,omitempty"`
+	Run         string `json:"run,omitempty"`
+	ConfigHash  string `json:"config_hash,omitempty"`
+	Topology    string `json:"topology,omitempty"`
+	Layers      int    `json:"layers"`
+	TotalCycles int64  `json:"total_cycles"`
+	StallCycles int64  `json:"stall_cycles,omitempty"`
+	// LedgerCycles and CycleBins summarize the manifest's cycle-accounting
+	// block (v4 manifests): total attributed cycles and the per-category
+	// rollup, so category queries can rank runs without reloading every
+	// manifest body.
+	LedgerCycles int64            `json:"ledger_cycles,omitempty"`
+	CycleBins    map[string]int64 `json:"cycle_bins,omitempty"`
+	WallSeconds  float64          `json:"wall_seconds,omitempty"`
+	Host         string           `json:"host,omitempty"`
 	// Path locates the manifest file, relative to the store root.
 	Path string `json:"path"`
 }
@@ -161,6 +168,15 @@ func entryOf(m *obsv.Manifest, key, id, relPath string) Entry {
 	for _, l := range m.Layers {
 		e.TotalCycles += l.Cycles
 		e.StallCycles += l.StallCycles
+	}
+	if ca := m.CycleAccounting; ca != nil {
+		e.LedgerCycles = ca.TotalCycles
+		if len(ca.Categories) > 0 {
+			e.CycleBins = make(map[string]int64, len(ca.Categories))
+			for k, v := range ca.Categories {
+				e.CycleBins[k] = v
+			}
+		}
 	}
 	return e
 }
@@ -445,6 +461,71 @@ func (s *Store) Top(n int) ([]TopLayer, error) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].StallFraction != out[j].StallFraction {
 			return out[i].StallFraction > out[j].StallFraction
+		}
+		if out[i].RunID != out[j].RunID {
+			return out[i].RunID < out[j].RunID
+		}
+		return out[i].Index < out[j].Index
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// TopCategoryRow is one node's ranking by a cycle-accounting category:
+// what fraction of the node's attributed cycles landed in that bin.
+type TopCategoryRow struct {
+	RunID    string  `json:"run_id"`
+	Run      string  `json:"run,omitempty"`
+	Topology string  `json:"topology,omitempty"`
+	Index    int     `json:"index"`
+	Name     string  `json:"name"`
+	Category string  `json:"category"`
+	Cycles   int64   `json:"cycles"`
+	Total    int64   `json:"total_cycles"`
+	Fraction float64 `json:"fraction"`
+}
+
+// TopBy ranks every stored node by the fraction of its cycles attributed
+// to the given cycle-accounting category and returns the worst n (n <= 0
+// returns all). Only v4 manifests carry ledgers; older runs are silently
+// skipped. An unknown category is an error, not an empty result, so a
+// typo never reads as "nothing stalls".
+func (s *Store) TopBy(category string, n int) ([]TopCategoryRow, error) {
+	if !cycleacct.KnownCategory(category) {
+		return nil, fmt.Errorf("runstore: unknown cycle category %q (known: %s)",
+			category, strings.Join(cycleacct.Categories(), ", "))
+	}
+	runs, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []TopCategoryRow
+	for _, e := range runs {
+		if e.CycleBins[category] <= 0 {
+			continue // index rollup says the run has no such cycles
+		}
+		_, m, err := s.Get(e.ID)
+		if err != nil || m.CycleAccounting == nil {
+			continue // indexed but unreadable: skip, don't fail the query
+		}
+		for i, nd := range m.CycleAccounting.Nodes {
+			c := nd.Category(category)
+			if c <= 0 || nd.Total <= 0 {
+				continue
+			}
+			out = append(out, TopCategoryRow{
+				RunID: e.ID, Run: e.Run, Topology: e.Topology,
+				Index: i, Name: nd.Name, Category: category,
+				Cycles: c, Total: nd.Total,
+				Fraction: float64(c) / float64(nd.Total),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fraction != out[j].Fraction {
+			return out[i].Fraction > out[j].Fraction
 		}
 		if out[i].RunID != out[j].RunID {
 			return out[i].RunID < out[j].RunID

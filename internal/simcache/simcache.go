@@ -42,6 +42,7 @@ import (
 
 	"scalesim/internal/dram"
 	"scalesim/internal/memory"
+	"scalesim/internal/obsv/cycleacct"
 	"scalesim/internal/obsv/log"
 	"scalesim/internal/systolic"
 	"scalesim/internal/vector"
@@ -57,8 +58,9 @@ func keyDigest(key string) string {
 
 // diskSchema versions the on-disk document; a mismatch is a miss. v2
 // added operator kinds to the key scheme and the vector-unit result to
-// the entry, so v1 spill files (keyed without kinds) read as misses.
-const diskSchema = "scalesim.simcache/v2"
+// the entry. v3 added the cycle-accounting ledger, so v2 spill files
+// (whose replays would lack ledgers) read as misses and re-simulate.
+const diskSchema = "scalesim.simcache/v3"
 
 // Entry is one compute-stage outcome: everything a layer simulation
 // produces that is a pure function of its canonical key.
@@ -80,6 +82,9 @@ type Entry struct {
 	// StallCycles is the bounded-link stall count when the key includes a
 	// DRAM bandwidth bound.
 	StallCycles int64 `json:"stall_cycles,omitempty"`
+	// Ledger is the layer's cycle-accounting ledger (sum of bins equals
+	// the stalled runtime), so warm replays keep their attribution.
+	Ledger *cycleacct.Ledger `json:"cycle_ledger,omitempty"`
 }
 
 // Stats is a point-in-time summary of cache effectiveness.

@@ -17,12 +17,34 @@ import "math"
 // since cumulative demand is order-insensitive and the lag bound is taken
 // per event, the result is exact for ordered streams and a tight upper
 // bound otherwise.
+// With RecordIntervals enabled, the analyzer additionally localizes the
+// stalls: each increase of the running maximum lag is attributed to the
+// cycle that caused it, and increases closer than the merge window apart
+// coalesce into one StallInterval. The intervals' total duration equals
+// StallCycles up to rounding; their placement is an attribution
+// heuristic, not additional model state. This is the single stall
+// implementation — the timeline's StallProfiler is a thin wrapper over
+// it, so the registry's stall fractions and the timeline's stall tracks
+// can never diverge.
 type StallAnalyzer struct {
 	// WordsPerCycle is the link bandwidth.
 	WordsPerCycle float64
 
 	cumWords int64
 	maxLag   float64
+
+	// Interval recording state; window == 0 disables it.
+	window    int64
+	carry     float64
+	intervals []StallInterval
+}
+
+// StallInterval is one localized stall span on the cycle axis.
+type StallInterval struct {
+	// Start is the cycle whose demand pushed the link behind.
+	Start int64
+	// Dur is the stall cycles attributed to the interval.
+	Dur int64
 }
 
 // NewStallAnalyzer builds an analyzer for the given link bandwidth; a
@@ -48,6 +70,19 @@ func (s *StallAnalyzer) ConsumeRuns(cycle int64, runs []Run) {
 	s.Add(cycle, RunWords(runs))
 }
 
+// RecordIntervals enables stall localization with the given merge window
+// in cycles (<= 0 defaults to 1). Call before feeding events.
+func (s *StallAnalyzer) RecordIntervals(window int64) {
+	if window <= 0 {
+		window = 1
+	}
+	s.window = window
+}
+
+// Intervals returns the localized stall spans recorded so far (nil
+// unless RecordIntervals was enabled).
+func (s *StallAnalyzer) Intervals() []StallInterval { return s.intervals }
+
 // Add records words of demand at the given cycle.
 func (s *StallAnalyzer) Add(cycle, words int64) {
 	if words <= 0 {
@@ -58,9 +93,29 @@ func (s *StallAnalyzer) Add(cycle, words int64) {
 	// demand wanted them by the end of `cycle` (i.e. cycle+1 cycle
 	// boundaries have passed).
 	lag := float64(s.cumWords)/s.WordsPerCycle - float64(cycle+1)
-	if lag > s.maxLag {
-		s.maxLag = lag
+	if lag <= s.maxLag {
+		return
 	}
+	if s.window > 0 {
+		s.carry += lag - s.maxLag
+	}
+	s.maxLag = lag
+	if s.window == 0 {
+		return
+	}
+	// Attribute whole stalled cycles to this event, merging with the
+	// previous interval when it ends within one window of this cycle.
+	d := int64(s.carry)
+	if d <= 0 {
+		return
+	}
+	s.carry -= float64(d)
+	if n := len(s.intervals); n > 0 &&
+		cycle <= s.intervals[n-1].Start+s.intervals[n-1].Dur+s.window {
+		s.intervals[n-1].Dur += d
+		return
+	}
+	s.intervals = append(s.intervals, StallInterval{Start: cycle, Dur: d})
 }
 
 // TotalWords returns the cumulative demand.

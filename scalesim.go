@@ -44,6 +44,7 @@ import (
 	"scalesim/internal/memory"
 	"scalesim/internal/noc"
 	"scalesim/internal/obsv"
+	"scalesim/internal/obsv/cycleacct"
 	"scalesim/internal/obsv/timeline"
 	"scalesim/internal/partition"
 	"scalesim/internal/simcache"
@@ -264,6 +265,50 @@ type (
 	// Progress reports live per-unit completion to a writer.
 	Progress = obsv.Progress
 )
+
+// Cycle-accounting types: every simulated cycle of a run attributed to an
+// exhaustive taxonomy (MAC-active, fold ramp/drain, DRAM-bandwidth stall,
+// vector passes, partition skew), with sum(bins) == total enforced per
+// unit. Simulator.CycleReport assembles a run's report; the report
+// renders as ledgers, a pprof profile over simulated cycles
+// (CycleReport.WritePprof) or per-layer roofline rows.
+type (
+	// CycleLedger is one unit's cycle account (total + bins).
+	CycleLedger = cycleacct.Ledger
+	// CycleBin is one (phase, category) cell of a ledger.
+	CycleBin = cycleacct.Bin
+	// CycleNodeLedger is one layer/node's account, with per-partition
+	// detail for scale-out runs.
+	CycleNodeLedger = cycleacct.NodeLedger
+	// CycleReport is a whole run's account plus its roofline rows.
+	CycleReport = cycleacct.Report
+	// RooflineRow locates one layer on the roofline: operational
+	// intensity versus achieved and attainable throughput.
+	RooflineRow = cycleacct.RooflineRow
+)
+
+// CycleCategories lists the cycle-accounting taxonomy in canonical order.
+func CycleCategories() []string { return cycleacct.Categories() }
+
+// NewCycleReport assembles and validates a run's cycle report from node
+// ledgers — the path for callers that aggregate their own nodes (the
+// scale-out CLI); Simulator.CycleReport covers ordinary runs.
+func NewCycleReport(nodes []CycleNodeLedger) (*CycleReport, error) {
+	return cycleacct.NewReport(nodes)
+}
+
+// NewRooflineRow characterizes one unit on the roofline. cycles is the
+// stalled runtime; linkWordsPerCycle zero means an unbounded link.
+func NewRooflineRow(name, op string, ops, dramBytes, cycles int64,
+	peakOpsPerCycle, linkWordsPerCycle float64, wordBytes int64) RooflineRow {
+	return cycleacct.NewRooflineRow(name, op, ops, dramBytes, cycles,
+		peakOpsPerCycle, linkWordsPerCycle, wordBytes)
+}
+
+// WriteRooflineCSV writes roofline rows as CSV.
+func WriteRooflineCSV(w io.Writer, rows []RooflineRow) error {
+	return cycleacct.WriteRooflineCSV(w, rows)
+}
 
 // Timeline types: attach a TimelineWriter through Options.Timeline (or
 // the ScaleOutOptions / sweep-spec equivalents) to export the run as

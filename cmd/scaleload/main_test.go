@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scalesim/internal/job"
+)
+
+// stubDaemon mimics the scalesimd surface scaleload touches: jobs
+// complete after one status poll, every 3rd submission sheds with 429,
+// and /metrics exposes fixed cache totals.
+func stubDaemon(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var submits atomic.Int64
+	var mu sync.Mutex
+	polls := map[string]int{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req job.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Net == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		n := submits.Add(1)
+		if n%3 == 0 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":429,"message":"queue full"}}`)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(job.Info{ID: fmt.Sprintf("j%04d", n), Status: job.StatusQueued})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		mu.Lock()
+		polls[id]++
+		st := job.StatusRunning
+		if polls[id] > 1 {
+			st = job.StatusDone
+		}
+		mu.Unlock()
+		_ = json.NewEncoder(w).Encode(job.Info{ID: id, Status: st})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// The real exposition namespaces metric names like the daemon does.
+		fmt.Fprint(w, "# TYPE scalesim_cache_hits gauge\nscalesim_cache_hits 30\nscalesim_cache_misses 10\n")
+	})
+	return httptest.NewServer(mux), &submits
+}
+
+func TestDriveCollectsLatencyAndCacheStats(t *testing.T) {
+	ts, submits := stubDaemon(t)
+	defer ts.Close()
+
+	rep, err := drive(ts.URL, 3, 9, job.Request{Net: "TinyNet"}, time.Millisecond, time.Second)
+	if err != nil {
+		t.Fatalf("drive: %v", err)
+	}
+	if got := submits.Load(); got != 9 {
+		t.Fatalf("submissions = %d, want 9", got)
+	}
+	if rep.Done+rep.Rejected+rep.Failed != 9 {
+		t.Fatalf("accounting: %+v", rep)
+	}
+	if rep.Rejected != 3 {
+		t.Fatalf("rejected = %d, want 3 (every 3rd submit)", rep.Rejected)
+	}
+	if rep.Done != 6 || rep.Failed != 0 {
+		t.Fatalf("done/failed = %d/%d, want 6/0", rep.Done, rep.Failed)
+	}
+	if rep.LatencyP50 <= 0 || rep.LatencyP99 < rep.LatencyP50 {
+		t.Fatalf("latency quantiles out of order: %+v", rep)
+	}
+	if rep.CacheHits != 30 || rep.CacheMisses != 10 || rep.CacheHitRate != 0.75 {
+		t.Fatalf("cache stats = %+v, want 30/10/0.75", rep)
+	}
+}
+
+func TestRunWritesReportFile(t *testing.T) {
+	ts, _ := stubDaemon(t)
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	err := run([]string{"-addr", addr, "-clients", "2", "-n", "4",
+		"-poll", "1ms", "-o", out}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report file: %v", err)
+	}
+	if rep.Requests != 4 || rep.Clients != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("latency_p50_seconds")) {
+		t.Fatalf("stdout report missing quantiles: %s", stdout.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-clients", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("zero clients must fail")
+	}
+	if err := run([]string{"-addr", "localhost:1"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("unreachable daemon error = %v", err)
+	}
+}

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +40,7 @@ import (
 
 	"scalesim"
 	"scalesim/internal/cliobs"
+	"scalesim/internal/job"
 	"scalesim/internal/obsv"
 	"scalesim/internal/report"
 )
@@ -73,9 +75,8 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		tlWindow = fs.Int64("timeline-window", 0, "timeline counter sampling window in cycles (default 64)")
 		dramBW   = fs.Float64("dram-bw", 0, "bound the DRAM link in words/cycle and compute stall cycles (0 = unbounded)")
 		vlanes   = fs.Int("vector-lanes", 0, "vector-unit lanes for softmax/layernorm/eltwise nodes (0 = array width)")
-		useCache = fs.Bool("cache", false, "memoize per-layer compute results in memory (repeated shapes replay)")
-		cacheDir = fs.String("cache-dir", "", "persist the result cache in this directory (implies -cache)")
 	)
+	cacheFlags := cliobs.RegisterCache(fs)
 	obs := cliobs.Register(fs)
 	cyc := cliobs.RegisterCycleProf(fs, true)
 	if err := fs.Parse(args); err != nil {
@@ -149,14 +150,9 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		return err
 	}
 
-	var cache *scalesim.Cache
-	switch {
-	case *cacheDir != "":
-		if cache, err = scalesim.NewDiskCache(*cacheDir); err != nil {
-			return err
-		}
-	case *useCache:
-		cache = scalesim.NewCache()
+	cache, err := cacheFlags.Open()
+	if err != nil {
+		return err
 	}
 
 	var tlw *scalesim.TimelineWriter
@@ -187,36 +183,33 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		return runScaleOut(stdout, cfg, topo, pr, pc, rec, prog, *metrics, tlw, cache, obs, cyc)
 	}
 
-	opt := scalesim.Options{Workers: *workers, Obs: rec, Progress: prog,
-		Timeline: tlw, DRAMBandwidth: *dramBW, Cache: cache}
+	// The CLI runs through the same job.Runner the scalesimd daemon
+	// executes on — one orchestration path, sized here for a single
+	// in-process job so the output stays byte-identical to a direct run.
+	runner := job.NewRunner(job.Options{Workers: 1, QueueDepth: 1, Cache: cache})
+	defer func() { _ = runner.Close(context.Background()) }()
+	spec := job.Spec{Config: cfg, Topology: topo, Graph: graph,
+		DRAMBandwidth: *dramBW, Workers: *workers}
+	live := job.Live{Obs: rec, Progress: prog, Timeline: tlw}
 	if *traces {
 		if *outDir == "" {
 			return fmt.Errorf("-traces requires -outdir")
 		}
-		opt.TraceDir = *outDir
+		live.TraceDir = *outDir
 	}
 	if *useDRAM {
 		ddr := scalesim.DDR3()
-		opt.DRAM = &ddr
+		spec.DRAM = &ddr
 	}
 
-	sim, err := scalesim.NewSimulator(cfg, opt)
+	result, err := runner.Run(spec, live)
 	if err != nil {
 		return err
 	}
-	var res scalesim.RunResult
-	if graph != nil {
-		res, err = sim.SimulateGraph(*graph)
-	} else {
-		res, err = sim.Simulate(topo)
-	}
-	if err != nil {
-		return err
-	}
-	prog.Finish()
+	res := result.Run
 
 	if *metrics != "" || obs.RunDir() != "" {
-		m := sim.Manifest(res)
+		m := result.Manifest
 		if *metrics != "" {
 			if err := m.WriteFile(*metrics); err != nil {
 				return err
@@ -227,15 +220,11 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		}
 	}
 	if cyc.Active() {
-		ca, err := sim.CycleReport(res)
-		if err != nil {
-			return err
-		}
 		net := topo.Name
 		if graph != nil {
 			net = graph.Name
 		}
-		if err := cyc.Write(ca, net); err != nil {
+		if err := cyc.Write(result.Manifest.CycleAccounting, net); err != nil {
 			return err
 		}
 	}

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ import (
 	"scalesim/internal/batch"
 	"scalesim/internal/cliobs"
 	"scalesim/internal/config"
+	"scalesim/internal/job"
 	"scalesim/internal/obsv"
 )
 
@@ -64,9 +66,8 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address during the sweep")
 		tlPath    = fs.String("timeline", "", "write a Chrome Trace Event timeline (one process per grid point) to this path")
 		tlWindow  = fs.Int64("timeline-window", 0, "timeline counter sampling window in cycles (default 64)")
-		useCache  = fs.Bool("cache", false, "share a per-layer result cache across the grid (repeated shapes replay)")
-		cacheDir  = fs.String("cache-dir", "", "persist the result cache in this directory (implies -cache)")
 	)
+	cacheFlags := cliobs.RegisterCache(fs)
 	obs := cliobs.Register(fs)
 	cyc := cliobs.RegisterCycleProf(fs, false)
 	if err := fs.Parse(args); err != nil {
@@ -121,43 +122,37 @@ func run(args []string, stdout io.Writer) (retErr error) {
 	if *parallel > 0 {
 		spec.Parallel = *parallel
 	}
-	switch {
-	case *cacheDir != "":
-		cache, err := scalesim.NewDiskCache(*cacheDir)
-		if err != nil {
-			return err
-		}
-		spec.Cache = cache
-	case *useCache:
-		spec.Cache = scalesim.NewCache()
+	cache, err := cacheFlags.Open()
+	if err != nil {
+		return err
 	}
 	var rec *obsv.Recorder
 	if *metrics != "" || obs.Active() {
 		rec = obsv.NewRecorder()
-		spec.Obs = rec
 	}
 	stopObs, err := obs.Start("scalesweep", rec)
 	if err != nil {
 		return err
 	}
 	defer stopObs()
+	var prog *obsv.Progress
 	if *progress {
-		spec.Progress = obsv.NewProgress(os.Stderr, "scalesweep")
+		prog = obsv.NewProgress(os.Stderr, "scalesweep")
 	}
 	// Terminate the progress stream on every error path; a no-op after the
-	// successful Finish below.
+	// runner's successful Finish.
 	defer func() {
 		if retErr != nil {
-			spec.Progress.Abort(retErr.Error())
+			prog.Abort(retErr.Error())
 		}
 	}()
+	var tlw *scalesim.TimelineWriter
 	if *tlPath != "" {
 		f, err := os.Create(*tlPath)
 		if err != nil {
 			return err
 		}
-		tlw := scalesim.NewTimeline(f, scalesim.TimelineOptions{Window: *tlWindow})
-		spec.Timeline = tlw
+		tlw = scalesim.NewTimeline(f, scalesim.TimelineOptions{Window: *tlWindow})
 		defer func() {
 			if cerr := tlw.Close(); cerr != nil && retErr == nil {
 				retErr = cerr
@@ -168,13 +163,18 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		}()
 	}
 
-	rows, err := batch.Run(spec)
+	// The whole grid runs as one sweep job on the same job.Runner the
+	// scalesimd daemon uses; per-point parallelism stays inside the job
+	// (spec.Parallel), so a single runner worker is enough.
+	runner := job.NewRunner(job.Options{Workers: 1, QueueDepth: 1, Cache: cache})
+	defer func() { _ = runner.Close(context.Background()) }()
+	result, err := runner.RunSweep("sweep", spec, job.Live{Obs: rec, Progress: prog, Timeline: tlw})
 	if err != nil {
 		return err
 	}
-	spec.Progress.Finish()
+	rows := result.Rows
 	if *metrics != "" || obs.RunDir() != "" {
-		m := batch.NewManifest(spec, rows, rec)
+		m := result.Manifest
 		if *metrics != "" {
 			if err := m.WriteFile(*metrics); err != nil {
 				return err
@@ -185,11 +185,7 @@ func run(args []string, stdout io.Writer) (retErr error) {
 		}
 	}
 	if cyc.Active() {
-		ca, err := batch.CycleReport(rows)
-		if err != nil {
-			return err
-		}
-		if err := cyc.Write(ca, "sweep"); err != nil {
+		if err := cyc.Write(result.Manifest.CycleAccounting, "sweep"); err != nil {
 			return err
 		}
 	}

@@ -6,6 +6,7 @@
 package batch
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -163,6 +164,11 @@ type Spec struct {
 	Timeline *timeline.Writer
 	// Progress, when non-nil, receives one step per completed grid point.
 	Progress *obsv.Progress
+	// Context, when non-nil, cancels the sweep at layer granularity: it is
+	// threaded into every point's core.Options.Context, so a cancelled
+	// sweep aborts with the context's error instead of running the grid to
+	// completion. This is how a job runner stops a running sweep.
+	Context context.Context
 }
 
 // label formats the canonical point/row name shared by progress lines,
@@ -248,7 +254,7 @@ func Run(spec Spec) ([]Row, error) {
 		if spec.Obs.Enabled() {
 			t0 = time.Now()
 		}
-		row, err := runPoint(spec.Base, p, spec.Timeline, spec.Cache)
+		row, err := runPoint(spec.Context, spec.Base, p, spec.Timeline, spec.Cache)
 		if err != nil {
 			return Row{}, fmt.Errorf("batch: %s on %dx%d %v: %w",
 				p.Net(), p.Array[0], p.Array[1], p.Dataflow, err)
@@ -319,11 +325,11 @@ func CycleReport(rows []Row) (*cycleacct.Report, error) {
 	return cycleacct.NewReport(nodes)
 }
 
-func runPoint(base config.Config, p Point, tl *timeline.Writer, cache *simcache.Cache) (Row, error) {
+func runPoint(ctx context.Context, base config.Config, p Point, tl *timeline.Writer, cache *simcache.Cache) (Row, error) {
 	cfg := p.Config(base)
 	// Grid points already saturate the worker pool; keep each point's
 	// layer execution sequential rather than multiplying the two levels.
-	sim, err := core.New(cfg, core.Options{Workers: 1, Timeline: tl, Cache: cache})
+	sim, err := core.New(cfg, core.Options{Workers: 1, Timeline: tl, Cache: cache, Context: ctx})
 	if err != nil {
 		return Row{}, err
 	}

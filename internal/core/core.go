@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -91,6 +92,12 @@ type Options struct {
 	// (display only; completion order may differ from layer order when
 	// Workers > 1).
 	Progress *obsv.Progress
+	// Context, when non-nil, cancels the run at layer granularity: each
+	// layer checks it before starting and a cancelled context aborts the
+	// run with the context's error (layers already in flight complete).
+	// This is how a job runner stops a running simulation without killing
+	// the process; results produced before the abort are discarded.
+	Context context.Context
 }
 
 // LayerResult is everything the simulator learns about one layer (or
@@ -284,6 +291,13 @@ func (s *Simulator) simulateLayer(index int, l topology.Layer) (LayerResult, err
 }
 
 func (s *Simulator) simulateNode(index int, n topology.Node) (LayerResult, error) {
+	if ctx := s.opt.Context; ctx != nil {
+		select {
+		case <-ctx.Done():
+			return LayerResult{}, ctx.Err()
+		default:
+		}
+	}
 	l := n.Layer
 	l.Name = n.Name
 	ctx := &LayerContext{Index: index, Node: n, Layer: l}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Run and RunDAG execute a known, finite job list and join it; a
+// long-running service has the opposite shape — an unbounded stream of
+// jobs arriving over time, each joined individually by whoever submitted
+// it. Pool is that primitive: a persistent bounded worker pool with a
+// bounded intake queue, shared by every submitter for the life of the
+// process. The queue bound is the admission-control point: TrySubmit
+// reports ErrPoolFull instead of blocking, so a front end (the scalesimd
+// daemon) can shed load with an explicit rejection rather than letting
+// latency grow without bound.
+
+// ErrPoolFull is returned by TrySubmit when the intake queue is at
+// capacity — the caller should shed or retry, not wait.
+var ErrPoolFull = errors.New("engine: pool queue full")
+
+// ErrPoolClosed is returned by submissions after Close has begun: the
+// pool drains what it already accepted but admits nothing new.
+var ErrPoolClosed = errors.New("engine: pool closed")
+
+// Pool is a persistent bounded worker pool. Construct with NewPool; all
+// methods are safe for concurrent use.
+type Pool struct {
+	queue chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewPool starts workers goroutines consuming a queue of at most depth
+// pending tasks. workers <= 0 defaults to GOMAXPROCS; depth <= 0 defaults
+// to 64.
+func NewPool(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	p := &Pool{queue: make(chan func(), depth), done: make(chan struct{})}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn without blocking: ErrPoolFull when the queue is
+// at capacity, ErrPoolClosed after Close.
+func (p *Pool) TrySubmit(fn func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.queue <- fn:
+		return nil
+	default:
+		return ErrPoolFull
+	}
+}
+
+// Submit enqueues fn, waiting for queue space if necessary. Only
+// ErrPoolClosed can be returned. In-process callers (the CLIs) submit
+// this way; network front ends should TrySubmit and shed.
+func (p *Pool) Submit(fn func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.queue <- fn
+	return nil
+}
+
+// Pending returns the number of accepted-but-unstarted tasks.
+func (p *Pool) Pending() int { return len(p.queue) }
+
+// Close stops intake and drains: every task already accepted runs to
+// completion unless ctx expires first. Returns ctx.Err on a timed-out
+// drain (workers keep finishing in the background) and nil on a clean
+// one. Subsequent Closes observe the same drain.
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+		go func() {
+			p.wg.Wait()
+			close(p.done)
+		}()
+	}
+	p.mu.Unlock()
+	select {
+	case <-p.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	p := NewPool(4, 16)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { defer wg.Done(); n.Add(1) }); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	wg.Wait()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d tasks, want 100", got)
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestPoolTrySubmitFullAndClosed(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker, then fill the single queue slot.
+	if err := p.Submit(func() { close(started); <-block }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatalf("Submit (queued): %v", err)
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("TrySubmit on full queue = %v, want ErrPoolFull", err)
+	}
+	if got := p.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	close(block)
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("TrySubmit after Close = %v, want ErrPoolClosed", err)
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolCloseDrainsAccepted(t *testing.T) {
+	p := NewPool(1, 8)
+	var n atomic.Int64
+	for i := 0; i < 5; i++ {
+		if err := p.Submit(func() { time.Sleep(time.Millisecond); n.Add(1) }); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := n.Load(); got != 5 {
+		t.Fatalf("drained %d tasks, want all 5", got)
+	}
+}
+
+func TestPoolCloseTimeout(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	_ = p.Submit(func() { close(started); <-block })
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close with stuck worker = %v, want deadline exceeded", err)
+	}
+	close(block)
+	// A second Close observes the same drain completing.
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

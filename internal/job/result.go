@@ -1,0 +1,72 @@
+package job
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"scalesim/internal/batch"
+	"scalesim/internal/core"
+	"scalesim/internal/obsv"
+	"scalesim/internal/report"
+)
+
+// Result is everything a completed job produced. Simulation jobs carry
+// the RunResult and its manifest; sweep jobs carry the expanded rows and
+// the sweep manifest instead.
+type Result struct {
+	// Run is the simulation outcome (zero for sweep jobs — check Rows).
+	Run core.RunResult
+	// Manifest is the machine-readable run record (schema
+	// scalesim.manifest/v4), including cache statistics and the cycle-
+	// accounting ledger.
+	Manifest *obsv.Manifest
+	// Rows holds per-point sweep results for sweep jobs; nil for
+	// simulation jobs.
+	Rows []batch.Row
+}
+
+// IsSweep reports whether the result came from a sweep job.
+func (r *Result) IsSweep() bool { return r.Rows != nil }
+
+// reportWriters maps report names to their renderers — the same
+// functions the scalesim CLI writes to <run>_<name>.csv files, so a
+// report fetched from the daemon is byte-identical to the CLI file.
+var reportWriters = map[string]func(io.Writer, core.RunResult) error{
+	"cycles":    report.WriteCycles,
+	"bandwidth": report.WriteBandwidth,
+	"detail":    report.WriteDetail,
+	"summary":   report.WriteSummary,
+	"operators": report.WriteOperators,
+}
+
+// Reports lists the report names available on this result, sorted.
+func (r *Result) Reports() []string {
+	if r.IsSweep() {
+		return nil
+	}
+	names := make([]string, 0, len(reportWriters))
+	for name := range reportWriters {
+		if name == "operators" && r.Run.Graph == nil {
+			continue // operator roll-up only exists for graph runs
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteReport renders the named report for a simulation result.
+func (r *Result) WriteReport(w io.Writer, name string) error {
+	if r.IsSweep() {
+		return fmt.Errorf("job: sweep results have no per-layer reports")
+	}
+	wr, ok := reportWriters[name]
+	if !ok {
+		return fmt.Errorf("job: unknown report %q (have %v)", name, r.Reports())
+	}
+	if name == "operators" && r.Run.Graph == nil {
+		return fmt.Errorf("job: report %q requires a graph run", name)
+	}
+	return wr(w, r.Run)
+}

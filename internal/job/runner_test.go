@@ -1,0 +1,324 @@
+package job
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scalesim/internal/batch"
+	"scalesim/internal/config"
+	"scalesim/internal/core"
+	"scalesim/internal/engine"
+	"scalesim/internal/report"
+	"scalesim/internal/runstore"
+	"scalesim/internal/simcache"
+	"scalesim/internal/topology"
+)
+
+func tinySpec() Spec {
+	return Spec{
+		Config:   config.New().WithArray(8, 8),
+		Topology: topology.TinyNet(),
+		Workers:  1,
+	}
+}
+
+// blockGate returns a sink factory that parks the first layer of the
+// first job that reaches it until release is closed, plus the channels
+// to observe and release it. Later layers pass through freely.
+func blockGate() (engine.Factory, chan struct{}, chan struct{}) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	f := func(engine.Job, *engine.SinkSet) error {
+		once.Do(func() { close(started) })
+		<-release
+		return nil
+	}
+	return f, started, release
+}
+
+func TestRunMatchesDirectSimulate(t *testing.T) {
+	spec := tinySpec()
+	r := NewRunner(Options{Workers: 1})
+	defer r.Close(context.Background())
+	res, err := r.Run(spec, Live{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	sim, err := core.New(spec.Config, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sim.Simulate(spec.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.TotalCycles != direct.TotalCycles {
+		t.Fatalf("runner cycles %d != direct %d", res.Run.TotalCycles, direct.TotalCycles)
+	}
+	var got, want bytes.Buffer
+	if err := res.WriteReport(&got, "cycles"); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteCycles(&want, direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("cycles report differs:\n%s\n--\n%s", got.String(), want.String())
+	}
+	if res.Manifest == nil || res.Manifest.CycleAccounting == nil {
+		t.Fatalf("result manifest incomplete: %+v", res.Manifest)
+	}
+}
+
+func TestSubmitStatusLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	store, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := simcache.New()
+	r := NewRunner(Options{Workers: 1, Cache: cache, Store: store, Tool: "scalesimd"})
+	defer r.Close(context.Background())
+
+	j, err := r.Submit(tinySpec(), Live{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := j.Status(); got != StatusDone {
+		t.Fatalf("status = %v, want done", got)
+	}
+	in := j.Info()
+	if in.ID != j.ID() || in.Status != StatusDone || in.Units != len(topology.TinyNet().Layers) {
+		t.Fatalf("bad info: %+v", in)
+	}
+	if len(in.Progress) == 0 || !strings.Contains(in.Progress[len(in.Progress)-1], "done") {
+		t.Fatalf("missing buffered progress tail: %v", in.Progress)
+	}
+	if j.Result().Manifest.Tool != "scalesimd" {
+		t.Fatalf("manifest tool = %q, want scalesimd", j.Result().Manifest.Tool)
+	}
+	entries, err := store.List()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("store entries = %v (err %v), want 1", entries, err)
+	}
+
+	// A warm resubmission replays every layer from the shared cache.
+	j2, err := r.Submit(tinySpec(), Live{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := j2.Result().Manifest
+	if m.Cache == nil || m.Cache.Hits == 0 {
+		t.Fatalf("warm resubmission recorded no cache hits: %+v", m.Cache)
+	}
+	if j2.Result().Run.TotalCycles != j.Result().Run.TotalCycles {
+		t.Fatalf("warm cycles %d != cold %d", j2.Result().Run.TotalCycles, j.Result().Run.TotalCycles)
+	}
+	if r.Metrics().Counter("jobs.completed").Value() != 2 {
+		t.Fatalf("completed counter = %d, want 2", r.Metrics().Counter("jobs.completed").Value())
+	}
+}
+
+func TestSubmitShedsWhenQueueFull(t *testing.T) {
+	gate, started, release := blockGate()
+	r := NewRunner(Options{Workers: 1, QueueDepth: 1})
+	j1, err := r.Submit(tinySpec(), Live{Sinks: engine.Registry{gate}})
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	<-started
+	if _, err := r.Submit(tinySpec(), Live{}); err != nil {
+		t.Fatalf("Submit 2 (queued): %v", err)
+	}
+	if _, err := r.Submit(tinySpec(), Live{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit 3 = %v, want ErrQueueFull", err)
+	}
+	if got := r.Metrics().Counter("jobs.rejected").Value(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	close(release)
+	if err := j1.Wait(context.Background()); err != nil {
+		t.Fatalf("job 1: %v", err)
+	}
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(tinySpec(), Live{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	gate, started, release := blockGate()
+	r := NewRunner(Options{Workers: 1, QueueDepth: 2})
+	j1, err := r.Submit(tinySpec(), Live{Sinks: engine.Registry{gate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j2, err := r.Submit(tinySpec(), Live{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Cancel(j2.ID()); err != nil {
+		t.Fatalf("Cancel queued: %v", err)
+	}
+	if err := j2.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued-cancel Wait = %v, want context.Canceled", err)
+	}
+	if got := j2.Status(); got != StatusCancelled {
+		t.Fatalf("status = %v, want cancelled", got)
+	}
+	close(release)
+	if err := j1.Wait(context.Background()); err != nil {
+		t.Fatalf("job 1 should complete: %v", err)
+	}
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel unknown = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	gate, started, release := blockGate()
+	r := NewRunner(Options{Workers: 1})
+	j, err := r.Submit(tinySpec(), Live{Sinks: engine.Registry{gate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the job is mid-layer-0
+	if err := r.Cancel(j.ID()); err != nil {
+		t.Fatalf("Cancel running: %v", err)
+	}
+	close(release) // layer 0 finishes; the next layer sees the dead context
+	if err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("running-cancel Wait = %v, want context.Canceled", err)
+	}
+	if got := j.Status(); got != StatusCancelled {
+		t.Fatalf("status = %v, want cancelled", got)
+	}
+	if got := r.Metrics().Counter("jobs.cancelled").Value(); got != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", got)
+	}
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseDrainsAndPersists(t *testing.T) {
+	store, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate, started, release := blockGate()
+	r := NewRunner(Options{Workers: 1, QueueDepth: 2, Store: store})
+	j1, err := r.Submit(tinySpec(), Live{Sinks: engine.Registry{gate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	spec2 := tinySpec()
+	spec2.Config = spec2.Config.WithArray(4, 4) // distinct registry key
+	j2, err := r.Submit(spec2, Live{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- r.Close(context.Background()) }()
+	// Close must not return while a job is still in flight.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned %v before drain", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for _, j := range []*Job{j1, j2} {
+		if got := j.Status(); got != StatusDone {
+			t.Fatalf("job %s after drain = %v, want done", j.ID(), got)
+		}
+	}
+	entries, err := store.List()
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("store entries after drain = %d (err %v), want 2", len(entries), err)
+	}
+}
+
+func TestSweepThroughRunner(t *testing.T) {
+	spec := sweepSpec()
+	r := NewRunner(Options{Workers: 1})
+	defer r.Close(context.Background())
+	res, err := r.RunSweep("grid", spec, Live{})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if !res.IsSweep() || len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Manifest == nil || len(res.Manifest.Layers) != 2 {
+		t.Fatalf("sweep manifest incomplete: %+v", res.Manifest)
+	}
+	if res.Manifest.Run != "grid" {
+		t.Fatalf("manifest run = %q, want grid", res.Manifest.Run)
+	}
+	if err := res.WriteReport(nil, "cycles"); err == nil {
+		t.Fatal("sweep results must not expose per-layer reports")
+	}
+}
+
+func TestCancelQueuedSweep(t *testing.T) {
+	gate, started, release := blockGate()
+	spec := sweepSpec()
+	r := NewRunner(Options{Workers: 1})
+	// Park the single worker with a blocked sim job so the sweep sits in
+	// the queue, then cancel it there.
+	j1, err := r.Submit(tinySpec(), Live{Sinks: engine.Registry{gate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	js, err := r.SubmitSweep("grid", spec, Live{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Cancel(js.ID()); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := js.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep Wait = %v, want context.Canceled", err)
+	}
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sweepSpec() batch.Spec {
+	return batch.Spec{
+		Base:       config.New(),
+		Arrays:     [][2]int{{8, 8}, {16, 16}},
+		Topologies: []topology.Topology{topology.TinyNet()},
+		Parallel:   1,
+	}
+}

@@ -1,0 +1,248 @@
+// Package job extracts the run-orchestration layer the CLIs used to
+// duplicate into a reusable Job/Result core: a Job is one simulation
+// request (hardware configuration + workload + bounds), canonically
+// identified by the same content addresses the rest of the system uses
+// (config.Hash crossed with the workload's shape keys), and a Result is
+// everything a completed job produced — the run result, its reports and
+// its manifest. A Runner executes jobs on a persistent engine.Pool behind
+// a bounded admission queue, shares one simcache across every job so
+// repeated configurations replay near-free, and registers manifests into
+// a runstore. The scalesim and scalesweep CLIs and the scalesimd daemon
+// all run through the same Runner, so a job submitted over HTTP is
+// byte-identical to the same job run from the command line.
+package job
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"scalesim/internal/config"
+	"scalesim/internal/dram"
+	"scalesim/internal/topology"
+)
+
+// Spec is one simulation job: a hardware configuration, exactly one
+// workload (flat topology or operator graph), and the run bounds that
+// participate in the result. Everything here is a pure value — no sinks,
+// no writers — so a Spec can arrive over the network, be hashed, queued
+// and replayed.
+type Spec struct {
+	// Config is the architecture to simulate. Its RunName labels reports.
+	Config config.Config
+	// Topology is the flat workload; ignored when Graph is set.
+	Topology topology.Topology
+	// Graph is the operator-graph workload; takes precedence over Topology.
+	Graph *topology.Graph
+	// DRAM, when non-nil, replays DRAM traces through the timing model.
+	DRAM *dram.Config
+	// DRAMBandwidth bounds the memory link in words/cycle (0 = unbounded).
+	DRAMBandwidth float64
+	// Workers bounds the job's internal layer-level parallelism (core
+	// semantics: 0 = GOMAXPROCS, 1 = sequential). A service running many
+	// concurrent jobs typically wants 1 here and parallelism across jobs.
+	Workers int
+}
+
+// Validate reports the first structural problem with the spec.
+func (s Spec) Validate() error {
+	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	if s.DRAMBandwidth < 0 {
+		return fmt.Errorf("job: negative DRAM bandwidth %v", s.DRAMBandwidth)
+	}
+	if s.Graph != nil {
+		return s.Graph.Validate()
+	}
+	if len(s.Topology.Layers) == 0 {
+		return fmt.Errorf("job: no workload (empty topology and no graph)")
+	}
+	return s.Topology.Validate()
+}
+
+// Net names the spec's workload.
+func (s Spec) Net() string {
+	if s.Graph != nil {
+		return s.Graph.Name
+	}
+	return s.Topology.Name
+}
+
+// Layers returns the workload's unit count — graph nodes or flat layers —
+// the denominator of the job's progress.
+func (s Spec) Layers() int {
+	if s.Graph != nil {
+		return len(s.Graph.Nodes)
+	}
+	return len(s.Topology.Layers)
+}
+
+// ShapeKey is the canonical identity of the workload: concatenated
+// kind-qualified node keys (graphs) or layer shape keys (flat), with
+// user-facing names excluded — the same identity batch points use.
+func (s Spec) ShapeKey() string {
+	var b strings.Builder
+	if s.Graph != nil {
+		for i := range s.Graph.Nodes {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(s.Graph.Nodes[i].Key())
+		}
+		return b.String()
+	}
+	for i, l := range s.Topology.Layers {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(l.Key())
+	}
+	return b.String()
+}
+
+// Key is the job's content address: the configuration's canonical hash
+// crossed with the workload shape key and the run bounds. Equal keys mean
+// equal simulation outcomes — the identity under which repeated
+// submissions replay from the shared cache.
+func (s Spec) Key() string {
+	sum := sha256.Sum256([]byte(s.ShapeKey()))
+	key := s.Config.Hash() + ":" + hex.EncodeToString(sum[:8])
+	if s.DRAMBandwidth > 0 {
+		key += fmt.Sprintf(";bw=%g", s.DRAMBandwidth)
+	}
+	if s.DRAM != nil {
+		key += fmt.Sprintf(";dram=%+v", *s.DRAM)
+	}
+	return key
+}
+
+// Request is the wire form of a Spec: the JSON document POST /jobs
+// accepts and the load generator emits. Hardware comes either as a full
+// INI config (config_ini) or as the familiar flag-shaped fields; the
+// workload is a built-in name, an inline topology CSV, or an inline
+// operator-graph document (scalesim.graph/v1).
+type Request struct {
+	// Run labels the job's reports and manifest (optional).
+	Run string `json:"run,omitempty"`
+	// ConfigINI is a full hardware configuration in the Table I INI
+	// dialect; the fields below override it.
+	ConfigINI string `json:"config_ini,omitempty"`
+	// Array ("RxC"), Dataflow ("os"/"ws"/"is") and SRAM ("i,f,o" KiB)
+	// override the base configuration, exactly like the CLI flags.
+	Array    string `json:"array,omitempty"`
+	Dataflow string `json:"dataflow,omitempty"`
+	SRAM     string `json:"sram,omitempty"`
+	// VectorLanes overrides the vector-unit width (0 = array width).
+	VectorLanes int `json:"vector_lanes,omitempty"`
+	// Net selects a built-in workload (flat topology or operator graph).
+	Net string `json:"net,omitempty"`
+	// TopologyCSV is an inline topology in the layer CSV format.
+	TopologyCSV string `json:"topology_csv,omitempty"`
+	// Graph is an inline operator-graph JSON document.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// DRAM replays DRAM traces through the DDR3 timing model.
+	DRAM bool `json:"dram,omitempty"`
+	// DRAMBandwidth bounds the link in words/cycle (0 = unbounded).
+	DRAMBandwidth float64 `json:"dram_bw,omitempty"`
+	// Workers bounds the job's internal layer parallelism.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ParseArray parses an "RxC" array shape (case-insensitive).
+func ParseArray(s string) (r, c int, err error) {
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%d", &r, &c); err != nil {
+		return 0, 0, fmt.Errorf("job: invalid array %q (want RxC)", s)
+	}
+	return r, c, nil
+}
+
+// Spec resolves the request into an executable Spec.
+func (r Request) Spec() (Spec, error) {
+	cfg := config.New()
+	if r.ConfigINI != "" {
+		var err error
+		if cfg, err = config.Parse(strings.NewReader(r.ConfigINI)); err != nil {
+			return Spec{}, err
+		}
+	}
+	if r.Array != "" {
+		h, w, err := ParseArray(r.Array)
+		if err != nil {
+			return Spec{}, err
+		}
+		cfg = cfg.WithArray(h, w)
+	}
+	if r.Dataflow != "" {
+		df, err := config.ParseDataflow(r.Dataflow)
+		if err != nil {
+			return Spec{}, err
+		}
+		cfg = cfg.WithDataflow(df)
+	}
+	if r.SRAM != "" {
+		var i, f, o int
+		if _, err := fmt.Sscanf(r.SRAM, "%d,%d,%d", &i, &f, &o); err != nil {
+			return Spec{}, fmt.Errorf("job: invalid sram %q (want i,f,o KiB): %w", r.SRAM, err)
+		}
+		cfg = cfg.WithSRAM(i, f, o)
+	}
+	if r.VectorLanes != 0 {
+		cfg.VectorLanes = r.VectorLanes
+	}
+	if r.Run != "" {
+		cfg.RunName = r.Run
+	}
+
+	spec := Spec{Config: cfg, DRAMBandwidth: r.DRAMBandwidth, Workers: r.Workers}
+	if r.DRAM {
+		ddr := dram.DDR3()
+		spec.DRAM = &ddr
+	}
+
+	workloads := 0
+	if r.Net != "" {
+		workloads++
+		if topo, ok := topology.BuiltIn(r.Net); ok {
+			spec.Topology = topo
+		} else if g, err := topology.BuiltInGraph(r.Net); err == nil {
+			spec.Graph = &g
+		} else {
+			return Spec{}, fmt.Errorf("job: unknown built-in workload %q (have %s)", r.Net,
+				strings.Join(append(topology.BuiltInNames(), topology.BuiltInGraphNames()...), ", "))
+		}
+	}
+	if r.TopologyCSV != "" {
+		workloads++
+		name := r.Run
+		if name == "" {
+			name = "inline"
+		}
+		topo, err := topology.ParseCSV(name, strings.NewReader(r.TopologyCSV))
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Topology, spec.Graph = topo, nil
+	}
+	if len(r.Graph) > 0 {
+		workloads++
+		name := r.Run
+		if name == "" {
+			name = "inline"
+		}
+		g, err := topology.ParseGraph(name, strings.NewReader(string(r.Graph)))
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Graph = &g
+	}
+	switch {
+	case workloads == 0:
+		return Spec{}, fmt.Errorf("job: no workload: set net, topology_csv or graph")
+	case workloads > 1:
+		return Spec{}, fmt.Errorf("job: multiple workloads: set exactly one of net, topology_csv and graph")
+	}
+	return spec, spec.Validate()
+}

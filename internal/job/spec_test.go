@@ -1,0 +1,106 @@
+package job
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/topology"
+)
+
+func TestRequestResolvesBuiltins(t *testing.T) {
+	spec, err := Request{Net: "TinyNet", Array: "16x32", Dataflow: "os", SRAM: "64,64,32", Run: "t"}.Spec()
+	if err != nil {
+		t.Fatalf("Spec: %v", err)
+	}
+	if spec.Graph != nil || spec.Topology.Name != "TinyNet" {
+		t.Fatalf("workload = %q/%v, want flat TinyNet", spec.Topology.Name, spec.Graph)
+	}
+	c := spec.Config
+	if c.ArrayHeight != 16 || c.ArrayWidth != 32 || c.Dataflow != config.OutputStationary {
+		t.Fatalf("overrides not applied: %+v", c)
+	}
+	if c.IfmapSRAMKB != 64 || c.OfmapSRAMKB != 32 {
+		t.Fatalf("sram not applied: %+v", c)
+	}
+	if c.RunName != "t" {
+		t.Fatalf("run name = %q", c.RunName)
+	}
+
+	gspec, err := Request{Net: "BERTTiny"}.Spec()
+	if err != nil {
+		t.Fatalf("graph builtin: %v", err)
+	}
+	if gspec.Graph == nil || gspec.Graph.Name != "BERTTiny" {
+		t.Fatalf("want BERTTiny graph, got %+v", gspec.Graph)
+	}
+}
+
+func TestRequestInlineWorkloads(t *testing.T) {
+	csv := "Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,\n" +
+		"conv1, 8, 8, 3, 3, 3, 8, 1,\n"
+	spec, err := Request{Run: "inlinecsv", TopologyCSV: csv}.Spec()
+	if err != nil {
+		t.Fatalf("inline csv: %v", err)
+	}
+	if len(spec.Topology.Layers) != 1 || spec.Topology.Layers[0].Name != "conv1" {
+		t.Fatalf("bad inline topology: %+v", spec.Topology)
+	}
+
+	var doc strings.Builder
+	g, _ := topology.BuiltInGraph("BERTTiny")
+	if err := topology.WriteGraph(&doc, g); err != nil {
+		t.Fatal(err)
+	}
+	gspec, err := Request{Graph: json.RawMessage(doc.String())}.Spec()
+	if err != nil {
+		t.Fatalf("inline graph: %v", err)
+	}
+	if gspec.Graph == nil || len(gspec.Graph.Nodes) != len(g.Nodes) {
+		t.Fatalf("inline graph mismatched: %+v", gspec.Graph)
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	if _, err := (Request{}).Spec(); err == nil {
+		t.Fatal("empty request must fail (no workload)")
+	}
+	if _, err := (Request{Net: "NoSuchNet"}).Spec(); err == nil {
+		t.Fatal("unknown builtin must fail")
+	}
+	if _, err := (Request{Net: "TinyNet", TopologyCSV: "x"}).Spec(); err == nil {
+		t.Fatal("two workloads must fail")
+	}
+	if _, err := (Request{Net: "TinyNet", Array: "banana"}).Spec(); err == nil {
+		t.Fatal("bad array must fail")
+	}
+	if _, err := (Request{Net: "TinyNet", DRAMBandwidth: -1}).Spec(); err == nil {
+		t.Fatal("negative bandwidth must fail")
+	}
+}
+
+func TestSpecKeyDiscriminates(t *testing.T) {
+	a := tinySpec()
+	b := tinySpec()
+	if a.Key() != b.Key() {
+		t.Fatal("identical specs must share a key")
+	}
+	b.Config = b.Config.WithArray(16, 16)
+	if a.Key() == b.Key() {
+		t.Fatal("different configs must key differently")
+	}
+	c := tinySpec()
+	c.DRAMBandwidth = 4
+	if a.Key() == c.Key() {
+		t.Fatal("a bandwidth bound must key differently")
+	}
+	g, _ := topology.BuiltInGraph("BERTTiny")
+	d := Spec{Config: config.New(), Graph: &g}
+	if d.ShapeKey() == a.ShapeKey() {
+		t.Fatal("graph and flat workloads must shape-key differently")
+	}
+	if d.Net() != "BERTTiny" || d.Layers() != len(g.Nodes) {
+		t.Fatalf("graph identity: net=%q layers=%d", d.Net(), d.Layers())
+	}
+}

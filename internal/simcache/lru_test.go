@@ -1,0 +1,204 @@
+package simcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scalesim/internal/systolic"
+)
+
+// lruEntry builds a distinguishable entry; cycles make keys' values
+// differ so replay tests can tell entries apart.
+func lruEntry(cycles int64) Entry {
+	return Entry{Compute: systolic.Result{Cycles: cycles}}
+}
+
+// entryBytes measures one spill document for key/entry as store writes it.
+func entryBytes(t *testing.T, key string, e Entry) int64 {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key, e)
+	info, err := os.Stat(c.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+func TestLRUEvictsColdestUnderCap(t *testing.T) {
+	one := entryBytes(t, "k0", lruEntry(0))
+	dir := t.TempDir()
+	// Room for two entries, not three.
+	c, err := NewDiskLRU(dir, 2*one+one/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k0", lruEntry(10))
+	c.Put("k1", lruEntry(11))
+	// Touch k0 so k1 becomes the coldest, then overflow with k2.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 should hit")
+	}
+	c.Put("k2", lruEntry(12))
+
+	if got := c.Evictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if got, max := c.DiskBytes(), 2*one+one/2; got > max {
+		t.Fatalf("disk bytes %d over cap %d", got, max)
+	}
+	if _, err := os.Stat(c.path("k1")); !os.IsNotExist(err) {
+		t.Fatalf("k1 spill should be deleted, stat err = %v", err)
+	}
+	// The evicted entry is a miss — including in this same process.
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("evicted k1 must read as a miss")
+	}
+	for _, k := range []string{"k0", "k2"} {
+		if e, ok := c.Get(k); !ok || e.Compute.Cycles == 11 {
+			t.Fatalf("%s should survive (ok=%v cycles=%d)", k, ok, e.Compute.Cycles)
+		}
+	}
+}
+
+func TestLRUNeverEvictsTheOnlyEntry(t *testing.T) {
+	c, err := NewDiskLRU(t.TempDir(), 1) // absurdly small cap
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("solo", lruEntry(1))
+	if got := c.Evictions(); got != 0 {
+		t.Fatalf("evictions = %d, want 0 (newest entry is never evicted)", got)
+	}
+	if _, ok := c.Get("solo"); !ok {
+		t.Fatal("the just-stored entry must remain readable")
+	}
+}
+
+func TestLRUIndexSurvivesRestart(t *testing.T) {
+	one := entryBytes(t, "k0", lruEntry(0))
+	dir := t.TempDir()
+	c, err := NewDiskLRU(dir, 10*one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k0", lruEntry(10))
+	c.Put("k1", lruEntry(11))
+	if _, ok := c.Get("k0"); !ok { // k1 is now coldest
+		t.Fatal("k0 should hit")
+	}
+
+	// A new process opens the same directory and tightens the cap; the
+	// persisted recency order must make k1 the eviction victim.
+	c2, err := NewDiskLRU(dir, one+one/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(c2.path("k1")); !os.IsNotExist(err) {
+		t.Fatalf("k1 should be evicted on recovery, stat err = %v", err)
+	}
+	if _, ok := c2.Get("k0"); !ok {
+		t.Fatal("k0 (recently used) must survive recovery eviction")
+	}
+}
+
+func TestLRURebuildsFromCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskLRU(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", lruEntry(1))
+	c.Put("b", lruEntry(2))
+	if err := os.WriteFile(filepath.Join(dir, lruIndexName), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewDiskLRU(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.DiskBytes(); got == 0 {
+		t.Fatal("rebuild from directory scan found no bytes")
+	}
+	for _, k := range []string{"a", "b"} {
+		if _, ok := c2.Get(k); !ok {
+			t.Fatalf("%s lost after index rebuild", k)
+		}
+	}
+}
+
+func TestLRUCorruptEntryIsMissAndInvisible(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskLRU(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("good", lruEntry(1))
+	// A corrupt spill file next to the index: a miss on Get, absent from
+	// the rebuilt account.
+	bad := filepath.Join(dir, strings.Repeat("ab", 32)+".json")
+	if err := os.WriteFile(bad, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_ = os.Remove(filepath.Join(dir, lruIndexName))
+	c2, err := NewDiskLRU(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := entryBytes(t, "good", lruEntry(1))
+	if got := c2.DiskBytes(); got != want {
+		t.Fatalf("account = %d bytes, want %d (corrupt file excluded)", got, want)
+	}
+}
+
+func TestLRUIndexInvisibleToScanAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskLRU(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), lruEntry(int64(i)))
+	}
+	keys, invalid, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || invalid != 0 {
+		t.Fatalf("ScanDir = %d keys, %d invalid; want 3, 0", len(keys), invalid)
+	}
+	dst := t.TempDir()
+	st, err := MergeDirs(dst, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Copied != 3 || st.Invalid != 0 {
+		t.Fatalf("MergeDirs = %+v; want 3 copied, 0 invalid", st)
+	}
+}
+
+func TestUncappedCacheHasNoLRUOverhead(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskLRU(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k", lruEntry(1))
+	if c.Evictions() != 0 || c.DiskBytes() != 0 {
+		t.Fatal("uncapped cache must not account the disk tier")
+	}
+	if _, err := os.Stat(filepath.Join(dir, lruIndexName)); !os.IsNotExist(err) {
+		t.Fatal("uncapped cache must not write an index")
+	}
+	var nilCache *Cache
+	if nilCache.Evictions() != 0 || nilCache.DiskBytes() != 0 {
+		t.Fatal("nil cache accessors must be zero")
+	}
+}

@@ -105,6 +105,9 @@ type Cache struct {
 	entries map[string]Entry
 	dir     string
 
+	// lru caps the disk tier when non-nil (see NewDiskLRU).
+	lru *lruState
+
 	hits, misses, diskErrs atomic.Int64
 }
 
@@ -144,6 +147,7 @@ func (c *Cache) Get(key string) (Entry, bool) {
 	}
 	if ok {
 		c.hits.Add(1)
+		c.touch(key)
 	} else {
 		c.misses.Add(1)
 	}
@@ -400,5 +404,7 @@ func (c *Cache) store(key string, e Entry) {
 	if werr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
 		_ = os.Remove(tmp.Name())
 		c.diskErrs.Add(1)
+		return
 	}
+	c.record(key, int64(len(data)))
 }

@@ -41,6 +41,7 @@ import (
 	"scalesim/internal/dram"
 	"scalesim/internal/energy"
 	"scalesim/internal/engine"
+	"scalesim/internal/job"
 	"scalesim/internal/memory"
 	"scalesim/internal/noc"
 	"scalesim/internal/obsv"
@@ -356,6 +357,67 @@ func NewCache() *Cache { return simcache.New() }
 // NewDiskCache returns a result cache persisted under dir: entries spill
 // to JSON files and later processes (or runs) reload them on miss.
 func NewDiskCache(dir string) (*Cache, error) { return simcache.NewDisk(dir) }
+
+// NewDiskLRUCache returns a disk-backed result cache whose on-disk tier
+// is capped at maxBytes: when a new entry pushes the tier over the cap,
+// the least-recently-used entries are evicted (the most recent entry is
+// never evicted). maxBytes <= 0 means uncapped, identical to
+// NewDiskCache.
+func NewDiskLRUCache(dir string, maxBytes int64) (*Cache, error) {
+	return simcache.NewDiskLRU(dir, maxBytes)
+}
+
+// Job-orchestration types: the submit/status/cancel layer shared by the
+// scalesim and scalesweep CLIs and the scalesimd daemon. A JobSpec is a
+// pure value — config plus workload plus bounds, canonically keyed — so
+// it travels over the wire (JobRequest is its JSON form); a JobRunner
+// executes specs on a persistent bounded worker pool behind an admission
+// queue, sharing one result cache across all jobs.
+type (
+	// Job is one tracked execution of a spec (or sweep) on a runner.
+	Job = job.Job
+	// JobSpec fully describes a simulation job (config, workload, bounds).
+	JobSpec = job.Spec
+	// JobRequest is the wire (JSON) form of a job submission.
+	JobRequest = job.Request
+	// JobResult is a completed job's output: run + manifest, or sweep rows.
+	JobResult = job.Result
+	// JobRunner executes jobs on a shared pool behind an admission queue.
+	JobRunner = job.Runner
+	// JobOptions configures a runner (workers, queue depth, cache, store).
+	JobOptions = job.Options
+	// JobLive carries per-submission live consumers (progress, timeline,
+	// traces, sinks) that a wire spec deliberately excludes.
+	JobLive = job.Live
+	// JobInfo is a JSON-friendly snapshot of a job's state.
+	JobInfo = job.Info
+	// JobStatus is a job's lifecycle state.
+	JobStatus = job.Status
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = job.StatusQueued
+	JobRunning   = job.StatusRunning
+	JobDone      = job.StatusDone
+	JobFailed    = job.StatusFailed
+	JobCancelled = job.StatusCancelled
+)
+
+// Job-orchestration errors.
+var (
+	// ErrJobQueueFull is returned by JobRunner.Submit when the admission
+	// queue is at capacity (the daemon's HTTP 429).
+	ErrJobQueueFull = job.ErrQueueFull
+	// ErrJobRunnerClosed is returned by submissions during shutdown.
+	ErrJobRunnerClosed = job.ErrClosed
+	// ErrJobNotFound is returned for unknown job IDs.
+	ErrJobNotFound = job.ErrNotFound
+)
+
+// NewJobRunner starts a job runner with its worker pool. Close it to
+// drain.
+func NewJobRunner(opt JobOptions) *JobRunner { return job.NewRunner(opt) }
 
 // DDR3 returns the default DRAM timing parameters.
 func DDR3() DRAMConfig { return dram.DDR3() }

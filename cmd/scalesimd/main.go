@@ -123,6 +123,7 @@ func run(args []string) error {
 	if err := runner.Close(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "scalesimd: drain incomplete:", err)
 	}
+	cache.Flush() // persist batched cache-recency updates
 	return httpSrv.Shutdown(drainCtx)
 }
 
@@ -302,11 +303,16 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// The cursor is an absolute line count, not an index into the
+	// snapshot: the job's progress buffer is a sliding tail, so indexing
+	// Info().Progress would skip lines — then stall entirely — once a
+	// long job trims the buffer.
 	sent := 0
 	emit := func() {
-		for _, line := range j.Info().Progress[sent:] {
+		var lines []string
+		lines, sent = j.ProgressSince(sent)
+		for _, line := range lines {
 			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", line)
-			sent++
 		}
 	}
 	tick := time.NewTicker(s.pollEvery)

@@ -30,9 +30,14 @@ var ErrPoolClosed = errors.New("engine: pool closed")
 type Pool struct {
 	queue chan func()
 	wg    sync.WaitGroup
+	// subs tracks Submits blocked on a full queue. Each registers under
+	// the read lock before closed can flip, so Close's drain goroutine
+	// knows the queue is final — and safe to close — once subs drains.
+	subs sync.WaitGroup
 
 	mu     sync.RWMutex
 	closed bool
+	stop   chan struct{}
 	done   chan struct{}
 }
 
@@ -46,7 +51,11 @@ func NewPool(workers, depth int) *Pool {
 	if depth <= 0 {
 		depth = 64
 	}
-	p := &Pool{queue: make(chan func(), depth), done: make(chan struct{})}
+	p := &Pool{
+		queue: make(chan func(), depth),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -76,16 +85,27 @@ func (p *Pool) TrySubmit(fn func()) error {
 }
 
 // Submit enqueues fn, waiting for queue space if necessary. Only
-// ErrPoolClosed can be returned. In-process callers (the CLIs) submit
-// this way; network front ends should TrySubmit and shed.
+// ErrPoolClosed can be returned — a Submit still waiting when Close
+// begins gives up rather than blocking the drain. In-process callers
+// (the CLIs) submit this way; network front ends should TrySubmit and
+// shed.
 func (p *Pool) Submit(fn func()) error {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
 	if p.closed {
+		p.mu.RUnlock()
 		return ErrPoolClosed
 	}
-	p.queue <- fn
-	return nil
+	p.subs.Add(1)
+	p.mu.RUnlock()
+	defer p.subs.Done()
+	// The blocking send happens outside the lock so Close is never stuck
+	// behind a full queue; stop unblocks waiters when the drain begins.
+	select {
+	case p.queue <- fn:
+		return nil
+	case <-p.stop:
+		return ErrPoolClosed
+	}
 }
 
 // Pending returns the number of accepted-but-unstarted tasks.
@@ -99,8 +119,13 @@ func (p *Pool) Close(ctx context.Context) error {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
-		close(p.queue)
+		close(p.stop)
 		go func() {
+			// Blocked Submits either land their task or bail on stop;
+			// only then is the queue final and safe to close under the
+			// workers still ranging over it.
+			p.subs.Wait()
+			close(p.queue)
 			p.wg.Wait()
 			close(p.done)
 		}()

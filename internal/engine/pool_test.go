@@ -74,6 +74,44 @@ func TestPoolCloseDrainsAccepted(t *testing.T) {
 	}
 }
 
+func TestPoolCloseUnblocksWaitingSubmit(t *testing.T) {
+	p := NewPool(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-block }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	if err := p.Submit(func() {}); err != nil { // fills the queue slot
+		t.Fatalf("Submit (queued): %v", err)
+	}
+	subErr := make(chan error, 1)
+	go func() { subErr <- p.Submit(func() {}) }() // parks on the full queue
+	for p.Pending() != 1 {
+		time.Sleep(time.Millisecond) // let the goroutine reach the send
+	}
+
+	// Close must not wedge behind the blocked Submit: its deadline
+	// applies (the worker is stuck), and the waiter is turned away.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close with blocked submit = %v, want deadline exceeded", err)
+	}
+	select {
+	case err := <-subErr:
+		if err != nil && !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("blocked Submit = %v, want nil or ErrPoolClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked Submit not released by Close")
+	}
+	close(block)
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatalf("drain after release: %v", err)
+	}
+}
+
 func TestPoolCloseTimeout(t *testing.T) {
 	p := NewPool(1, 1)
 	block := make(chan struct{})

@@ -150,6 +150,19 @@ func (j *Job) Info() Info {
 	return in
 }
 
+// ProgressSince returns the buffered progress lines not yet covered by
+// the cursor, plus the advanced cursor. The cursor counts lines ever
+// written, not lines retained: the progress buffer is a sliding tail,
+// so a reader pacing itself by Info().Progress length would skip or
+// stall once the tail trims. Jobs with a live Progress writer buffer
+// nothing and always return an empty batch.
+func (j *Job) ProgressSince(after int) ([]string, int) {
+	if j.buf == nil {
+		return nil, after
+	}
+	return j.buf.LinesSince(after)
+}
+
 // markRunning transitions queued → running; returns false when the job
 // was already terminal (cancelled while queued), in which case the
 // worker must skip it.
@@ -184,12 +197,16 @@ func (j *Job) finish(st Status, res *Result, err error) {
 
 // lineBuffer is an io.Writer retaining the most recent complete lines
 // written to it — the backing store for a job's progress tail when no
-// live writer was supplied. Safe for concurrent use.
+// live writer was supplied. Lines carry absolute sequence numbers
+// (total counts every line ever written, trimmed or not) so readers
+// can follow the stream through the sliding tail. Safe for concurrent
+// use.
 type lineBuffer struct {
 	mu    sync.Mutex
 	max   int
 	part  strings.Builder
 	lines []string
+	total int
 }
 
 func newLineBuffer(max int) *lineBuffer {
@@ -208,6 +225,7 @@ func (b *lineBuffer) Write(p []byte) (int, error) {
 			continue
 		}
 		b.lines = append(b.lines, b.part.String())
+		b.total++
 		b.part.Reset()
 		if len(b.lines) > b.max {
 			b.lines = b.lines[len(b.lines)-b.max:]
@@ -221,4 +239,21 @@ func (b *lineBuffer) Lines() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return append([]string(nil), b.lines...)
+}
+
+// LinesSince returns the retained lines whose absolute sequence number
+// is at least after, plus the next cursor (the total line count). Lines
+// already trimmed out of the tail are gone — the cursor still advances
+// past them, so a slow reader skips rather than stalls.
+func (b *lineBuffer) LinesSince(after int) ([]string, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	first := b.total - len(b.lines)
+	if after < first {
+		after = first
+	}
+	if after > b.total {
+		after = b.total
+	}
+	return append([]string(nil), b.lines[after-first:]...), b.total
 }

@@ -222,8 +222,14 @@ func (r *Runner) submit(j *Job, exec func(context.Context, *Job) (*Result, error
 	if err != nil {
 		r.mu.Lock()
 		delete(r.jobs, j.id)
-		if n := len(r.order); n > 0 && r.order[n-1] == j.id {
-			r.order = r.order[:n-1]
+		// Concurrent submissions can append behind j between newJob and
+		// here, so splice wherever the id landed — a stale id in order
+		// would surface as a nil job in every later Jobs() listing.
+		for i := len(r.order) - 1; i >= 0; i-- {
+			if r.order[i] == j.id {
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				break
+			}
 		}
 		r.mu.Unlock()
 		j.cancel()
@@ -399,7 +405,9 @@ func (r *Runner) Jobs() []*Job {
 	defer r.mu.Unlock()
 	out := make([]*Job, 0, len(r.order))
 	for _, id := range r.order {
-		out = append(out, r.jobs[id])
+		if j, ok := r.jobs[id]; ok {
+			out = append(out, j)
+		}
 	}
 	return out
 }

@@ -161,6 +161,65 @@ func TestSubmitShedsWhenQueueFull(t *testing.T) {
 	}
 }
 
+// TestRejectedSubmitSplicesOrder pins the load-shedding bookkeeping: a
+// rejection must remove the job's id from the listing order even when a
+// concurrent submission registered behind it — the interleaving is
+// reproduced here by registering two jobs before submitting the first.
+// A stale id used to leave a nil job in Jobs(), panicking every list.
+func TestRejectedSubmitSplicesOrder(t *testing.T) {
+	gate, started, release := blockGate()
+	r := NewRunner(Options{Workers: 1, QueueDepth: 1})
+	j1, err := r.Submit(tinySpec(), Live{Sinks: engine.Registry{gate}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := r.Submit(tinySpec(), Live{}); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+
+	noop := func(context.Context, *Job) (*Result, error) { return &Result{}, nil }
+	a, err := r.newJob("sim", "a", "a", "a", 1, Live{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.newJob("sim", "b", "b", "b", 1, Live{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a is rejected while b sits behind it in the order.
+	if _, err := r.submit(a, noop, true); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit a = %v, want ErrQueueFull", err)
+	}
+	jobs := r.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("Jobs() = %d entries, want 3 (running, queued, b)", len(jobs))
+	}
+	for _, j := range jobs {
+		if j == nil {
+			t.Fatal("Jobs() returned a nil job after a mid-order rejection")
+		}
+		_ = j.Info() // must not panic
+		if j.ID() == a.id {
+			t.Fatalf("rejected job %s still listed", a.id)
+		}
+	}
+	if _, err := r.submit(b, noop, true); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit b = %v, want ErrQueueFull", err)
+	}
+	if got := len(r.Jobs()); got != 2 {
+		t.Fatalf("Jobs() = %d entries after both rejections, want 2", got)
+	}
+
+	close(release)
+	if err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCancelQueuedJob(t *testing.T) {
 	gate, started, release := blockGate()
 	r := NewRunner(Options{Workers: 1, QueueDepth: 2})
@@ -311,6 +370,51 @@ func TestCancelQueuedSweep(t *testing.T) {
 	}
 	if err := r.Close(context.Background()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLineBufferLinesSince pins the cursor semantics the daemon's SSE
+// stream depends on: the cursor counts lines ever written, so a reader
+// keeps receiving new lines after the sliding tail trims — indexing the
+// snapshot would first skip lines, then stall for the rest of the job.
+func TestLineBufferLinesSince(t *testing.T) {
+	b := newLineBuffer(4)
+	write := func(lines ...string) {
+		for _, l := range lines {
+			if _, err := b.Write([]byte(l + "\n")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	write("l0", "l1")
+	got, cur := b.LinesSince(0)
+	if len(got) != 2 || got[0] != "l0" || cur != 2 {
+		t.Fatalf("LinesSince(0) = %v cur %d, want [l0 l1] 2", got, cur)
+	}
+	// Nothing new: empty batch, cursor stays.
+	if got, cur = b.LinesSince(cur); len(got) != 0 || cur != 2 {
+		t.Fatalf("LinesSince(2) = %v cur %d, want [] 2", got, cur)
+	}
+
+	// Overflow the 4-line tail: l0..l3 are trimmed away.
+	write("l2", "l3", "l4", "l5", "l6", "l7")
+	got, cur = b.LinesSince(cur)
+	if cur != 8 {
+		t.Fatalf("cursor = %d, want 8", cur)
+	}
+	// The reader at 2 gets the retained tail (l4..l7); l2/l3 are gone
+	// but must not wedge the stream.
+	if len(got) != 4 || got[0] != "l4" || got[3] != "l7" {
+		t.Fatalf("post-trim batch = %v, want [l4 l5 l6 l7]", got)
+	}
+	write("l8")
+	if got, cur = b.LinesSince(cur); len(got) != 1 || got[0] != "l8" || cur != 9 {
+		t.Fatalf("after trim, LinesSince = %v cur %d, want [l8] 9", got, cur)
+	}
+	// A cursor beyond total clamps rather than slicing out of range.
+	if got, cur = b.LinesSince(100); len(got) != 0 || cur != 9 {
+		t.Fatalf("clamped LinesSince = %v cur %d, want [] 9", got, cur)
 	}
 }
 

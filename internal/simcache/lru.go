@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"scalesim/internal/obsv/log"
 )
@@ -29,6 +30,13 @@ const lruIndexName = "lru.index"
 
 // lruSchema versions the index document; a mismatch triggers a rebuild.
 const lruSchema = "scalesim.simcache-lru/v1"
+
+// lruFlushInterval paces recency-only index writes: touches mark the
+// index dirty and at most one write per interval persists them, so a
+// stream of in-memory hits does not become a stream of disk writes.
+// Stores and evictions still persist immediately — they change what is
+// on disk, not just its order — and Flush forces the rest out.
+const lruFlushInterval = 5 * time.Second
 
 // lruFile is one spill file's accounting record.
 type lruFile struct {
@@ -58,6 +66,10 @@ type lruState struct {
 	seq       int64
 	files     map[string]*lruFile // by file name
 	evictions int64
+	// dirty marks recency updates not yet persisted; lastFlush paces the
+	// batched writes touch triggers.
+	dirty     bool
+	lastFlush time.Time
 }
 
 // NewDiskLRU returns a disk-backed cache whose spill directory is capped
@@ -106,8 +118,9 @@ func (c *Cache) DiskBytes() int64 {
 
 // touch marks key's spill file as just used. Called on every hit, memory
 // and disk alike, so recency reflects use rather than creation. The
-// index is re-persisted so recency survives the process — cheap next to
-// the layer simulation the hit just avoided.
+// update is persisted lazily — marked dirty and flushed at most once per
+// lruFlushInterval (or by Flush) — so repeated in-memory hits are not
+// serialized on index writes.
 func (c *Cache) touch(key string) {
 	if c == nil || c.lru == nil {
 		return
@@ -116,12 +129,30 @@ func (c *Cache) touch(key string) {
 	s := c.lru
 	s.mu.Lock()
 	f, ok := s.files[name]
+	var flush bool
 	if ok {
 		s.seq++
 		f.Seq = s.seq
+		s.dirty = true
+		flush = time.Since(s.lastFlush) >= lruFlushInterval
 	}
 	s.mu.Unlock()
-	if ok {
+	if flush {
+		c.writeLRUIndex()
+	}
+}
+
+// Flush persists any recency updates the batching in touch has not yet
+// written. Call it before the process exits if cross-process recency
+// matters; safe on nil and uncapped caches.
+func (c *Cache) Flush() {
+	if c == nil || c.lru == nil {
+		return
+	}
+	c.lru.mu.Lock()
+	dirty := c.lru.dirty
+	c.lru.mu.Unlock()
+	if dirty {
 		c.writeLRUIndex()
 	}
 }
@@ -203,6 +234,8 @@ func (c *Cache) writeLRUIndex() {
 	for _, f := range s.files {
 		idx.Files = append(idx.Files, *f)
 	}
+	s.dirty = false
+	s.lastFlush = time.Now()
 	s.mu.Unlock()
 	sort.Slice(idx.Files, func(i, j int) bool { return idx.Files[i].Seq < idx.Files[j].Seq })
 	data, err := json.Marshal(idx)
@@ -222,47 +255,31 @@ func (s *lruState) recover(dir string) error {
 	if s.loadIndex(dir) {
 		return nil
 	}
-	des, err := os.ReadDir(dir)
+	files, err := scanSpills(dir, nil)
 	if err != nil {
-		return fmt.Errorf("simcache: %w", err)
+		return err
 	}
-	var files []lruFile
-	for _, de := range des {
-		name := de.Name()
-		if de.IsDir() || !strings.HasSuffix(name, ".json") {
-			continue
-		}
-		doc, ok := readDocument(filepath.Join(dir, name))
-		if !ok || !nameMatchesKey(name, doc.Key) {
-			continue // foreign or corrupt: invisible to the account
-		}
-		info, err := de.Info()
-		if err != nil {
-			continue
-		}
-		files = append(files, lruFile{Name: name, Key: doc.Key, Size: info.Size()})
-	}
-	sort.Slice(files, func(i, j int) bool {
-		fi, _ := os.Stat(filepath.Join(dir, files[i].Name))
-		fj, _ := os.Stat(filepath.Join(dir, files[j].Name))
-		if fi == nil || fj == nil {
-			return files[i].Name < files[j].Name
-		}
-		if !fi.ModTime().Equal(fj.ModTime()) {
-			return fi.ModTime().Before(fj.ModTime())
-		}
-		return files[i].Name < files[j].Name
-	})
+	s.adopt(files)
+	return nil
+}
+
+// adopt appends freshly scanned spill files to the account, oldest
+// first, each newer than everything already tracked.
+func (s *lruState) adopt(files []lruFile) {
 	for i := range files {
 		s.seq++
 		files[i].Seq = s.seq
 		s.files[files[i].Name] = &files[i]
 		s.total += files[i].Size
 	}
-	return nil
 }
 
 // loadIndex restores state from the index file; false forces a rebuild.
+// Disagreement with the directory is healed in both directions: indexed
+// files that vanished are dropped, and on-disk spill files the index
+// never saw (a crash between a spill rename and the index write, or an
+// uncapped process sharing the directory) are adopted as the newest
+// entries — otherwise they would escape the cap forever.
 func (s *lruState) loadIndex(dir string) bool {
 	data, err := os.ReadFile(filepath.Join(dir, lruIndexName))
 	if err != nil {
@@ -285,5 +302,53 @@ func (s *lruState) loadIndex(dir string) bool {
 			s.seq = f.Seq
 		}
 	}
+	if extras, err := scanSpills(dir, s.files); err == nil {
+		s.adopt(extras)
+	}
 	return true
+}
+
+// scanSpills enumerates the valid spill files in dir that are not
+// already in skip, ordered oldest-modified first (name-tiebroken).
+// Foreign and corrupt files stay invisible to the account, matching the
+// degrade-to-miss policy everywhere else.
+func scanSpills(dir string, skip map[string]*lruFile) ([]lruFile, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	type rec struct {
+		f   lruFile
+		mod time.Time
+	}
+	var recs []rec
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if _, ok := skip[name]; ok {
+			continue
+		}
+		doc, ok := readDocument(filepath.Join(dir, name))
+		if !ok || !nameMatchesKey(name, doc.Key) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec{lruFile{Name: name, Key: doc.Key, Size: info.Size()}, info.ModTime()})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].mod.Equal(recs[j].mod) {
+			return recs[i].mod.Before(recs[j].mod)
+		}
+		return recs[i].f.Name < recs[j].f.Name
+	})
+	files := make([]lruFile, len(recs))
+	for i, r := range recs {
+		files[i] = r.f
+	}
+	return files, nil
 }

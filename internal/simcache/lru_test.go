@@ -94,6 +94,7 @@ func TestLRUIndexSurvivesRestart(t *testing.T) {
 	if _, ok := c.Get("k0"); !ok { // k1 is now coldest
 		t.Fatal("k0 should hit")
 	}
+	c.Flush() // touches batch; exiting processes flush recency explicitly
 
 	// A new process opens the same directory and tightens the cap; the
 	// persisted recency order must make k1 the eviction victim.
@@ -181,6 +182,77 @@ func TestLRUIndexInvisibleToScanAndMerge(t *testing.T) {
 	}
 	if st.Copied != 3 || st.Invalid != 0 {
 		t.Fatalf("MergeDirs = %+v; want 3 copied, 0 invalid", st)
+	}
+}
+
+func TestLRUTouchBatchesIndexWrites(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskLRU(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k0", lruEntry(10))
+	c.Put("k1", lruEntry(11))
+	before, err := os.ReadFile(filepath.Join(dir, lruIndexName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-memory hits bump recency but must not rewrite the index per
+	// hit; the update lands on the next Flush (or interval flush).
+	for i := 0; i < 5; i++ {
+		if _, ok := c.Get("k0"); !ok {
+			t.Fatal("k0 should hit")
+		}
+	}
+	after, err := os.ReadFile(filepath.Join(dir, lruIndexName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatal("touch rewrote the index on a cache hit")
+	}
+	c.Flush()
+	flushed, err := os.ReadFile(filepath.Join(dir, lruIndexName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(flushed) == string(before) {
+		t.Fatal("Flush did not persist the batched recency updates")
+	}
+}
+
+func TestLRUIndexAdoptsUntrackedSpills(t *testing.T) {
+	one := entryBytes(t, "k0", lruEntry(10)) // same digit count as the entries below
+	dir := t.TempDir()
+	c, err := NewDiskLRU(dir, 10*one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k0", lruEntry(10))
+	c.Put("k1", lruEntry(11))
+	// An uncapped process sharing the directory spills an entry the
+	// index never sees — the crash-between-rename-and-index shape.
+	un, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un.Put("k2", lruEntry(12))
+
+	c2, err := NewDiskLRU(dir, 10*one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c2.DiskBytes(), int64(3)*one; got != want {
+		t.Fatalf("account = %d bytes, want %d (untracked spill adopted)", got, want)
+	}
+	// The adopted file is evictable like any other: tighten the cap and
+	// the tier still converges under it.
+	c3, err := NewDiskLRU(dir, one+one/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c3.DiskBytes(); got > one+one/2 {
+		t.Fatalf("disk bytes %d over cap %d after recovery eviction", got, one+one/2)
 	}
 }
 
